@@ -1,0 +1,296 @@
+(* simcov — command-line front end for the simulation-coverage
+   validation methodology (Gupta, Malik, Ashar, DAC 1997).
+
+   Subcommands:
+     validate-dlx   run the full methodology on the pipelined DLX
+     tour           generate a transition tour / test program
+     abstract       show the Figure 3(b) abstraction sequence
+     stats          symbolic statistics of the derived control model
+     fig2           the Figure 2 limitation demo
+     run            assemble and co-simulate a DLX program            *)
+
+open Cmdliner
+
+let config_term =
+  let regs =
+    let doc = "Number of registers in the reduced file (power of two)." in
+    Arg.(value & opt int 4 & info [ "regs" ] ~docv:"N" ~doc)
+  in
+  let no_track =
+    let doc =
+      "Drop destination-register addresses from the test-model state (the \
+       Section 6.3 'abstracting too much' configuration)."
+    in
+    Arg.(value & flag & info [ "no-track-dest" ] ~doc)
+  in
+  let no_obs =
+    let doc = "Hide the interaction state from the outputs (violates Requirement 5)." in
+    Arg.(value & flag & info [ "no-observable-dest" ] ~doc)
+  in
+  let build n_regs no_track no_obs =
+    {
+      Simcov_dlx.Testmodel.n_regs;
+      track_dest = not no_track;
+      observable_dest = not no_obs;
+    }
+  in
+  Term.(const build $ regs $ no_track $ no_obs)
+
+let seed_term =
+  Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* ---- validate-dlx ---- *)
+
+let validate_dlx config seed =
+  let report = Simcov_core.Methodology.validate_dlx ~config ~seed () in
+  Format.printf "%a@." Simcov_core.Methodology.pp_run_report report;
+  if
+    report.Simcov_core.Methodology.n_bugs_detected
+    = List.length report.Simcov_core.Methodology.bug_results
+    && Result.is_ok report.Simcov_core.Methodology.certificate
+  then 0
+  else 1
+
+let validate_cmd =
+  let doc = "Run the full validation methodology on the pipelined DLX." in
+  Cmd.v
+    (Cmd.info "validate-dlx" ~doc)
+    Term.(const validate_dlx $ config_term $ seed_term)
+
+(* ---- tour ---- *)
+
+let tour config emit =
+  let open Simcov_dlx in
+  let model = Simcov_fsm.Fsm.tabulate (Testmodel.build config) in
+  match Simcov_testgen.Tour.transition_tour model with
+  | None ->
+      prerr_endline "error: test model is not strongly connected";
+      1
+  | Some t ->
+      Printf.printf "test model: %d states, %d transitions\n"
+        (Simcov_fsm.Fsm.n_reachable model)
+        t.Simcov_testgen.Tour.n_transitions;
+      Printf.printf "transition tour: %d inputs (%d extra traversals)\n"
+        t.Simcov_testgen.Tour.length t.Simcov_testgen.Tour.extra;
+      let conc = Testmodel.concretize config t.Simcov_testgen.Tour.word in
+      Printf.printf "concretized program: %d instructions (%d issued)\n"
+        (Array.length conc.Testmodel.program)
+        (Array.length conc.Testmodel.issue_map);
+      (match emit with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          List.iter
+            (fun (r, v) -> Printf.fprintf oc "# preload r%d = %ld\n" r v)
+            conc.Testmodel.preload_regs;
+          Array.iter
+            (fun i -> output_string oc (Isa.to_string i ^ "\n"))
+            conc.Testmodel.program;
+          close_out oc;
+          Printf.printf "program written to %s\n" path);
+      0
+
+let tour_cmd =
+  let doc = "Generate the minimum transition tour and its DLX test program." in
+  let emit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-program" ] ~docv:"FILE" ~doc:"Write the program as assembly.")
+  in
+  Cmd.v (Cmd.info "tour" ~doc) Term.(const tour $ config_term $ emit)
+
+(* ---- abstract ---- *)
+
+let abstract emit =
+  let final, trace = Simcov_dlx.Control.derive_test_model () in
+  Printf.printf "%-45s %5s %5s %7s %7s\n" "abstraction step" "before" "after" "inputs"
+    "gates";
+  List.iter
+    (fun (e : Simcov_abstraction.Netabs.trace_entry) ->
+      Printf.printf "%-45s %5d %5d %7d %7d\n" e.Simcov_abstraction.Netabs.step_label
+        e.Simcov_abstraction.Netabs.regs_before e.Simcov_abstraction.Netabs.regs_after
+        e.Simcov_abstraction.Netabs.inputs_after e.Simcov_abstraction.Netabs.gates_after)
+    trace;
+  (match emit with
+  | None -> ()
+  | Some path ->
+      Simcov_netlist.Serialize.save final path;
+      Printf.printf "derived model written to %s\n" path);
+  0
+
+let abstract_cmd =
+  let doc = "Derive the control test model, printing the abstraction sequence." in
+  let emit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit" ] ~docv:"FILE" ~doc:"Write the derived model (text netlist).")
+  in
+  Cmd.v (Cmd.info "abstract" ~doc) Term.(const abstract $ emit)
+
+(* ---- stats ---- *)
+
+let stats () =
+  let final, _ = Simcov_dlx.Control.derive_test_model () in
+  Format.printf "%a@." Simcov_netlist.Circuit.pp_stats final;
+  let sym = Simcov_symbolic.Symfsm.of_circuit final in
+  let open Simcov_symbolic.Symfsm in
+  let r, iters = reachable sym in
+  Printf.printf "reachable states: %.0f of %.0f (in %d iterations)\n"
+    (count_states sym r) (state_space_size sym) iters;
+  Printf.printf "valid input combinations: %.0f of %.0f\n" (count_valid_inputs sym)
+    (input_space_size sym);
+  Printf.printf "transitions to cover: %.0f\n" (count_transitions sym);
+  0
+
+let stats_cmd =
+  let doc = "Symbolic (BDD) statistics of the derived control test model." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const stats $ const ())
+
+(* ---- fig2 ---- *)
+
+let fig2 () =
+  List.iter
+    (fun (r : Simcov_core.Fig2.row) ->
+      Printf.printf "%-9s %-12s tour=%b detected=%b\n" r.Simcov_core.Fig2.machine
+        r.Simcov_core.Fig2.tour r.Simcov_core.Fig2.is_tour r.Simcov_core.Fig2.detected)
+    (Simcov_core.Fig2.experiment ());
+  0
+
+let fig2_cmd =
+  let doc = "Reproduce the Figure 2 transition-tour limitation demo." in
+  Cmd.v (Cmd.info "fig2" ~doc) Term.(const fig2 $ const ())
+
+(* ---- run ---- *)
+
+let run_file path bug_name do_trace =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  match Simcov_dlx.Isa.parse_program text with
+  | Error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      1
+  | Ok program -> (
+      let bugs =
+        match bug_name with
+        | None -> Simcov_dlx.Pipeline.no_bugs
+        | Some name -> (
+            match List.assoc_opt name Simcov_dlx.Pipeline.bug_catalog with
+            | Some b -> b
+            | None ->
+                Printf.eprintf "unknown bug %s; known bugs:\n" name;
+                List.iter
+                  (fun (n, _) -> Printf.eprintf "  %s\n" n)
+                  Simcov_dlx.Pipeline.bug_catalog;
+                exit 1)
+      in
+      if do_trace then
+        print_string (Simcov_dlx.Pipeline.trace (Simcov_dlx.Pipeline.create ~bugs program));
+      match Simcov_dlx.Validate.run_program ~bugs program with
+      | Simcov_dlx.Validate.Pass n ->
+          Printf.printf "PASS: %d commits match the specification\n" n;
+          0
+      | Simcov_dlx.Validate.Fail _ as f ->
+          Format.printf "%a@." Simcov_dlx.Validate.pp_outcome f;
+          1)
+
+let run_cmd =
+  let doc = "Assemble a DLX program and co-simulate spec vs pipeline." in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Assembly file.")
+  in
+  let bug =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bug" ] ~docv:"NAME" ~doc:"Inject a named pipeline bug.")
+  in
+  let do_trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the per-cycle pipeline diagram.")
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_file $ file $ bug $ do_trace)
+
+(* ---- dsp ---- *)
+
+let dsp () =
+  let open Simcov_dsp.Mac in
+  let model = Simcov_fsm.Fsm.tabulate (Testmodel.build ()) in
+  match Simcov_core.Completeness.certify model with
+  | Error _ ->
+      prerr_endline "error: DSP test model failed certification";
+      1
+  | Ok cert ->
+      Printf.printf
+        "DSP MAC test model: %d states, %d transitions, forall-%d-distinguishable\n"
+        cert.Simcov_core.Completeness.n_states cert.Simcov_core.Completeness.n_transitions
+        cert.Simcov_core.Completeness.k;
+      let word = Simcov_core.Completeness.padded_tour model cert in
+      let cmds = Testmodel.concretize word in
+      Printf.printf "tour: %d inputs -> %d commands\n" (List.length word)
+        (List.length cmds);
+      let results = Validate.bug_campaign cmds in
+      List.iter
+        (fun (name, detected) ->
+          Printf.printf "  %-18s %s\n" name (if detected then "DETECTED" else "missed"))
+        results;
+      if List.for_all snd results then 0 else 1
+
+let dsp_cmd =
+  let doc = "Run the methodology on the fixed-program DSP (MAC ASIC) case study." in
+  Cmd.v (Cmd.info "dsp" ~doc) Term.(const dsp $ const ())
+
+(* ---- model: operate on a serialized circuit ---- *)
+
+let model_cmd_run path do_tour max_steps =
+  match Simcov_netlist.Serialize.load path with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok c ->
+      Format.printf "%a@." Simcov_netlist.Circuit.pp_stats c;
+      let sym = Simcov_symbolic.Symfsm.of_circuit c in
+      let open Simcov_symbolic.Symfsm in
+      let r, iters = reachable sym in
+      Printf.printf "reachable states: %.0f of %.0f (in %d iterations)\n"
+        (count_states sym r) (state_space_size sym) iters;
+      Printf.printf "valid input combinations: %.0f of %.0f\n" (count_valid_inputs sym)
+        (input_space_size sym);
+      Printf.printf "transitions to cover: %.0f\n" (count_transitions sym);
+      if do_tour then begin
+        let res = Simcov_symbolic.Symtour.generate ~max_steps c in
+        Printf.printf "symbolic tour: %d steps, %.0f/%.0f transitions covered%s\n"
+          res.Simcov_symbolic.Symtour.progress.Simcov_symbolic.Symtour.steps
+          res.Simcov_symbolic.Symtour.progress.Simcov_symbolic.Symtour.covered
+          res.Simcov_symbolic.Symtour.progress.Simcov_symbolic.Symtour.total
+          (if res.Simcov_symbolic.Symtour.complete then " (complete)" else " (truncated)")
+      end;
+      0
+
+let model_cmd =
+  let doc = "Analyze a serialized circuit: statistics and optional symbolic tour." in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Circuit file.")
+  in
+  let do_tour =
+    Arg.(value & flag & info [ "tour" ] ~doc:"Generate a symbolic transition tour.")
+  in
+  let max_steps =
+    Arg.(
+      value & opt int 100_000
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Symbolic tour step budget.")
+  in
+  Cmd.v (Cmd.info "model" ~doc) Term.(const model_cmd_run $ file $ do_tour $ max_steps)
+
+(* ---- main ---- *)
+
+let () =
+  let doc = "validation methodology using simulation coverage (DAC 1997)" in
+  let info = Cmd.info "simcov" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        validate_cmd; tour_cmd; abstract_cmd; stats_cmd; fig2_cmd; run_cmd; dsp_cmd;
+        model_cmd;
+      ]
+  in
+  exit (Cmd.eval' group)

@@ -1,0 +1,1 @@
+examples/abstraction_pipeline.ml: Array Circuit Expr Format List Printf Simcov_abstraction Simcov_fsm Simcov_netlist Simcov_testgen Simcov_util

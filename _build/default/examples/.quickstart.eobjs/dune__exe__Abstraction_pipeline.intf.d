@@ -1,0 +1,1 @@
+examples/abstraction_pipeline.mli:

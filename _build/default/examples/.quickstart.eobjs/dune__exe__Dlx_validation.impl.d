@@ -1,0 +1,1 @@
+examples/dlx_validation.ml: Array Format Printf Simcov_core Simcov_dlx Simcov_testgen

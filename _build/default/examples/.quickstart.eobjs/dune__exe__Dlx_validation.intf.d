@@ -1,0 +1,1 @@
+examples/dlx_validation.mli:

@@ -1,0 +1,1 @@
+examples/dsp_validation.ml: Format List Pipe Printf Simcov_core Simcov_dsp Simcov_fsm Spec Testmodel Validate

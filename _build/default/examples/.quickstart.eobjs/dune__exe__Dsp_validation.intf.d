@@ -1,0 +1,1 @@
+examples/dsp_validation.mli:

@@ -1,0 +1,1 @@
+examples/protocol_conformance.ml: Array Format Fsm List Printf Simcov_core Simcov_coverage Simcov_fsm Simcov_testgen String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Fsm List Printf Simcov_core Simcov_coverage Simcov_fsm Simcov_testgen Simcov_util String

@@ -1,0 +1,1 @@
+lib/abstraction/homomorphism.ml: Array Fsm Fun Hashtbl List Simcov_fsm

@@ -1,0 +1,1 @@
+lib/abstraction/homomorphism.mli: Fsm Simcov_fsm

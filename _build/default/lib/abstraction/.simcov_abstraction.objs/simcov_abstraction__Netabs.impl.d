@@ -1,0 +1,1 @@
+lib/abstraction/netabs.ml: Array Circuit Expr Fun Hashtbl Int List Map Option Printf Simcov_netlist

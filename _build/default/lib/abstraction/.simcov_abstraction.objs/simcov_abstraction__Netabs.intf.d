@@ -1,0 +1,1 @@
+lib/abstraction/netabs.mli: Circuit Simcov_netlist

@@ -1,0 +1,310 @@
+open Simcov_netlist
+
+(* Rebuild a circuit keeping only registers in [keep] (a bool array
+   indexed by old register index). References to removed registers are
+   rewritten by [removed_ref], which receives the old index and must
+   return an expression over NEW indices. Kept registers are
+   re-indexed densely in order. *)
+let rebuild (c : Circuit.t) ~keep ~removed_ref ~extra_inputs ~extra_regs =
+  let n = Circuit.n_regs c in
+  let new_index = Array.make n (-1) in
+  let count = ref 0 in
+  for r = 0 to n - 1 do
+    if keep.(r) then begin
+      new_index.(r) <- !count;
+      incr count
+    end
+  done;
+  let subst e =
+    Expr.map_leaves ~input:Expr.input
+      ~reg:(fun r -> if keep.(r) then Expr.reg new_index.(r) else removed_ref r)
+      e
+  in
+  let kept_regs =
+    Array.to_list c.Circuit.regs
+    |> List.filteri (fun r _ -> keep.(r))
+    |> List.map (fun (rg : Circuit.reg) -> { rg with Circuit.next = subst rg.Circuit.next })
+  in
+  let regs = Array.of_list (kept_regs @ extra_regs subst) in
+  let outputs =
+    Array.map
+      (fun (o : Circuit.port) -> { o with Circuit.expr = subst o.Circuit.expr })
+      c.Circuit.outputs
+  in
+  {
+    c with
+    Circuit.input_names = Array.append c.Circuit.input_names (Array.of_list extra_inputs);
+    regs;
+    outputs;
+    input_constraint = subst c.Circuit.input_constraint;
+  }
+
+let free_regs (c : Circuit.t) to_remove =
+  let n = Circuit.n_regs c in
+  let keep = Array.make n true in
+  List.iter (fun r -> keep.(r) <- false) to_remove;
+  (* one fresh input per removed register, in index order *)
+  let removed_sorted = List.sort_uniq Int.compare to_remove in
+  let base = Circuit.n_inputs c in
+  let input_of_removed = Hashtbl.create 8 in
+  List.iteri (fun k r -> Hashtbl.add input_of_removed r (base + k)) removed_sorted;
+  let extra_inputs =
+    List.map (fun r -> "free_" ^ c.Circuit.regs.(r).Circuit.name) removed_sorted
+  in
+  rebuild c ~keep
+    ~removed_ref:(fun r -> Expr.input (Hashtbl.find input_of_removed r))
+    ~extra_inputs
+    ~extra_regs:(fun _ -> [])
+
+let free_group c group = free_regs c (Circuit.regs_in_group c group)
+
+let drop_outputs (c : Circuit.t) ~keep =
+  {
+    c with
+    Circuit.outputs =
+      Array.of_list
+        (List.filter
+           (fun (o : Circuit.port) -> keep o.Circuit.port_name)
+           (Array.to_list c.Circuit.outputs));
+  }
+
+let cone_reduce (c : Circuit.t) =
+  let cone = Circuit.output_cone c in
+  let keep = Array.make (Circuit.n_regs c) false in
+  List.iter (fun r -> keep.(r) <- true) cone;
+  (* removed registers influence nothing observable; replacing any
+     residual reference with a constant is sound because no such
+     reference can exist (they are outside the closure). *)
+  rebuild c ~keep
+    ~removed_ref:(fun _ -> Expr.fls)
+    ~extra_inputs:[]
+    ~extra_regs:(fun _ -> [])
+
+let remove_output_buffers (c : Circuit.t) =
+  let n = Circuit.n_regs c in
+  let read_by_state = Array.make n false in
+  let mark e =
+    let _, rs = Expr.support e in
+    List.iter (fun r -> read_by_state.(r) <- true) rs
+  in
+  Array.iter (fun (r : Circuit.reg) -> mark r.Circuit.next) c.Circuit.regs;
+  mark c.Circuit.input_constraint;
+  let keep = Array.make n true in
+  for r = 0 to n - 1 do
+    if not read_by_state.(r) then begin
+      (* read only by outputs (or dead): retime it away *)
+      let _, own = Expr.support c.Circuit.regs.(r).Circuit.next in
+      (* avoid removing a register whose next depends on itself: the
+         rewiring below would lose the feedback *)
+      if not (List.mem r own) then keep.(r) <- false
+    end
+  done;
+  (* Rewire output references to the removed registers' next logic.
+     The next logic refers to OLD indices; rebuild's [removed_ref]
+     must return NEW-index expressions, so we substitute recursively.
+     Removal candidates may read each other only through outputs
+     (impossible: regs read regs via next logic only), so the next
+     exprs of removed regs reference only kept regs or inputs — except
+     chains reg_a -> reg_b where b is also removed. Handle chains by
+     recursion with a visited set (cycles were excluded above only for
+     self-loops, so guard generally). *)
+  let module M = Map.Make (Int) in
+  let memo = ref M.empty in
+  let rec removed_ref ?(seen = []) r =
+    match M.find_opt r !memo with
+    | Some e -> e
+    | None ->
+        if List.mem r seen then
+          invalid_arg "Netabs.remove_output_buffers: cyclic buffer chain"
+        else begin
+          let next = c.Circuit.regs.(r).Circuit.next in
+          let e =
+            Expr.map_leaves ~input:Expr.input
+              ~reg:(fun r' ->
+                if keep.(r') then Expr.reg r' (* old index; rebuild re-substitutes *)
+                else removed_ref ~seen:(r :: seen) r')
+              next
+          in
+          memo := M.add r e !memo;
+          e
+        end
+  in
+  (* First inline chains among removed regs (still in OLD indices),
+     then let rebuild re-index kept references. *)
+  let inlined = Array.make n Expr.fls in
+  for r = 0 to n - 1 do
+    if not keep.(r) then inlined.(r) <- removed_ref r
+  done;
+  (* rebuild with a removed_ref that maps old kept indices. *)
+  let new_index = Array.make n (-1) in
+  let count = ref 0 in
+  for r = 0 to n - 1 do
+    if keep.(r) then begin
+      new_index.(r) <- !count;
+      incr count
+    end
+  done;
+  rebuild c ~keep
+    ~removed_ref:(fun r ->
+      Expr.map_leaves ~input:Expr.input
+        ~reg:(fun r' ->
+          assert keep.(r');
+          Expr.reg new_index.(r'))
+        inlined.(r))
+    ~extra_inputs:[]
+    ~extra_regs:(fun _ -> [])
+
+let onehot_to_binary (c : Circuit.t) ~group =
+  let members = Circuit.regs_in_group c group in
+  let m = List.length members in
+  if m < 2 then invalid_arg "Netabs.onehot_to_binary: group too small";
+  let width =
+    let rec bits k acc = if k <= 1 then acc else bits ((k + 1) / 2) (acc + 1) in
+    bits m 0
+  in
+  let pos_of = Hashtbl.create m in
+  List.iteri (fun k r -> Hashtbl.add pos_of r k) members;
+  let n = Circuit.n_regs c in
+  let keep = Array.make n true in
+  List.iter (fun r -> keep.(r) <- false) members;
+  let n_kept = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 keep in
+  (* binary registers appended after the kept ones *)
+  let bin_vec = Array.init width (fun j -> Expr.reg (n_kept + j)) in
+  let init_code =
+    let rec find k = function
+      | [] -> 0
+      | r :: rest -> if c.Circuit.regs.(r).Circuit.init then k else find (k + 1) rest
+    in
+    find 0 members
+  in
+  let extra_regs subst =
+    List.init width (fun j ->
+        (* bit j of the next one-hot position: OR of old next functions
+           of members whose position has bit j set, with leaves
+           substituted into the new index space *)
+        let next =
+          Expr.disj
+            (List.filteri (fun k _ -> (k lsr j) land 1 = 1) members
+            |> List.map (fun r -> subst c.Circuit.regs.(r).Circuit.next))
+        in
+        {
+          Circuit.name = Printf.sprintf "%s_bin[%d]" group j;
+          group;
+          init = (init_code lsr j) land 1 = 1;
+          next;
+        })
+  in
+  rebuild c ~keep
+    ~removed_ref:(fun r -> Expr.Vec.decode bin_vec (Hashtbl.find pos_of r))
+    ~extra_inputs:[] ~extra_regs
+
+let tie_inputs (c : Circuit.t) bindings =
+  let n = Circuit.n_inputs c in
+  let value = Array.make n None in
+  List.iter
+    (fun (name, b) ->
+      Array.iteri
+        (fun i iname -> if iname = name then value.(i) <- Some b)
+        c.Circuit.input_names)
+    bindings;
+  let new_index = Array.make n (-1) in
+  let kept = ref [] in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if value.(i) = None then begin
+      new_index.(i) <- !count;
+      kept := c.Circuit.input_names.(i) :: !kept;
+      incr count
+    end
+  done;
+  let subst e =
+    Expr.map_leaves
+      ~input:(fun i ->
+        match value.(i) with Some b -> Expr.const b | None -> Expr.input new_index.(i))
+      ~reg:Expr.reg e
+  in
+  {
+    c with
+    Circuit.input_names = Array.of_list (List.rev !kept);
+    regs =
+      Array.map (fun (r : Circuit.reg) -> { r with Circuit.next = subst r.Circuit.next }) c.Circuit.regs;
+    outputs =
+      Array.map (fun (o : Circuit.port) -> { o with Circuit.expr = subst o.Circuit.expr }) c.Circuit.outputs;
+    input_constraint = subst c.Circuit.input_constraint;
+  }
+
+let constant_reg_elim (c : Circuit.t) =
+  let n = Circuit.n_regs c in
+  (* known.(r) = Some b when register r provably always holds b *)
+  let known = Array.make n None in
+  let subst_known e =
+    Expr.map_leaves ~input:Expr.input
+      ~reg:(fun r -> match known.(r) with Some b -> Expr.const b | None -> Expr.reg r)
+      e
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for r = 0 to n - 1 do
+      if known.(r) = None then begin
+        let init = c.Circuit.regs.(r).Circuit.init in
+        (* substitute known constants and, inductively, r's own initial
+           value (catches hold-loops like [mux stall r const]) *)
+        let next =
+          Expr.map_leaves ~input:Expr.input
+            ~reg:(fun r' ->
+              if r' = r then Expr.const init
+              else
+                match known.(r') with
+                | Some b -> Expr.const b
+                | None -> Expr.reg r')
+            (subst_known c.Circuit.regs.(r).Circuit.next)
+        in
+        match next with
+        | Expr.Const b when b = init ->
+            known.(r) <- Some b;
+            changed := true
+        | _ -> ()
+      end
+    done
+  done;
+  let keep = Array.map (fun k -> k = None) known in
+  if Array.for_all Fun.id keep then c
+  else
+    rebuild c ~keep
+      ~removed_ref:(fun r -> Expr.const (Option.get known.(r)))
+      ~extra_inputs:[]
+      ~extra_regs:(fun _ -> [])
+
+type step = { label : string; pass : Circuit.t -> Circuit.t }
+
+type trace_entry = {
+  step_label : string;
+  regs_before : int;
+  regs_after : int;
+  inputs_after : int;
+  outputs_after : int;
+  gates_after : int;
+}
+
+let run_sequence c steps =
+  let trace = ref [] in
+  let final =
+    List.fold_left
+      (fun acc { label; pass } ->
+        let before = Circuit.n_regs acc in
+        let next = pass acc in
+        trace :=
+          {
+            step_label = label;
+            regs_before = before;
+            regs_after = Circuit.n_regs next;
+            inputs_after = Circuit.n_inputs next;
+            outputs_after = Circuit.n_outputs next;
+            gates_after = Circuit.gate_count next;
+          }
+          :: !trace;
+        next)
+      c steps
+  in
+  (final, List.rev !trace)

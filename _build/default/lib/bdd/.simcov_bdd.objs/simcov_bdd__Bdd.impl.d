@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Array Buffer Float Format Hashtbl Int List Printf

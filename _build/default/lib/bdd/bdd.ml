@@ -1,0 +1,355 @@
+type t = False | True | Node of { v : int; lo : t; hi : t; uid : int }
+
+type man = {
+  nvars : int;
+  unique : (int * int * int, t) Hashtbl.t;
+  mutable next_uid : int;
+  and_cache : (int * int, t) Hashtbl.t;
+  xor_cache : (int * int, t) Hashtbl.t;
+  not_cache : (int, t) Hashtbl.t;
+  ite_cache : (int * int * int, t) Hashtbl.t;
+}
+
+let man ?(cache_size = 1 lsl 14) nvars =
+  assert (nvars >= 0);
+  {
+    nvars;
+    unique = Hashtbl.create cache_size;
+    next_uid = 2;
+    and_cache = Hashtbl.create cache_size;
+    xor_cache = Hashtbl.create cache_size;
+    not_cache = Hashtbl.create cache_size;
+    ite_cache = Hashtbl.create cache_size;
+  }
+
+let num_vars m = m.nvars
+let node_count m = Hashtbl.length m.unique + 2
+
+let bfalse _ = False
+let btrue _ = True
+let of_bool _ b = if b then True else False
+
+let id = function False -> 0 | True -> 1 | Node n -> n.uid
+
+let mk m v lo hi =
+  if lo == hi then lo
+  else
+    let key = (v, id lo, id hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+        let n = Node { v; lo; hi; uid = m.next_uid } in
+        m.next_uid <- m.next_uid + 1;
+        Hashtbl.add m.unique key n;
+        n
+
+let var m v =
+  assert (v >= 0 && v < m.nvars);
+  mk m v False True
+
+let nvar m v =
+  assert (v >= 0 && v < m.nvars);
+  mk m v True False
+
+let is_true t = t == True
+let is_false t = t == False
+let equal a b = a == b
+
+let topvar = function
+  | Node n -> n.v
+  | False | True -> invalid_arg "Bdd.topvar: constant"
+
+let low = function
+  | Node n -> n.lo
+  | (False | True) as c -> c
+
+let high = function
+  | Node n -> n.hi
+  | (False | True) as c -> c
+
+let size t =
+  let seen = Hashtbl.create 64 in
+  let rec go t =
+    match t with
+    | False | True -> ()
+    | Node n ->
+        if not (Hashtbl.mem seen n.uid) then begin
+          Hashtbl.add seen n.uid ();
+          go n.lo;
+          go n.hi
+        end
+  in
+  go t;
+  Hashtbl.length seen + 2
+
+(* The variable of a node for cofactoring purposes: constants sort
+   below every real variable. *)
+let level = function False | True -> max_int | Node n -> n.v
+
+let cof t v =
+  match t with
+  | Node n when n.v = v -> (n.lo, n.hi)
+  | _ -> (t, t)
+
+let rec bnot m t =
+  match t with
+  | False -> True
+  | True -> False
+  | Node n -> (
+      match Hashtbl.find_opt m.not_cache n.uid with
+      | Some r -> r
+      | None ->
+          let r = mk m n.v (bnot m n.lo) (bnot m n.hi) in
+          Hashtbl.add m.not_cache n.uid r;
+          r)
+
+let rec band m a b =
+  match (a, b) with
+  | False, _ | _, False -> False
+  | True, x | x, True -> x
+  | Node na, Node nb ->
+      if a == b then a
+      else
+        let key = if na.uid <= nb.uid then (na.uid, nb.uid) else (nb.uid, na.uid) in
+        (match Hashtbl.find_opt m.and_cache key with
+        | Some r -> r
+        | None ->
+            let v = min na.v nb.v in
+            let alo, ahi = cof a v and blo, bhi = cof b v in
+            let r = mk m v (band m alo blo) (band m ahi bhi) in
+            Hashtbl.add m.and_cache key r;
+            r)
+
+let bor m a b = bnot m (band m (bnot m a) (bnot m b))
+
+let rec bxor m a b =
+  match (a, b) with
+  | False, x | x, False -> x
+  | True, x | x, True -> bnot m x
+  | Node na, Node nb ->
+      if a == b then False
+      else
+        let key = if na.uid <= nb.uid then (na.uid, nb.uid) else (nb.uid, na.uid) in
+        (match Hashtbl.find_opt m.xor_cache key with
+        | Some r -> r
+        | None ->
+            let v = min na.v nb.v in
+            let alo, ahi = cof a v and blo, bhi = cof b v in
+            let r = mk m v (bxor m alo blo) (bxor m ahi bhi) in
+            Hashtbl.add m.xor_cache key r;
+            r)
+
+let bimp m a b = bor m (bnot m a) b
+let biff m a b = bnot m (bxor m a b)
+
+let rec ite m c t e =
+  match c with
+  | True -> t
+  | False -> e
+  | Node _ ->
+      if t == e then t
+      else if is_true t && is_false e then c
+      else
+        let key = (id c, id t, id e) in
+        (match Hashtbl.find_opt m.ite_cache key with
+        | Some r -> r
+        | None ->
+            let v = min (level c) (min (level t) (level e)) in
+            let clo, chi = cof c v
+            and tlo, thi = cof t v
+            and elo, ehi = cof e v in
+            let r = mk m v (ite m clo tlo elo) (ite m chi thi ehi) in
+            Hashtbl.add m.ite_cache key r;
+            r)
+
+let conj m = List.fold_left (band m) True
+let disj m = List.fold_left (bor m) False
+
+let rec cofactor m t v b =
+  match t with
+  | False | True -> t
+  | Node n ->
+      if n.v > v then t
+      else if n.v = v then if b then n.hi else n.lo
+      else mk m n.v (cofactor m n.lo v b) (cofactor m n.hi v b)
+
+(* Quantification: [vars] sorted ascending; membership probed with a
+   per-call cache keyed by node uid (valid because the var set is fixed
+   for the call). *)
+let quantify m ~disjunctive vars t =
+  let vset = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace vset v ()) vars;
+  let cache = Hashtbl.create 256 in
+  let combine a b = if disjunctive then bor m a b else band m a b in
+  let rec go t =
+    match t with
+    | False | True -> t
+    | Node n -> (
+        match Hashtbl.find_opt cache n.uid with
+        | Some r -> r
+        | None ->
+            let r =
+              if Hashtbl.mem vset n.v then combine (go n.lo) (go n.hi)
+              else mk m n.v (go n.lo) (go n.hi)
+            in
+            Hashtbl.add cache n.uid r;
+            r)
+  in
+  go t
+
+let exists m vars t = quantify m ~disjunctive:true vars t
+let forall m vars t = quantify m ~disjunctive:false vars t
+
+(* Fused AND-EXISTS: quantifies while conjoining, pruning as soon as a
+   branch reaches True under the quantifier. *)
+let and_exists m vars f g =
+  let vset = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace vset v ()) vars;
+  let cache = Hashtbl.create 1024 in
+  let rec go f g =
+    match (f, g) with
+    | False, _ | _, False -> False
+    | True, True -> True
+    | _ ->
+        let fid = id f and gid = id g in
+        let key = if fid <= gid then (fid, gid) else (gid, fid) in
+        (match Hashtbl.find_opt cache key with
+        | Some r -> r
+        | None ->
+            let v = min (level f) (level g) in
+            let flo, fhi = cof f v and glo, ghi = cof g v in
+            let r =
+              if Hashtbl.mem vset v then
+                let lo = go flo glo in
+                if is_true lo then True else bor m lo (go fhi ghi)
+              else mk m v (go flo glo) (go fhi ghi)
+            in
+            Hashtbl.add cache key r;
+            r)
+  in
+  go f g
+
+let rename m subst t =
+  let cache = Hashtbl.create 256 in
+  let rec go t =
+    match t with
+    | False | True -> t
+    | Node n -> (
+        match Hashtbl.find_opt cache n.uid with
+        | Some r -> r
+        | None ->
+            let v' = subst n.v in
+            assert (v' >= 0 && v' < m.nvars);
+            let r = mk m v' (go n.lo) (go n.hi) in
+            Hashtbl.add cache n.uid r;
+            r)
+  in
+  go t
+
+let restrict_cube m assigns t =
+  List.fold_left (fun acc (v, b) -> cofactor m acc v b) t assigns
+
+let any_sat _m t =
+  let rec go t acc =
+    match t with
+    | True -> List.rev acc
+    | False -> raise Not_found
+    | Node n -> if is_false n.hi then go n.lo ((n.v, false) :: acc) else go n.hi ((n.v, true) :: acc)
+  in
+  go t []
+
+let sat_count _m ~nvars t =
+  let cache = Hashtbl.create 256 in
+  (* count over the subspace of variables >= from *)
+  let rec go t from =
+    match t with
+    | False -> 0.0
+    | True -> Float.of_int 1 *. Float.pow 2.0 (Float.of_int (nvars - from))
+    | Node n ->
+        let below =
+          match Hashtbl.find_opt cache n.uid with
+          | Some c -> c
+          | None ->
+              let c = go n.lo (n.v + 1) +. go n.hi (n.v + 1) in
+              Hashtbl.add cache n.uid c;
+              c
+        in
+        below *. Float.pow 2.0 (Float.of_int (n.v - from))
+  in
+  go t 0
+
+let support _m t =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go t =
+    match t with
+    | False | True -> ()
+    | Node n ->
+        if not (Hashtbl.mem seen n.uid) then begin
+          Hashtbl.add seen n.uid ();
+          Hashtbl.replace vars n.v ();
+          go n.lo;
+          go n.hi
+        end
+  in
+  go t;
+  Hashtbl.fold (fun v () acc -> v :: acc) vars [] |> List.sort Int.compare
+
+let eval _m t assign =
+  let rec go t =
+    match t with
+    | True -> true
+    | False -> false
+    | Node n -> if assign n.v then go n.hi else go n.lo
+  in
+  go t
+
+let iter_sat m ~vars f t =
+  let k = Array.length vars in
+  let buf = Array.make k false in
+  let rec go i t =
+    if i = k then begin
+      match t with
+      | True -> f buf
+      | False -> ()
+      | Node _ -> invalid_arg "Bdd.iter_sat: support escapes vars"
+    end
+    else if not (is_false t) then begin
+      let v = vars.(i) in
+      buf.(i) <- false;
+      go (i + 1) (cofactor m t v false);
+      buf.(i) <- true;
+      go (i + 1) (cofactor m t v true)
+    end
+  in
+  if not (is_false t) then go 0 t
+
+let pp ppf t = Format.fprintf ppf "<bdd #%d, %d nodes>" (id t) (size t)
+
+let to_dot ?(var_name = fun v -> "x" ^ string_of_int v) t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph bdd {\n";
+  Buffer.add_string buf "  node [shape=circle];\n";
+  Buffer.add_string buf "  F [shape=box, label=\"0\"];\n";
+  Buffer.add_string buf "  T [shape=box, label=\"1\"];\n";
+  let seen = Hashtbl.create 64 in
+  let node_ref = function False -> "F" | True -> "T" | Node n -> "n" ^ string_of_int n.uid in
+  let rec go t =
+    match t with
+    | False | True -> ()
+    | Node n ->
+        if not (Hashtbl.mem seen n.uid) then begin
+          Hashtbl.add seen n.uid ();
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d [label=\"%s\"];\n" n.uid (var_name n.v));
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> %s [style=dashed];\n" n.uid (node_ref n.lo));
+          Buffer.add_string buf (Printf.sprintf "  n%d -> %s;\n" n.uid (node_ref n.hi));
+          go n.lo;
+          go n.hi
+        end
+  in
+  go t;
+  Buffer.add_string buf (Printf.sprintf "  root [shape=none, label=\"\"];\n  root -> %s;\n" (node_ref t));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/core/completeness.ml: Array Fsm List Simcov_coverage Simcov_fsm Simcov_testgen

@@ -1,0 +1,1 @@
+lib/core/completeness.mli: Fsm Simcov_coverage Simcov_fsm Simcov_util

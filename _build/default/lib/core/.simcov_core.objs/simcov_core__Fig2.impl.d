@@ -1,0 +1,1 @@
+lib/core/fig2.ml: Array Fsm Hashtbl List Simcov_coverage Simcov_fsm Simcov_testgen Simcov_util

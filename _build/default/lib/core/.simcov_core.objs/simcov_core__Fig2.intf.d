@@ -1,0 +1,1 @@
+lib/core/fig2.mli: Fsm Simcov_coverage Simcov_fsm Simcov_util

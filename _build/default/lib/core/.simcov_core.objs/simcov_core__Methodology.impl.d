@@ -1,0 +1,1 @@
+lib/core/methodology.ml: Array Completeness Format Fsm List Pipeline Requirements Result Simcov_abstraction Simcov_coverage Simcov_dlx Simcov_fsm Simcov_testgen Simcov_util Testmodel Validate

@@ -1,0 +1,1 @@
+lib/core/methodology.mli: Completeness Format Requirements Simcov_coverage Simcov_dlx

@@ -1,0 +1,1 @@
+lib/core/requirements.ml: Array Format Fsm List Printf Simcov_coverage Simcov_fsm Simcov_testgen

@@ -1,0 +1,1 @@
+lib/core/requirements.mli: Format Fsm Simcov_abstraction Simcov_fsm Simcov_util

@@ -1,0 +1,155 @@
+open Simcov_dlx
+
+type run_report = {
+  config : Testmodel.config;
+  model_states : int;
+  model_transitions : int;
+  requirements : Requirements.report;
+  certificate : (Completeness.certificate, Completeness.failure) result;
+  tour_length : int;
+  program_length : int;
+  issued : int;
+  bug_results : (string * bool) list;
+  n_bugs_detected : int;
+  fsm_fault_coverage : Simcov_coverage.Detect.report;
+}
+
+let validate_dlx ?(config = Testmodel.default) ?(seed = 2026) () =
+  let open Simcov_fsm in
+  let rng = Simcov_util.Rng.create seed in
+  let model = Fsm.tabulate (Testmodel.build config) in
+  let requirements = Requirements.check ~rng:(Simcov_util.Rng.split rng) model in
+  let certificate = Completeness.certify model in
+  (* the tour itself: fall back to the greedy cover if the optimal
+     solver is unavailable (cannot happen for these models, which are
+     strongly connected) *)
+  let word =
+    match certificate with
+    | Ok cert -> Completeness.padded_tour model cert
+    | Error _ -> (
+        match Simcov_testgen.Tour.greedy_transition_tour model with
+        | Some t -> t.Simcov_testgen.Tour.word
+        | None -> (Simcov_testgen.Tour.transition_cover model).Simcov_testgen.Tour.word)
+  in
+  let conc = Testmodel.concretize config word in
+  let bug_results =
+    List.map
+      (fun (name, bugs) ->
+        let outcome =
+          Validate.run_program ~bugs ~preload_regs:conc.Testmodel.preload_regs
+            ~preload_mem:conc.Testmodel.preload_mem conc.Testmodel.program
+        in
+        (name, match outcome with Validate.Fail _ -> true | Validate.Pass _ -> false))
+      Pipeline.bug_catalog
+  in
+  let fsm_fault_coverage =
+    let n_outputs =
+      List.fold_left (fun acc (_, _, _, o) -> max acc (o + 1)) 1 (Fsm.transitions model)
+    in
+    let faults =
+      Simcov_coverage.Fault.sample_transfer_faults rng model ~count:150
+      @ Simcov_coverage.Fault.sample_output_faults rng model ~n_outputs ~count:150
+    in
+    Simcov_coverage.Detect.campaign model faults word
+  in
+  {
+    config;
+    model_states = Fsm.n_reachable model;
+    model_transitions = Fsm.n_transitions model;
+    requirements;
+    certificate;
+    tour_length = List.length word;
+    program_length = Array.length conc.Testmodel.program;
+    issued = Array.length conc.Testmodel.issue_map;
+    bug_results;
+    n_bugs_detected = List.length (List.filter snd bug_results);
+    fsm_fault_coverage;
+  }
+
+type ablation_report = {
+  refined_transitions : int;
+  abstract_transitions : int;
+  refined_covered_by_abstract_tour : int;
+  refined_tour_length : int;
+  abstract_tour_length : int;
+  quotient_conflict : bool;
+  fault_coverage_abstract_tour : Simcov_coverage.Detect.report;
+  fault_coverage_refined_tour : Simcov_coverage.Detect.report;
+}
+
+let ablation_dest_tracking ?(config = Testmodel.default) ?(seed = 2026) () =
+  let open Simcov_fsm in
+  let rng = Simcov_util.Rng.create seed in
+  let refined = Fsm.tabulate (Testmodel.build config) in
+  let abstract =
+    Fsm.tabulate (Testmodel.build { config with Testmodel.track_dest = false })
+  in
+  let tour_of m =
+    match Simcov_testgen.Tour.transition_tour m with
+    | Some t -> t.Simcov_testgen.Tour.word
+    | None -> invalid_arg "ablation: model not strongly connected"
+  in
+  let abstract_word = tour_of abstract in
+  let refined_word = tour_of refined in
+  (* both models share the same input alphabet, so the abstract tour
+     replays directly on the refined model *)
+  let covered = Simcov_coverage.Detect.transition_coverage refined abstract_word in
+  let quotient_conflict =
+    Result.is_error
+      (Simcov_abstraction.Homomorphism.quotient refined (Testmodel.dest_merge_mapping config))
+  in
+  let n_outputs =
+    List.fold_left (fun acc (_, _, _, o) -> max acc (o + 1)) 1 (Fsm.transitions refined)
+  in
+  let faults =
+    Simcov_coverage.Fault.sample_transfer_faults rng refined ~count:150
+    @ Simcov_coverage.Fault.sample_output_faults rng refined ~n_outputs ~count:150
+  in
+  {
+    refined_transitions = Fsm.n_transitions refined;
+    abstract_transitions = Fsm.n_transitions abstract;
+    refined_covered_by_abstract_tour = covered;
+    refined_tour_length = List.length refined_word;
+    abstract_tour_length = List.length abstract_word;
+    quotient_conflict;
+    fault_coverage_abstract_tour = Simcov_coverage.Detect.campaign refined faults abstract_word;
+    fault_coverage_refined_tour = Simcov_coverage.Detect.campaign refined faults refined_word;
+  }
+
+let pp_ablation_report ppf r =
+  Format.fprintf ppf
+    "@[<v>refined model: %d transitions (tour %d); dest-less model: %d transitions (tour %d)@,\
+     abstract tour covers %d/%d refined transitions (%.1f%%)@,\
+     quotient conflict: %b@,\
+     fault coverage, abstract tour: %a@,\
+     fault coverage, refined tour:  %a@]"
+    r.refined_transitions r.refined_tour_length r.abstract_transitions
+    r.abstract_tour_length r.refined_covered_by_abstract_tour r.refined_transitions
+    (100.0 *. float_of_int r.refined_covered_by_abstract_tour
+    /. float_of_int r.refined_transitions)
+    r.quotient_conflict Simcov_coverage.Detect.pp_report r.fault_coverage_abstract_tour
+    Simcov_coverage.Detect.pp_report r.fault_coverage_refined_tour
+
+let pp_run_report ppf r =
+  Format.fprintf ppf "@[<v>test model: %d states, %d transitions@," r.model_states
+    r.model_transitions;
+  Format.fprintf ppf "%a@," Requirements.pp_report r.requirements;
+  (match r.certificate with
+  | Ok c ->
+      Format.fprintf ppf "certificate: forall-%d-distinguishable, tour length %d@," c.Completeness.k
+        c.Completeness.tour_length
+  | Error Completeness.Not_strongly_connected ->
+      Format.fprintf ppf "certificate: FAILED (not strongly connected)@,"
+  | Error (Completeness.Indistinguishable_pair (p, q)) ->
+      Format.fprintf ppf "certificate: FAILED (states %d and %d not distinguishable)@," p q);
+  Format.fprintf ppf "tour: %d inputs -> program of %d instructions (%d issued)@,"
+    r.tour_length r.program_length r.issued;
+  Format.fprintf ppf "FSM fault coverage: %a@," Simcov_coverage.Detect.pp_report
+    r.fsm_fault_coverage;
+  Format.fprintf ppf "pipeline bugs detected: %d/%d@," r.n_bugs_detected
+    (List.length r.bug_results);
+  List.iter
+    (fun (name, det) ->
+      Format.fprintf ppf "  %-24s %s@," name (if det then "DETECTED" else "missed"))
+    r.bug_results;
+  Format.fprintf ppf "@]"

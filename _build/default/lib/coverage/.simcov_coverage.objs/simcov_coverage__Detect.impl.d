@@ -1,0 +1,1 @@
+lib/coverage/detect.ml: Fault Format Fsm Hashtbl List Option Simcov_fsm

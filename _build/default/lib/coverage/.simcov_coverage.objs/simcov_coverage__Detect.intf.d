@@ -1,0 +1,1 @@
+lib/coverage/detect.mli: Fault Format Fsm Simcov_fsm

@@ -1,0 +1,1 @@
+lib/coverage/fault.ml: Array Format Fsm Hashtbl List Simcov_fsm Simcov_util

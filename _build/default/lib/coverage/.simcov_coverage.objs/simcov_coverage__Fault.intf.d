@@ -1,0 +1,1 @@
+lib/coverage/fault.mli: Format Fsm Simcov_fsm Simcov_util

@@ -1,0 +1,1 @@
+lib/coverage/observability.ml: Array Circuit Format List Simcov_netlist

@@ -1,0 +1,1 @@
+lib/coverage/observability.mli: Circuit Format Simcov_netlist

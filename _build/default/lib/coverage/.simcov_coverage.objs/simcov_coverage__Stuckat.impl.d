@@ -1,0 +1,1 @@
+lib/coverage/stuckat.ml: Array Circuit Expr Format List Printf Simcov_netlist

@@ -1,0 +1,1 @@
+lib/coverage/stuckat.mli: Circuit Format Simcov_netlist

@@ -1,0 +1,1 @@
+lib/coverage/uniformity.ml: Fsm Hashtbl Homomorphism List Option Simcov_abstraction Simcov_fsm

@@ -1,0 +1,1 @@
+lib/coverage/uniformity.mli: Fsm Homomorphism Simcov_abstraction Simcov_fsm

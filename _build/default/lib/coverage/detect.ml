@@ -1,0 +1,140 @@
+open Simcov_fsm
+
+type verdict = {
+  detected : bool;
+  excited : bool;
+  detect_step : int option;
+  excite_step : int option;
+}
+
+let run_verdict (golden : Fsm.t) fault word =
+  let mutant = Fault.apply golden fault in
+  let fsite = Fault.site fault in
+  let rec go step sg sm excite detect word =
+    match word with
+    | [] -> (excite, detect)
+    | i :: rest -> (
+        let vg = golden.Fsm.valid sg i and vm = mutant.Fsm.valid sm i in
+        if vg <> vm then (excite, Some (Option.value detect ~default:step))
+        else if not vg then (excite, detect) (* word invalid from here; stop *)
+        else
+          let excite = if (sg, i) = fsite && excite = None then Some step else excite in
+          let og = golden.Fsm.output sg i and om = mutant.Fsm.output sm i in
+          if og <> om then (excite, Some step)
+          else
+            match detect with
+            | Some _ -> (excite, detect)
+            | None ->
+                go (step + 1) (golden.Fsm.next sg i) (mutant.Fsm.next sm i) excite detect
+                  rest)
+  in
+  let excite_step, detect_step =
+    go 0 golden.Fsm.reset mutant.Fsm.reset None None word
+  in
+  {
+    detected = detect_step <> None;
+    excited = excite_step <> None;
+    detect_step;
+    excite_step;
+  }
+
+let detects golden fault word = (run_verdict golden fault word).detected
+
+type report = {
+  total : int;
+  effective : int;
+  excited : int;
+  detected : int;
+  missed : Fault.t list;
+}
+
+let campaign golden faults word =
+  let total = List.length faults in
+  let effective = ref 0 and excited = ref 0 and detected = ref 0 in
+  let missed = ref [] in
+  List.iter
+    (fun f ->
+      if Fault.is_effective golden f then begin
+        incr effective;
+        let v = run_verdict golden f word in
+        if v.excited then incr excited;
+        if v.detected then incr detected
+        else if v.excited then missed := f :: !missed
+      end)
+    faults;
+  {
+    total;
+    effective = !effective;
+    excited = !excited;
+    detected = !detected;
+    missed = List.rev !missed;
+  }
+
+let coverage_pct r =
+  if r.effective = 0 then 100.0 else 100.0 *. float_of_int r.detected /. float_of_int r.effective
+
+let pp_report ppf r =
+  Format.fprintf ppf "faults: %d total, %d effective, %d excited, %d detected (%.1f%%), %d missed"
+    r.total r.effective r.excited r.detected (coverage_pct r) (List.length r.missed)
+
+(* Definition 4, operationally: windows where the two state
+   trajectories diverge and silently re-converge. *)
+let masked_windows (golden : Fsm.t) (mutant : Fsm.t) word =
+  let rec go step sg sm window acc word =
+    match word with
+    | [] -> List.rev acc (* open window never closed: not masked *)
+    | i :: rest -> (
+        let vg = golden.Fsm.valid sg i and vm = mutant.Fsm.valid sm i in
+        if vg <> vm then List.rev acc (* exposed; stop *)
+        else if not vg then List.rev acc
+        else
+          let og = golden.Fsm.output sg i and om = mutant.Fsm.output sm i in
+          if og <> om then List.rev acc (* exposed inside the window *)
+          else
+            let sg' = golden.Fsm.next sg i and sm' = mutant.Fsm.next sm i in
+            match window with
+            | None ->
+                let window = if sg' <> sm' then Some step else None in
+                go (step + 1) sg' sm' window acc rest
+            | Some j ->
+                if sg' = sm' then go (step + 1) sg' sm' None ((j, step) :: acc) rest
+                else go (step + 1) sg' sm' window acc rest)
+  in
+  go 0 golden.Fsm.reset mutant.Fsm.reset None [] word
+
+let has_masked_transfer golden faults word =
+  let mutant = Fault.apply_all golden faults in
+  masked_windows golden mutant word <> []
+
+let transitions_covered (m : Fsm.t) word =
+  let seen = Hashtbl.create 256 in
+  let rec go s = function
+    | [] -> ()
+    | i :: rest ->
+        if m.Fsm.valid s i then begin
+          Hashtbl.replace seen (s, i) ();
+          go (m.Fsm.next s i) rest
+        end
+  in
+  go m.Fsm.reset word;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare
+
+let is_transition_tour m word =
+  List.length (transitions_covered m word) = Fsm.n_transitions m
+
+let state_coverage (m : Fsm.t) word =
+  let seen = Hashtbl.create 64 in
+  let rec go s = function
+    | [] -> ()
+    | i :: rest ->
+        if m.Fsm.valid s i then begin
+          let s' = m.Fsm.next s i in
+          Hashtbl.replace seen s' ();
+          go s' rest
+        end
+  in
+  Hashtbl.replace seen m.Fsm.reset ();
+  go m.Fsm.reset word;
+  Hashtbl.length seen
+
+let transition_coverage m word = List.length (transitions_covered m word)

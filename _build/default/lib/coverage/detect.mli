@@ -1,0 +1,66 @@
+(** Error detection by simulation, masking, and coverage campaigns.
+
+    A fault is {e excited} when the faulted transition is traversed and
+    {e exposed} (detected) when the observed outputs of the mutant
+    differ from the golden machine's — possibly several steps later,
+    which is exactly the gap between excitation and exposure that
+    Section 4.2 illustrates with Figure 2. *)
+
+open Simcov_fsm
+
+type verdict = {
+  detected : bool;
+  excited : bool;
+  detect_step : int option;  (** first step (0-based) with an observable difference *)
+  excite_step : int option;  (** first traversal of the faulted transition (golden path) *)
+}
+
+val run_verdict : Fsm.t -> Fault.t -> int list -> verdict
+(** Simulate golden and mutant in lockstep on the input word. An
+    observable difference is a differing output or an input that is
+    valid in one machine's current state and not the other's. The word
+    is truncated at the first input invalid in {e both} runs. *)
+
+val detects : Fsm.t -> Fault.t -> int list -> bool
+
+(** {1 Campaigns} *)
+
+type report = {
+  total : int;
+  effective : int;  (** faults that actually change behavior locally *)
+  excited : int;
+  detected : int;
+  missed : Fault.t list;  (** effective, excited, yet undetected *)
+}
+
+val campaign : Fsm.t -> Fault.t list -> int list -> report
+val coverage_pct : report -> float
+(** [100 * detected / effective] (100.0 when there are no effective
+    faults). *)
+
+val pp_report : Format.formatter -> report -> unit
+
+(** {1 Masking (Definition 4)} *)
+
+val masked_windows : Fsm.t -> Fsm.t -> int list -> (int * int) list
+(** Run golden and mutant on the word; return the maximal index windows
+    [(j, l)] in which the state trajectories diverge at [j] and
+    re-converge at [l] with no observable output difference inside —
+    the operational form of a masked transfer error. An empty list
+    means the trajectories never diverged or every divergence was
+    exposed or never closed. *)
+
+val has_masked_transfer : Fsm.t -> Fault.t list -> int list -> bool
+(** Whether applying the faults produces at least one masked window on
+    the word — used to check Requirement 4 experimentally. *)
+
+(** {1 Transition coverage of a word} *)
+
+val transitions_covered : Fsm.t -> int list -> (int * int) list
+(** Distinct (state, input) pairs traversed by the word from reset. *)
+
+val is_transition_tour : Fsm.t -> int list -> bool
+(** Does the word traverse every reachable valid transition? *)
+
+val state_coverage : Fsm.t -> int list -> int
+val transition_coverage : Fsm.t -> int list -> int

@@ -1,0 +1,74 @@
+open Simcov_netlist
+
+type site = Reg_output of int | Primary_input of int
+type fault = { site : site; stuck : bool }
+
+let all_faults (c : Circuit.t) =
+  let regs =
+    List.init (Circuit.n_regs c) (fun r ->
+        [ { site = Reg_output r; stuck = false }; { site = Reg_output r; stuck = true } ])
+  in
+  let inputs =
+    List.init (Circuit.n_inputs c) (fun i ->
+        [
+          { site = Primary_input i; stuck = false };
+          { site = Primary_input i; stuck = true };
+        ])
+  in
+  List.concat (regs @ inputs)
+
+(* evaluate the faulty circuit one step: reads of the faulted signal
+   see the pinned value; the register itself still updates (a stuck
+   OUTPUT, not a stuck latch) which is the standard single-stuck-at
+   model on the net *)
+let faulty_step (c : Circuit.t) fault state inputs =
+  let read_input i =
+    match fault.site with Primary_input j when j = i -> fault.stuck | _ -> inputs.(i)
+  in
+  let read_reg r =
+    match fault.site with Reg_output j when j = r -> fault.stuck | _ -> state.(r)
+  in
+  if not (Expr.eval ~inputs:read_input ~regs:read_reg c.Circuit.input_constraint) then None
+  else begin
+    let next =
+      Array.map (fun (r : Circuit.reg) -> Expr.eval ~inputs:read_input ~regs:read_reg r.Circuit.next) c.Circuit.regs
+    in
+    let outs =
+      Array.map
+        (fun (o : Circuit.port) -> Expr.eval ~inputs:read_input ~regs:read_reg o.Circuit.expr)
+        c.Circuit.outputs
+    in
+    Some (next, outs)
+  end
+
+let detects (c : Circuit.t) fault word =
+  let rec go good bad = function
+    | [] -> false
+    | iv :: rest -> (
+        let good', gout = Circuit.step c good iv in
+        match faulty_step c fault bad iv with
+        | None -> true (* constraint violated only in the faulty machine *)
+        | Some (bad', bout) -> if gout <> bout then true else go good' bad' rest)
+  in
+  go (Circuit.initial_state c) (Circuit.initial_state c) word
+
+type report = { total : int; detected : int; missed : fault list }
+
+let campaign c faults word =
+  let detected = ref 0 in
+  let missed = ref [] in
+  List.iter
+    (fun f -> if detects c f word then incr detected else missed := f :: !missed)
+    faults;
+  { total = List.length faults; detected = !detected; missed = List.rev !missed }
+
+let coverage_pct r =
+  if r.total = 0 then 100.0 else 100.0 *. float_of_int r.detected /. float_of_int r.total
+
+let pp_fault ppf f =
+  let where =
+    match f.site with
+    | Reg_output r -> Printf.sprintf "reg %d" r
+    | Primary_input i -> Printf.sprintf "input %d" i
+  in
+  Format.fprintf ppf "%s stuck-at-%d" where (if f.stuck then 1 else 0)

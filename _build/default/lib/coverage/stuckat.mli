@@ -1,0 +1,38 @@
+(** Stuck-at fault simulation on netlists.
+
+    The classical gate-level test-quality metric, provided as a third
+    reference point next to design-error (FSM fault) coverage and the
+    observability metric: a {e stuck-at} fault pins a register output
+    or a primary input to a constant. A test word detects the fault
+    when the faulty circuit's outputs diverge from the good circuit's
+    at some step.
+
+    The paper's methodology targets {e design} errors, not fabrication
+    faults; running both metrics on the same stimuli shows how
+    different the populations are (a tour tuned for transition
+    coverage is decent but not complete for stuck-ats, and vice
+    versa). *)
+
+open Simcov_netlist
+
+type site = Reg_output of int | Primary_input of int
+
+type fault = { site : site; stuck : bool }
+
+val all_faults : Circuit.t -> fault list
+(** Both polarities at every register output and primary input. *)
+
+val detects : Circuit.t -> fault -> bool array list -> bool
+(** Lockstep simulation of good vs faulty circuit on the word; the
+    faulty circuit sees the pinned value everywhere the signal is
+    read. Inputs are applied as given (an input stuck the other way
+    simply overrides the stimulus). The word must be valid for the
+    good circuit; constraint evaluation in the faulty circuit uses the
+    pinned values (a combination turning invalid counts as detection,
+    mirroring {!Detect}). *)
+
+type report = { total : int; detected : int; missed : fault list }
+
+val campaign : Circuit.t -> fault list -> bool array list -> report
+val coverage_pct : report -> float
+val pp_fault : Format.formatter -> fault -> unit

@@ -1,0 +1,1 @@
+lib/dlx/control.ml: Array Circuit Expr List Netabs Printf Simcov_abstraction Simcov_netlist String

@@ -1,0 +1,1 @@
+lib/dlx/control.mli: Circuit Simcov_abstraction Simcov_netlist

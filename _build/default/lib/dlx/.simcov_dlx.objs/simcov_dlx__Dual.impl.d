@@ -1,0 +1,1 @@
+lib/dlx/dual.ml: Array Int32 Isa List Spec Validate

@@ -1,0 +1,1 @@
+lib/dlx/dual.mli: Isa Spec Validate

@@ -1,0 +1,1 @@
+lib/dlx/hazardgen.ml: Array Isa List Printf Validate

@@ -1,0 +1,1 @@
+lib/dlx/hazardgen.mli: Isa Validate

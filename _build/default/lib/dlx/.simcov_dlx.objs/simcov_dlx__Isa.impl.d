@@ -1,0 +1,1 @@
+lib/dlx/isa.ml: Array Format Int32 List Printf Result String

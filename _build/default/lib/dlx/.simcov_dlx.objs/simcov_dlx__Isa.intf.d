@@ -1,0 +1,1 @@
+lib/dlx/isa.mli: Format

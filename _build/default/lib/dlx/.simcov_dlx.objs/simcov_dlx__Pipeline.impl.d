@@ -1,0 +1,1 @@
+lib/dlx/pipeline.ml: Array Buffer Int32 Isa List Option Printf Spec

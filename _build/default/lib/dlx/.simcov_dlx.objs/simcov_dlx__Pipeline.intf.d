@@ -1,0 +1,1 @@
+lib/dlx/pipeline.mli: Isa Spec

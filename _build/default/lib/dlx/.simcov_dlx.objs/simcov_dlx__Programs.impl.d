@@ -1,0 +1,1 @@
+lib/dlx/programs.ml: Dual Isa List Printf Spec Validate

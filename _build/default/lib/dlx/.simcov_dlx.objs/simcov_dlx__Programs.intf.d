@@ -1,0 +1,1 @@
+lib/dlx/programs.mli: Isa Spec Validate

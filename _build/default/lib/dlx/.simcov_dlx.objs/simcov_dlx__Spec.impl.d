@@ -1,0 +1,1 @@
+lib/dlx/spec.ml: Array Format Int32 Isa List

@@ -1,0 +1,1 @@
+lib/dlx/spec.mli: Format Isa

@@ -1,0 +1,1 @@
+lib/dlx/testmodel.ml: Array Format Fsm Fun Int32 Isa List Printf Simcov_abstraction Simcov_fsm Spec

@@ -1,0 +1,1 @@
+lib/dlx/testmodel.mli: Format Fsm Isa Simcov_abstraction Simcov_fsm

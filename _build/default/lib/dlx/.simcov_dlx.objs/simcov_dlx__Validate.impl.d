@@ -1,0 +1,1 @@
+lib/dlx/validate.ml: Format List Pipeline Spec

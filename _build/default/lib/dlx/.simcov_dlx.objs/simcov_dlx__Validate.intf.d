@@ -1,0 +1,1 @@
+lib/dlx/validate.mli: Format Isa Pipeline Spec

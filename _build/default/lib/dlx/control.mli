@@ -1,0 +1,38 @@
+(** The pipelined DLX control netlist — the paper's "initial abstract
+    test model" (Figure 3a) — and its abstraction sequence (Figure 3b).
+
+    The circuit contains only the control portion of the pipelined
+    implementation: per-stage instruction-class registers (one-hot in
+    the initial model), destination/source register-address fields,
+    valid bits, a small fetch controller, registered interlock
+    decisions and synchronizing latches on the outputs to the
+    datapath. Signals that would come from the datapath (the branch
+    test result — the Processor Status Word in the paper's account)
+    are primary inputs, constrained to be consistent with the state
+    ("relationships between datapath outputs modeled as primary
+    inputs", Section 7.2).
+
+    Instruction-word inputs use the full 5-bit register addresses; the
+    "4 registers instead of 32" abstraction step ties the upper address
+    bits to zero and sweeps the constant state away, reproducing the
+    paper's 18-bit reduced instruction format. *)
+
+open Simcov_netlist
+
+val build : unit -> Circuit.t
+(** The initial control model (5-bit register addresses, one-hot class
+    encodings, output-sync latches, fetch controller, interlock
+    registers). *)
+
+val abstraction_sequence : Simcov_abstraction.Netabs.step list
+(** The Figure 3(b) sequence, in the paper's order:
+    + no synchronizing latches for outputs,
+    + 4 registers instead of 32,
+    + fetch controller removed,
+    + remove outputs not affecting control logic,
+    + one-hot to binary encoding,
+    + remove interlock registers. *)
+
+val derive_test_model : unit -> Circuit.t * Simcov_abstraction.Netabs.trace_entry list
+(** [build] followed by the full sequence, with the per-step
+    state-element counts Figure 3(b) reports. *)

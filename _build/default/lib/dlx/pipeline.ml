@@ -1,0 +1,362 @@
+type bugs = {
+  no_exmem_forward : bool;
+  no_memwb_forward : bool;
+  no_load_interlock : bool;
+  no_branch_squash : bool;
+  forward_rs2_as_rs1 : bool;
+  interlock_ignores_rs2 : bool;
+  branch_polarity : bool;
+  lost_store_forward : bool;
+  jal_no_link : bool;
+  bypass_fails_rd3 : bool;
+  interlock_fails_rd2 : bool;
+  storedata_exmem_fails : bool;
+}
+
+let no_bugs =
+  {
+    no_exmem_forward = false;
+    no_memwb_forward = false;
+    no_load_interlock = false;
+    no_branch_squash = false;
+    forward_rs2_as_rs1 = false;
+    interlock_ignores_rs2 = false;
+    branch_polarity = false;
+    lost_store_forward = false;
+    jal_no_link = false;
+    bypass_fails_rd3 = false;
+    interlock_fails_rd2 = false;
+    storedata_exmem_fails = false;
+  }
+
+let bug_catalog =
+  [
+    ("no_exmem_forward", { no_bugs with no_exmem_forward = true });
+    ("no_memwb_forward", { no_bugs with no_memwb_forward = true });
+    ("no_load_interlock", { no_bugs with no_load_interlock = true });
+    ("no_branch_squash", { no_bugs with no_branch_squash = true });
+    ("forward_rs2_as_rs1", { no_bugs with forward_rs2_as_rs1 = true });
+    ("interlock_ignores_rs2", { no_bugs with interlock_ignores_rs2 = true });
+    ("branch_polarity", { no_bugs with branch_polarity = true });
+    ("lost_store_forward", { no_bugs with lost_store_forward = true });
+    ("jal_no_link", { no_bugs with jal_no_link = true });
+    ("bypass_fails_rd3", { no_bugs with bypass_fails_rd3 = true });
+    ("interlock_fails_rd2", { no_bugs with interlock_fails_rd2 = true });
+    ("storedata_exmem_fails", { no_bugs with storedata_exmem_fails = true });
+  ]
+
+(* Pipeline registers. Payloads carry everything the younger stages
+   need, including the commit-record fields assembled so far. *)
+type slot_ifid = { fpc : int; finstr : Isa.t }
+type slot_idex = { dpc : int; dinstr : Isa.t; a : int32; b : int32 }
+
+type slot_exmem = {
+  xpc : int;
+  xinstr : Isa.t;
+  alu : int32;
+  store_data : int32;
+  xnext_pc : int;
+}
+
+type slot_memwb = {
+  mpc : int;
+  minstr : Isa.t;
+  value : int32;
+  mem_write : (int * int32) option;
+  mnext_pc : int;
+}
+
+type t = {
+  program : Isa.t array;
+  regs : int32 array;
+  memory : int32 array;
+  bugs : bugs;
+  mutable pc : int;
+  mutable s_ifid : slot_ifid option;
+  mutable s_idex : slot_idex option;
+  mutable s_exmem : slot_exmem option;
+  mutable s_memwb : slot_memwb option;
+  mutable cycles : int;
+  mutable stalls : int;
+  mutable squashes : int;
+}
+
+let create ?(mem_words = 256) ?(bugs = no_bugs) program =
+  {
+    program;
+    regs = Array.make 32 0l;
+    memory = Array.make mem_words 0l;
+    bugs;
+    pc = 0;
+    s_ifid = None;
+    s_idex = None;
+    s_exmem = None;
+    s_memwb = None;
+    cycles = 0;
+    stalls = 0;
+    squashes = 0;
+  }
+
+let set_reg t r v = if r <> 0 then t.regs.(r) <- v
+let mem_index t a = ((a mod Array.length t.memory) + Array.length t.memory) mod Array.length t.memory
+let set_mem t a v = t.memory.(mem_index t a) <- v
+
+let reg t r = if r = 0 then 0l else t.regs.(r)
+
+(* Does this instruction write a register visible to forwarding? *)
+let fwd_dest (i : Isa.t) = Isa.writes_reg i
+
+let cycle t =
+  t.cycles <- t.cycles + 1;
+  let old_ifid = t.s_ifid
+  and old_idex = t.s_idex
+  and old_exmem = t.s_exmem
+  and old_memwb = t.s_memwb in
+
+  (* ---- WB: write the register file (first half of the cycle) and
+     emit the commit record ---- *)
+  let commit =
+    match old_memwb with
+    | None -> None
+    | Some m ->
+        let reg_write =
+          match fwd_dest m.minstr with
+          | Some rd when not (t.bugs.jal_no_link && m.minstr.Isa.op = Isa.Jal) ->
+              set_reg t rd m.value;
+              Some (rd, m.value)
+          | _ -> None
+        in
+        Some
+          {
+            Spec.at_pc = m.mpc;
+            instr = m.minstr;
+            reg_write;
+            mem_write = m.mem_write;
+            next_pc = m.mnext_pc;
+          }
+  in
+
+  (* ---- MEM ---- *)
+  let new_memwb =
+    match old_exmem with
+    | None -> None
+    | Some x -> (
+        match x.xinstr.Isa.op with
+        | Isa.Lw ->
+            let v = t.memory.(mem_index t (Int32.to_int x.alu)) in
+            Some { mpc = x.xpc; minstr = x.xinstr; value = v; mem_write = None; mnext_pc = x.xnext_pc }
+        | Isa.Sw ->
+            let a = mem_index t (Int32.to_int x.alu) in
+            t.memory.(a) <- x.store_data;
+            Some
+              {
+                mpc = x.xpc;
+                minstr = x.xinstr;
+                value = 0l;
+                mem_write = Some (a, x.store_data);
+                mnext_pc = x.xnext_pc;
+              }
+        | _ ->
+            Some
+              { mpc = x.xpc; minstr = x.xinstr; value = x.alu; mem_write = None; mnext_pc = x.xnext_pc })
+  in
+
+  (* ---- EX: forwarding, ALU, branch resolution ---- *)
+  let redirect = ref None in
+  let new_exmem =
+    match old_idex with
+    | None -> None
+    | Some d ->
+        let i = d.dinstr in
+        (* operand forwarding: EX/MEM has priority over MEM/WB *)
+        let forward ~field_reg ~read_value ~is_store_data =
+          if field_reg = 0 then read_value
+          else begin
+            let from_exmem =
+              if t.bugs.no_exmem_forward then None
+              else if is_store_data && t.bugs.storedata_exmem_fails then None
+              else
+                match old_exmem with
+                | Some x -> (
+                    match fwd_dest x.xinstr with
+                    | Some rd
+                      when rd = field_reg
+                           && x.xinstr.Isa.op <> Isa.Sw
+                           && not (t.bugs.bypass_fails_rd3 && rd = 3) ->
+                        Some x.alu
+                    | _ -> None)
+                | None -> None
+            in
+            let from_memwb =
+              if t.bugs.no_memwb_forward then None
+              else if is_store_data && t.bugs.lost_store_forward then None
+              else
+                match old_memwb with
+                | Some m -> (
+                    match fwd_dest m.minstr with
+                    | Some rd when rd = field_reg -> Some m.value
+                    | _ -> None)
+                | None -> None
+            in
+            match (from_exmem, from_memwb) with
+            | Some v, _ -> v
+            | None, Some v -> v
+            | None, None -> read_value
+          end
+        in
+        let a = forward ~field_reg:i.Isa.rs1 ~read_value:d.a ~is_store_data:false in
+        let b_field = if t.bugs.forward_rs2_as_rs1 then i.Isa.rs1 else i.Isa.rs2 in
+        let b =
+          forward ~field_reg:b_field ~read_value:d.b
+            ~is_store_data:(i.Isa.op = Isa.Sw)
+        in
+        let immv = Int32.of_int i.Isa.imm in
+        let fallthrough = d.dpc + 1 in
+        let alu_result, next_pc =
+          match i.Isa.op with
+          | Isa.Add | Isa.Sub | Isa.And | Isa.Or | Isa.Xor | Isa.Slt | Isa.Seq | Isa.Sne
+          | Isa.Sge | Isa.Sgt | Isa.Sle | Isa.Sll | Isa.Srl | Isa.Sra ->
+              (Spec.alu i.Isa.op a b, fallthrough)
+          | Isa.Addi | Isa.Andi | Isa.Ori | Isa.Xori | Isa.Slti | Isa.Seqi | Isa.Snei
+          | Isa.Sgei | Isa.Slli | Isa.Srli | Isa.Srai ->
+              (Spec.alu i.Isa.op a immv, fallthrough)
+          | Isa.Lhi -> (Int32.shift_left immv 16, fallthrough)
+          | Isa.Lw | Isa.Sw -> (Int32.add a immv, fallthrough)
+          | Isa.Beqz ->
+              let cond = a = 0l in
+              let cond = if t.bugs.branch_polarity then not cond else cond in
+              if cond then (0l, d.dpc + 1 + i.Isa.imm) else (0l, fallthrough)
+          | Isa.Bnez ->
+              let cond = a <> 0l in
+              let cond = if t.bugs.branch_polarity then not cond else cond in
+              if cond then (0l, d.dpc + 1 + i.Isa.imm) else (0l, fallthrough)
+          | Isa.J -> (0l, i.Isa.imm)
+          | Isa.Jal -> (Int32.of_int (d.dpc + 1), i.Isa.imm)
+          | Isa.Jr -> (0l, Int32.to_int a)
+          | Isa.Jalr -> (Int32.of_int (d.dpc + 1), Int32.to_int a)
+          | Isa.Nop -> (0l, fallthrough)
+        in
+        if next_pc <> fallthrough then redirect := Some next_pc;
+        Some
+          { xpc = d.dpc; xinstr = i; alu = alu_result; store_data = b; xnext_pc = next_pc }
+  in
+
+  (* ---- interlock detection: load in EX (old_idex slot as seen by
+     this cycle's EX is old_idex itself; the hazard pairs the load
+     currently entering EX with the instruction sitting in ID) ---- *)
+  let load_use_stall =
+    if t.bugs.no_load_interlock then false
+    else
+      match (old_idex, old_ifid) with
+      | Some d, Some f when d.dinstr.Isa.op = Isa.Lw -> (
+          match Isa.writes_reg d.dinstr with
+          | Some rd when t.bugs.interlock_fails_rd2 && rd = 2 -> false
+          | Some rd ->
+              let reads = Isa.reads_regs f.finstr in
+              let reads =
+                if t.bugs.interlock_ignores_rs2 then
+                  match reads with [] -> [] | r :: _ -> [ r ]
+                else reads
+              in
+              List.mem rd reads
+          | None -> false)
+      | _ -> false
+  in
+
+  (* ---- ID: register read (after WB's write) ---- *)
+  let new_idex =
+    if load_use_stall then begin
+      t.stalls <- t.stalls + 1;
+      None (* bubble into EX *)
+    end
+    else
+      match old_ifid with
+      | None -> None
+      | Some f ->
+          Some
+            {
+              dpc = f.fpc;
+              dinstr = f.finstr;
+              a = reg t f.finstr.Isa.rs1;
+              b = reg t f.finstr.Isa.rs2;
+            }
+  in
+
+  (* ---- IF ---- *)
+  let new_ifid, new_pc =
+    if load_use_stall then (old_ifid, t.pc)
+    else if t.pc >= 0 && t.pc < Array.length t.program then
+      (Some { fpc = t.pc; finstr = t.program.(t.pc) }, t.pc + 1)
+    else (None, t.pc)
+  in
+
+  (* ---- apply redirect (squash younger slots) ---- *)
+  let new_ifid, new_idex, new_pc =
+    match !redirect with
+    | Some target when not t.bugs.no_branch_squash ->
+        let squashed =
+          (match new_ifid with Some _ -> 1 | None -> 0)
+          + (match new_idex with Some _ -> 1 | None -> 0)
+        in
+        t.squashes <- t.squashes + squashed;
+        (None, None, target)
+    | Some target ->
+        (* buggy: younger instructions survive, but the PC still moves *)
+        (new_ifid, new_idex, target)
+    | None -> (new_ifid, new_idex, new_pc)
+  in
+
+  t.s_ifid <- new_ifid;
+  t.s_idex <- new_idex;
+  t.s_exmem <- new_exmem;
+  t.s_memwb <- new_memwb;
+  t.pc <- new_pc;
+  commit
+
+let drained t =
+  t.s_ifid = None && t.s_idex = None && t.s_exmem = None && t.s_memwb = None
+  && not (t.pc >= 0 && t.pc < Array.length t.program)
+
+let run ?(max_cycles = 100_000) t =
+  let rec go n acc =
+    if n = 0 || drained t then List.rev acc
+    else
+      match cycle t with
+      | Some c -> go (n - 1) (c :: acc)
+      | None -> go (n - 1) acc
+  in
+  go max_cycles []
+
+let stats t = (t.cycles, t.stalls, t.squashes)
+
+let occupancy t =
+  ( Option.map (fun s -> Isa.to_string s.finstr) t.s_ifid,
+    Option.map (fun s -> Isa.to_string s.dinstr) t.s_idex,
+    Option.map (fun s -> Isa.to_string s.xinstr) t.s_exmem,
+    Option.map (fun s -> Isa.to_string s.minstr) t.s_memwb )
+
+let trace ?(max_cycles = 200) t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%4s  %-20s %-20s %-20s %-20s %s\n" "cyc" "IF/ID" "ID/EX" "EX/MEM"
+       "MEM/WB" "commit");
+  let cell = function Some s -> s | None -> "-" in
+  let n = ref 0 in
+  while (not (drained t)) && !n < max_cycles do
+    incr n;
+    let stalls0 = t.stalls and squash0 = t.squashes in
+    let commit = cycle t in
+    let f, d, x, m = occupancy t in
+    let note =
+      (if t.stalls > stalls0 then " [stall]" else "")
+      ^ if t.squashes > squash0 then " [squash]" else ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%4d  %-20s %-20s %-20s %-20s %s%s\n" t.cycles (cell f) (cell d)
+         (cell x) (cell m)
+         (match commit with
+         | Some c -> Isa.to_string c.Spec.instr
+         | None -> "-")
+         note)
+  done;
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** A small library of classic DLX kernels.
+
+    Realistic workloads — the kind of programs the paper's intro
+    scenario actually simulates — used as integration stimuli for the
+    spec / 5-stage / dual-issue trio and as demonstration material.
+    Each kernel is self-contained assembly (no preloads needed) and
+    terminates. *)
+
+type kernel = {
+  name : string;
+  description : string;
+  source : string;  (** assembly text *)
+  checks : (int * int32) list;  (** register values expected at halt *)
+}
+
+val all : kernel list
+(** fibonacci, memcpy, bubble-sort (3 elements), dot-product, gcd,
+    popcount. *)
+
+val find : string -> kernel option
+val program : kernel -> Isa.t array
+(** Assembled; raises [Failure] on an internal parse error (checked by
+    the test suite). *)
+
+val run_spec : kernel -> Spec.t
+(** Execute on the architectural model and return the final state. *)
+
+val validate_all : unit -> (string * Validate.outcome) list
+(** Every kernel through the 5-stage pipeline comparison. *)
+
+val validate_all_dual : unit -> (string * Validate.outcome) list
+(** Every kernel through the dual-issue comparison. *)

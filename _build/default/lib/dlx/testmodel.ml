@@ -1,0 +1,293 @@
+open Simcov_fsm
+
+type config = { n_regs : int; track_dest : bool; observable_dest : bool }
+
+let default = { n_regs = 4; track_dest = true; observable_dest = true }
+
+let addr_bits cfg =
+  assert (cfg.n_regs >= 2 && cfg.n_regs land (cfg.n_regs - 1) = 0);
+  let rec go k acc = if k <= 1 then acc else go (k lsr 1) (acc + 1) in
+  go cfg.n_regs 0
+
+type abs_input = { cls : Isa.iclass; rd : int; rs1 : int; rs2 : int; taken : bool }
+
+let input_code cfg i =
+  let w = addr_bits cfg in
+  Isa.class_index i.cls lor (i.rd lsl 3) lor (i.rs1 lsl (3 + w))
+  lor (i.rs2 lsl (3 + (2 * w)))
+  lor ((if i.taken then 1 else 0) lsl (3 + (3 * w)))
+
+let input_decode cfg code =
+  let w = addr_bits cfg in
+  let mask = (1 lsl w) - 1 in
+  {
+    cls = Isa.class_of_index (code land 7);
+    rd = (code lsr 3) land mask;
+    rs1 = (code lsr (3 + w)) land mask;
+    rs2 = (code lsr (3 + (2 * w))) land mask;
+    taken = (code lsr (3 + (3 * w))) land 1 = 1;
+  }
+
+let n_input_codes cfg = 1 lsl (4 + (3 * addr_bits cfg))
+
+let uses_rd cls = match cls with Isa.Alu_rr | Isa.Alu_ri | Isa.Load -> true | _ -> false
+
+let uses_rs1 cls =
+  match cls with
+  | Isa.Alu_rr | Isa.Alu_ri | Isa.Load | Isa.Store | Isa.Branch -> true
+  | Isa.Jump | Isa.Nopc -> false
+
+let uses_rs2 cls = match cls with Isa.Alu_rr | Isa.Store -> true | _ -> false
+
+let input_is_valid _cfg i =
+  let ok_field used v = used || v = 0 in
+  ok_field (uses_rd i.cls) i.rd
+  && ok_field (uses_rs1 i.cls) i.rs1
+  && ok_field (uses_rs2 i.cls) i.rs2
+  && ((not i.taken) || i.cls = Isa.Branch)
+
+let n_valid_inputs cfg =
+  let count = ref 0 in
+  for code = 0 to n_input_codes cfg - 1 do
+    (* class codes above 6 decode via class_of_index and would raise *)
+    if code land 7 < 7 && input_is_valid cfg (input_decode cfg code) then incr count
+  done;
+  !count
+
+(* ---- state encoding ----
+   With dest tracking: p1 in [0, 2R-1): 0 = nothing in the EX/MEM
+   neighbor slot, 1..R-1 = ALU write to that register, R..2R-2 = load
+   write to register (p1 - R + 1). p2 in [0, R): 0 = nothing at
+   MEM/WB distance, 1..R-1 = a write to that register.
+   Without: p1 in {0 none, 1 alu, 2 load}, p2 in {0, 1}. *)
+
+type p1 = P1_none | P1_alu of int | P1_load of int
+
+let p1_size cfg = if cfg.track_dest then (2 * cfg.n_regs) - 1 else 3
+let p2_size cfg = if cfg.track_dest then cfg.n_regs else 2
+
+let p1_encode cfg = function
+  | P1_none -> 0
+  | P1_alu rd -> if cfg.track_dest then rd else 1
+  | P1_load rd -> if cfg.track_dest then cfg.n_regs - 1 + rd else 2
+
+let p1_decode cfg v =
+  if cfg.track_dest then
+    if v = 0 then P1_none
+    else if v < cfg.n_regs then P1_alu v
+    else P1_load (v - cfg.n_regs + 1)
+  else match v with 0 -> P1_none | 1 -> P1_alu 0 | _ -> P1_load 0
+
+let state_code cfg p1v p2v = (p1_encode cfg p1v * p2_size cfg) + p2v
+
+let build cfg =
+  let n_states = p1_size cfg * p2_size cfg in
+  let n_inputs = n_input_codes cfg in
+  let valid _s code =
+    code land 7 < 7 && input_is_valid cfg (input_decode cfg code)
+  in
+  let decompose s = (p1_decode cfg (s / p2_size cfg), s mod p2_size cfg) in
+  let stall_of s i =
+    let p1v, _ = decompose s in
+    match p1v with
+    | P1_load rd when cfg.track_dest ->
+        (uses_rs1 i.cls && i.rs1 = rd && rd <> 0)
+        || (uses_rs2 i.cls && i.rs2 = rd && rd <> 0)
+    | P1_load _ (* dest unknown: optimistic resolution *) | P1_alu _ | P1_none ->
+        false
+  in
+  let fwd_of s i ~uses ~field =
+    (* 0 = register file, 1 = EX/MEM bypass, 2 = MEM/WB bypass *)
+    if not (uses i.cls) || field = 0 then 0
+    else
+      let p1v, p2v = decompose s in
+      let stall = stall_of s i in
+      let p1_match =
+        cfg.track_dest
+        && (match p1v with P1_alu rd | P1_load rd -> rd = field | P1_none -> false)
+      in
+      if p1_match then if stall then 2 else 1
+      else if cfg.track_dest && p2v = field then if stall then 0 else 2
+      else 0
+  in
+  let squash_of i = (i.cls = Isa.Branch && i.taken) || i.cls = Isa.Jump in
+  let output s code =
+    let i = input_decode cfg code in
+    let stall = stall_of s i in
+    let fa = fwd_of s i ~uses:uses_rs1 ~field:i.rs1 in
+    let fb = fwd_of s i ~uses:uses_rs2 ~field:i.rs2 in
+    let base =
+      (if stall then 1 else 0)
+      lor (fa lsl 1) lor (fb lsl 3)
+      lor (if squash_of i then 1 lsl 5 else 0)
+    in
+    if cfg.observable_dest then
+      let p1v, p2v = decompose s in
+      base lor (p1_encode cfg p1v lsl 6) lor (p2v lsl 11)
+    else base
+  in
+  let next s code =
+    let i = input_decode cfg code in
+    if squash_of i then state_code cfg P1_none 0
+    else begin
+      let p1v, _ = decompose s in
+      let stall = stall_of s i in
+      let p2' =
+        if stall then 0
+        else if cfg.track_dest then
+          match p1v with P1_alu rd | P1_load rd -> rd | P1_none -> 0
+        else match p1v with P1_none -> 0 | P1_alu _ | P1_load _ -> 1
+      in
+      let p1' =
+        if uses_rd i.cls && (i.rd <> 0 || not cfg.track_dest) then
+          match i.cls with
+          | Isa.Load -> P1_load i.rd
+          | Isa.Alu_rr | Isa.Alu_ri -> P1_alu i.rd
+          | _ -> P1_none
+        else P1_none
+      in
+      (p1_encode cfg p1' * p2_size cfg) + p2'
+    end
+  in
+  Fsm.make ~n_states ~n_inputs ~valid ~next ~output
+    ~state_name:(fun s ->
+      let p1v, p2v = decompose s in
+      let p1s =
+        match p1v with
+        | P1_none -> "-"
+        | P1_alu r -> Printf.sprintf "alu:r%d" r
+        | P1_load r -> Printf.sprintf "ld:r%d" r
+      in
+      Printf.sprintf "(%s|%s)" p1s (if p2v = 0 then "-" else Printf.sprintf "w:r%d" p2v))
+    ~input_name:(fun code ->
+      if code land 7 >= 7 then Printf.sprintf "inv%d" code
+      else
+        let i = input_decode cfg code in
+        Printf.sprintf "%s d%d s%d t%d%s" (Isa.class_name i.cls) i.rd i.rs1 i.rs2
+          (if i.taken then " T" else ""))
+    ()
+
+let dest_merge_mapping cfg =
+  assert cfg.track_dest;
+  let dcfg = { cfg with track_dest = false } in
+  let full_p2 = p2_size cfg in
+  {
+    Simcov_abstraction.Homomorphism.n_abs_states = p1_size dcfg * p2_size dcfg;
+    n_abs_inputs = n_input_codes cfg;
+    state_map =
+      (fun s ->
+        let p1v = p1_decode cfg (s / full_p2) and p2v = s mod full_p2 in
+        let p1a =
+          match p1v with P1_none -> 0 | P1_alu _ -> 1 | P1_load _ -> 2
+        in
+        (p1a * 2) + if p2v = 0 then 0 else 1);
+    input_map = Fun.id;
+    output_map =
+      (fun o ->
+        (* strip the observable destination digest; keep control actions *)
+        o land 0x3F);
+  }
+
+(* ---------- concretization ---------- *)
+
+type concrete = {
+  program : Isa.t array;
+  preload_regs : (int * int32) list;
+  preload_mem : (int * int32) list;
+  issue_map : int array;
+}
+
+let concretize cfg word =
+  let r = cfg.n_regs in
+  let preload_regs = List.init (r - 1) (fun k -> (k + 1, Int32.of_int ((17 * (k + 1)) + 3))) in
+  let preload_mem = List.init 64 (fun k -> (k, Int32.of_int ((7 * k) + 11))) in
+  (* architectural shadow: track register values so branch directions
+     demanded by the abstract inputs can be realized *)
+  let regs = Array.make 32 0l in
+  List.iter (fun (k, v) -> regs.(k) <- v) preload_regs;
+  let memory = Array.make 256 0l in
+  List.iter (fun (a, v) -> memory.(a) <- v) preload_mem;
+  let mem_index a = ((a mod 256) + 256) mod 256 in
+  let program = ref [] in
+  let issue_map = ref [] in
+  let pc = ref 0 in
+  let counter = ref 0 in
+  let jump_count = ref 0 in
+  let emit ?(junk = false) instr =
+    program := instr :: !program;
+    if not junk then issue_map := !pc :: !issue_map;
+    incr pc
+  in
+  let apply (i : Isa.t) =
+    (* shadow semantics for the instructions the concretizer emits *)
+    match i.Isa.op with
+    | Isa.Add | Isa.Sub | Isa.Xor | Isa.And | Isa.Or | Isa.Slt ->
+        if i.Isa.rd <> 0 then regs.(i.Isa.rd) <- Spec.alu i.Isa.op regs.(i.Isa.rs1) regs.(i.Isa.rs2)
+    | Isa.Addi | Isa.Xori | Isa.Ori | Isa.Andi | Isa.Slti ->
+        if i.Isa.rd <> 0 then
+          regs.(i.Isa.rd) <- Spec.alu i.Isa.op regs.(i.Isa.rs1) (Int32.of_int i.Isa.imm)
+    | Isa.Lw ->
+        if i.Isa.rd <> 0 then
+          regs.(i.Isa.rd) <- memory.(mem_index (Int32.to_int regs.(i.Isa.rs1) + i.Isa.imm))
+    | Isa.Sw ->
+        memory.(mem_index (Int32.to_int regs.(i.Isa.rs1) + i.Isa.imm)) <- regs.(i.Isa.rs2)
+    | Isa.Jal -> regs.(31) <- Int32.of_int !pc (* pc already advanced past jal *)
+    | _ -> ()
+  in
+  List.iter
+    (fun code ->
+      let i = input_decode cfg code in
+      incr counter;
+      match i.cls with
+      | Isa.Alu_rr ->
+          (* rotate through ALU ops for output diversity (Requirement 3) *)
+          let ops = [| Isa.Add; Isa.Sub; Isa.Xor; Isa.Or |] in
+          let instr =
+            Isa.make ~rd:i.rd ~rs1:i.rs1 ~rs2:i.rs2 ops.(!counter mod Array.length ops)
+          in
+          emit instr;
+          apply instr
+      | Isa.Alu_ri ->
+          let instr = Isa.make ~rd:i.rd ~rs1:i.rs1 ~imm:((!counter mod 97) + 1) Isa.Addi in
+          emit instr;
+          apply instr
+      | Isa.Load ->
+          let instr = Isa.make ~rd:i.rd ~rs1:i.rs1 ~imm:(!counter mod 8) Isa.Lw in
+          emit instr;
+          apply instr
+      | Isa.Store ->
+          let instr = Isa.make ~rs1:i.rs1 ~rs2:i.rs2 ~imm:(!counter mod 8) Isa.Sw in
+          emit instr;
+          apply instr
+      | Isa.Branch ->
+          (* choose the opcode whose runtime outcome matches [taken] *)
+          let z = regs.(i.rs1) = 0l in
+          let op = if z = i.taken then Isa.Beqz else Isa.Bnez in
+          let instr = Isa.make ~rs1:i.rs1 ~imm:1 op in
+          emit instr;
+          if i.taken then emit ~junk:true Isa.nop
+      | Isa.Jump ->
+          incr jump_count;
+          let op = if !jump_count land 1 = 0 then Isa.Jal else Isa.J in
+          (* absolute target: skip exactly one junk slot *)
+          let instr = Isa.make ~imm:(!pc + 2) op in
+          emit instr;
+          (if op = Isa.Jal then apply instr);
+          emit ~junk:true Isa.nop
+      | Isa.Nopc -> emit Isa.nop)
+    word;
+  {
+    program = Array.of_list (List.rev !program);
+    preload_regs;
+    preload_mem;
+    issue_map = Array.of_list (List.rev !issue_map);
+  }
+
+let pp_abs_input cfg ppf code =
+  if code land 7 >= 7 then Format.fprintf ppf "<invalid %d>" code
+  else begin
+    let i = input_decode cfg code in
+    Format.fprintf ppf "%s rd=%d rs1=%d rs2=%d%s" (Isa.class_name i.cls) i.rd i.rs1
+      i.rs2
+      (if i.taken then " taken" else "")
+  end

@@ -1,0 +1,87 @@
+(** Issue-level explicit test model of the pipelined DLX control.
+
+    One transition per {e issued instruction}: the input is the
+    abstracted instruction (class + register addresses + the
+    PSW-derived branch outcome, the paper's reduced "18-bit
+    instruction format"), the state is the interaction state the
+    paper's guidelines call out — the destination registers of the
+    instructions still in flight ("addresses of destination registers
+    from the current, and two previous, instructions" plus their
+    write kinds) — and the outputs are the control actions (stall,
+    forwarding selects, squash), optionally extended with the
+    interaction state itself (Requirement 5).
+
+    Two knobs reproduce the paper's ablations:
+    - [track_dest = false] drops destination addresses from the state,
+      the Section 6.3 "abstracting too much" scenario: the quotient is
+      no longer a function of (state, input), and the forced-
+      deterministic model misses interlock errors;
+    - [observable_dest = false] hides the interaction state from the
+      outputs, violating Requirement 5 and breaking
+      ∀k-distinguishability. *)
+
+open Simcov_fsm
+
+type config = {
+  n_regs : int;  (** power of two, ≥ 2; the paper's reduced file has 4 *)
+  track_dest : bool;
+  observable_dest : bool;
+}
+
+val default : config
+(** 4 registers, destinations tracked and observable. *)
+
+(** {1 Abstract inputs} *)
+
+type abs_input = {
+  cls : Isa.iclass;
+  rd : int;
+  rs1 : int;
+  rs2 : int;
+  taken : bool;
+}
+
+val input_code : config -> abs_input -> int
+val input_decode : config -> int -> abs_input
+val input_is_valid : config -> abs_input -> bool
+(** Per-class field zeroing; [taken] only on branches. The count of
+    valid codes mirrors the paper's "8228 of 2^25". *)
+
+val n_input_codes : config -> int
+val n_valid_inputs : config -> int
+
+(** {1 The model} *)
+
+val build : config -> Fsm.t
+(** Deterministic Mealy machine; with [track_dest = false] the
+    stall/forward outputs use the optimistic (assume-no-hazard)
+    resolution — see above. *)
+
+val dest_merge_mapping : config -> Simcov_abstraction.Homomorphism.mapping
+(** The state abstraction from the dest-tracking model onto the
+    dest-less one. [Homomorphism.quotient] of the full model under
+    this mapping reports a conflict — the formal witness that dropping
+    destination addresses abstracts too much (Section 6.3). *)
+
+(** {1 Concretization}
+
+    "A test sequence for the test model needs to be converted to a
+    test sequence for the implementation simulation model" (Section
+    4.3): abstract input words become real DLX programs. Branch
+    directions demanded by the abstract input are realized by choosing
+    [beqz]/[bnez] according to the architectural value of the source
+    register at that point (the concretizer runs the specification
+    alongside); taken branches and jumps get one never-issued filler
+    slot so the redirect is a real squash. *)
+
+type concrete = {
+  program : Isa.t array;
+  preload_regs : (int * int32) list;
+  preload_mem : (int * int32) list;
+  issue_map : int array;  (** issue index -> program counter *)
+}
+
+val concretize : config -> int list -> concrete
+(** The input word must be valid for [build config]. *)
+
+val pp_abs_input : config -> Format.formatter -> int -> unit

@@ -1,0 +1,70 @@
+type mismatch = {
+  index : int;
+  expected : Spec.commit option;
+  actual : Spec.commit option;
+}
+
+type outcome = Pass of int | Fail of mismatch
+
+let commits_equal (a : Spec.commit) (b : Spec.commit) =
+  a.Spec.at_pc = b.Spec.at_pc
+  && a.Spec.instr = b.Spec.instr
+  && a.Spec.reg_write = b.Spec.reg_write
+  && a.Spec.mem_write = b.Spec.mem_write
+  && a.Spec.next_pc = b.Spec.next_pc
+
+let run_program ?(bugs = Pipeline.no_bugs) ?(max_steps = 10_000) ?(preload_regs = [])
+    ?(preload_mem = []) program =
+  let spec = Spec.create program in
+  let pipe = Pipeline.create ~bugs program in
+  List.iter (fun (r, v) -> Spec.set_reg spec r v) preload_regs;
+  List.iter (fun (r, v) -> Pipeline.set_reg pipe r v) preload_regs;
+  List.iter (fun (a, v) -> Spec.set_mem spec a v) preload_mem;
+  List.iter (fun (a, v) -> Pipeline.set_mem pipe a v) preload_mem;
+  let expected = Spec.run ~max_steps spec in
+  let actual = Pipeline.run ~max_cycles:(max_steps * 4) pipe in
+  let rec compare idx exp act =
+    match (exp, act) with
+    | [], [] -> Pass idx
+    | e :: exp', a :: act' ->
+        if commits_equal e a then compare (idx + 1) exp' act'
+        else Fail { index = idx; expected = Some e; actual = Some a }
+    | e :: _, [] -> Fail { index = idx; expected = Some e; actual = None }
+    | [], a :: _ -> Fail { index = idx; expected = None; actual = Some a }
+  in
+  compare 0 expected actual
+
+let detects_bug ~program bugs =
+  match run_program ~bugs program with Pass _ -> false | Fail _ -> true
+
+type campaign_result = {
+  bug_results : (string * bool) list;
+  n_detected : int;
+  n_bugs : int;
+}
+
+let bug_campaign_multi programs =
+  let bug_results =
+    List.map
+      (fun (name, bugs) ->
+        (name, List.exists (fun p -> detects_bug ~program:p bugs) programs))
+      Pipeline.bug_catalog
+  in
+  {
+    bug_results;
+    n_detected = List.length (List.filter snd bug_results);
+    n_bugs = List.length bug_results;
+  }
+
+let bug_campaign program = bug_campaign_multi [ program ]
+
+let pp_outcome ppf = function
+  | Pass n -> Format.fprintf ppf "PASS (%d commits compared)" n
+  | Fail { index; expected; actual } ->
+      Format.fprintf ppf "FAIL at commit %d:@\n  expected: %a@\n  actual:   %a" index
+        (Format.pp_print_option ~none:(fun ppf () -> Format.pp_print_string ppf "(nothing)")
+           Spec.pp_commit)
+        expected
+        (Format.pp_print_option ~none:(fun ppf () -> Format.pp_print_string ppf "(nothing)")
+           Spec.pp_commit)
+        actual

@@ -1,0 +1,43 @@
+(** Implementation validation: spec vs. pipeline at commit checkpoints.
+
+    Runs the same program through the architectural simulator and the
+    pipelined implementation and compares the commit streams — the
+    right half of the paper's Figure 1 ("Behavioral Simulator" vs "RTL
+    Simulator" with output comparison at checkpoints). *)
+
+type mismatch = {
+  index : int;  (** position in the commit stream *)
+  expected : Spec.commit option;  (** [None]: implementation committed extra work *)
+  actual : Spec.commit option;  (** [None]: implementation committed too little *)
+}
+
+type outcome = Pass of int  (** number of commits compared *) | Fail of mismatch
+
+val run_program :
+  ?bugs:Pipeline.bugs ->
+  ?max_steps:int ->
+  ?preload_regs:(int * int32) list ->
+  ?preload_mem:(int * int32) list ->
+  Isa.t array ->
+  outcome
+(** Execute the program on both models (optionally pre-loading state on
+    both sides identically) and compare commit-by-commit. *)
+
+val detects_bug : program:Isa.t array -> Pipeline.bugs -> bool
+(** Does this program expose the bug (i.e. produce a mismatch)? A
+    buggy configuration that still passes means the test set failed to
+    cover the bug. *)
+
+type campaign_result = {
+  bug_results : (string * bool) list;  (** bug name, detected? *)
+  n_detected : int;
+  n_bugs : int;
+}
+
+val bug_campaign : Isa.t array -> campaign_result
+(** Run the full {!Pipeline.bug_catalog} against one test program. *)
+
+val bug_campaign_multi : Isa.t array list -> campaign_result
+(** A bug is detected if any of the programs exposes it. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/dsp/mac.ml: Array Format Fsm Int32 Int64 List Printf Simcov_fsm

@@ -1,0 +1,1 @@
+lib/dsp/mac.mli: Format Fsm Simcov_fsm

@@ -1,0 +1,250 @@
+type cmd = Setc of int32 | Mac of int32 | Clear | Read
+type response = Ack | Value of int32
+
+let pp_cmd ppf = function
+  | Setc v -> Format.fprintf ppf "setc %ld" v
+  | Mac x -> Format.fprintf ppf "mac %ld" x
+  | Clear -> Format.pp_print_string ppf "clear"
+  | Read -> Format.pp_print_string ppf "read"
+
+let pp_response ppf = function
+  | Ack -> Format.pp_print_string ppf "ack"
+  | Value v -> Format.fprintf ppf "value %ld" v
+
+(* clamp a 64-bit intermediate into int32 range *)
+let clamp64 v =
+  if Int64.compare v (Int64.of_int32 Int32.max_int) > 0 then Int32.max_int
+  else if Int64.compare v (Int64.of_int32 Int32.min_int) < 0 then Int32.min_int
+  else Int64.to_int32 v
+
+let saturating_add a b = clamp64 (Int64.add (Int64.of_int32 a) (Int64.of_int32 b))
+let saturating_mul a b = clamp64 (Int64.mul (Int64.of_int32 a) (Int64.of_int32 b))
+
+module Spec = struct
+  type t = { mutable c : int32; mutable acc : int32 }
+
+  let create () = { c = 0l; acc = 0l }
+  let coefficient t = t.c
+  let accumulator t = t.acc
+
+  let step t = function
+    | Setc v ->
+        t.c <- v;
+        Ack
+    | Mac x ->
+        t.acc <- saturating_add t.acc (saturating_mul t.c x);
+        Ack
+    | Clear ->
+        t.acc <- 0l;
+        Ack
+    | Read -> Value t.acc
+
+  let run t cmds = List.map (step t) cmds
+end
+
+module Pipe = struct
+  type bugs = {
+    read_no_stall : bool;
+    read_no_forward : bool;
+    clear_no_squash : bool;
+    setc_leaks : bool;
+    saturation_wraps : bool;
+  }
+
+  let no_bugs =
+    {
+      read_no_stall = false;
+      read_no_forward = false;
+      clear_no_squash = false;
+      setc_leaks = false;
+      saturation_wraps = false;
+    }
+
+  let bug_catalog =
+    [
+      ("read_no_stall", { no_bugs with read_no_stall = true });
+      ("read_no_forward", { no_bugs with read_no_forward = true });
+      ("clear_no_squash", { no_bugs with clear_no_squash = true });
+      ("setc_leaks", { no_bugs with setc_leaks = true });
+      ("saturation_wraps", { no_bugs with saturation_wraps = true });
+    ]
+
+  (* pipeline slots: a MAC spends one cycle in M1 (first multiplier
+     half, holding the raw operand and the coefficient captured at
+     issue), one in M2 (product formed), then its product lands in the
+     accumulator at the next clock *)
+  type mac_inflight = { operand : int32; captured_c : int32 }
+
+  type t = {
+    bugs : bugs;
+    mutable c : int32;
+    mutable acc : int32;
+    mutable m1 : mac_inflight option;
+    mutable m2 : mac_inflight option; (* second multiplier half *)
+    mutable cycles : int;
+    mutable stalls : int;
+    mutable squashed : int;
+  }
+
+  let create ?(bugs = no_bugs) () =
+    { bugs; c = 0l; acc = 0l; m1 = None; m2 = None; cycles = 0; stalls = 0; squashed = 0 }
+
+  let add t a b =
+    if t.bugs.saturation_wraps then Int32.add a b else saturating_add a b
+
+  (* one clock: the M2 product accumulates, M1 moves to M2. The
+     product is formed against the coefficient captured at issue; the
+     [setc_leaks] bug wires the multiplier to the live coefficient
+     register instead. *)
+  let clock t =
+    t.cycles <- t.cycles + 1;
+    (match t.m2 with
+    | Some m ->
+        let c = if t.bugs.setc_leaks then t.c else m.captured_c in
+        t.acc <- add t t.acc (saturating_mul c m.operand)
+    | None -> ());
+    t.m2 <- t.m1;
+    t.m1 <- None
+
+  let issue t cmd =
+    match cmd with
+    | Setc v ->
+        clock t;
+        t.c <- v;
+        Ack
+    | Mac x ->
+        clock t;
+        t.m1 <- Some { operand = x; captured_c = t.c };
+        Ack
+    | Clear ->
+        (* clear takes effect immediately: in-flight products are
+           squashed before they can land *)
+        if not t.bugs.clear_no_squash then begin
+          t.squashed <-
+            (t.squashed + match t.m1 with Some _ -> 1 | None -> 0)
+            + (match t.m2 with Some _ -> 1 | None -> 0);
+          t.m1 <- None;
+          t.m2 <- None
+        end;
+        clock t;
+        t.acc <- 0l;
+        Ack
+    | Read ->
+        (* The response mux sees the REGISTERED accumulator; when the
+           adder is busy during the response cycle, the up-to-date sum
+           exists only on the adder output and must be forwarded. A
+           product still in the multiplier when the read issues is not
+           forwardable at all: the read must stall one cycle. *)
+        let registered = t.acc in
+        let adder_busy = t.m2 <> None in
+        clock t;
+        if t.m2 <> None && not t.bugs.read_no_stall then begin
+          (* a MAC issued last cycle is multiplying: wait for it *)
+          t.stalls <- t.stalls + 1;
+          let registered' = t.acc in
+          clock t;
+          (* the stalled cycle's adder result is forwarded *)
+          if t.bugs.read_no_forward then Value registered' else Value t.acc
+        end
+        else if adder_busy && t.bugs.read_no_forward then Value registered
+        else Value t.acc
+
+  let run t cmds = List.map (issue t) cmds
+
+  let stats t = (t.cycles, t.stalls, t.squashed)
+end
+
+module Testmodel = struct
+  open Simcov_fsm
+
+  let input_setc = 0
+  let input_mac = 1
+  let input_clear = 2
+  let input_read = 3
+
+  (* state = (d1, d2): was the previous / before-previous command a MAC
+     whose product is still in flight at this issue *)
+  let build ?(observable = true) () =
+    let encode d1 d2 = (if d1 then 2 else 0) + if d2 then 1 else 0 in
+    let d1_of s = s land 2 <> 0 and d2_of s = s land 1 <> 0 in
+    let next s i =
+      let d1 = d1_of s in
+      if i = input_clear then encode false false (* squash *)
+      else if i = input_mac then encode true d1
+      else if i = input_read then
+        (* a read stalls when d1: the d1 product advances an extra
+           cycle and is consumed; either way nothing of the past
+           remains closer than distance 2 *)
+        encode false (if d1 then false else d1)
+      else encode false d1 (* setc *)
+    in
+    let output s i =
+      let d1 = d1_of s and d2 = d2_of s in
+      let stall = i = input_read && d1 in
+      let fwd = i = input_read && (d1 || d2) in
+      let squash = if i = input_clear then (if d1 then 1 else 0) + if d2 then 1 else 0 else 0 in
+      let base = (if stall then 1 else 0) lor (if fwd then 2 else 0) lor (squash lsl 2) in
+      if observable then base lor (s lsl 4) else base
+    in
+    Fsm.make ~n_states:4 ~n_inputs:4 ~next ~output
+      ~state_name:(fun s ->
+        Printf.sprintf "(m%s,a%s)" (if d1_of s then "+" else "-") (if d2_of s then "+" else "-"))
+      ~input_name:(fun i -> [| "setc"; "mac"; "clear"; "read" |].(i))
+      ()
+
+  let concretize word =
+    let counter = ref 0 in
+    (* Requirement 3 (unique input -> unique output) demands data that
+       makes every product visible: establish a nonzero coefficient
+       before the tour proper, otherwise MACs before the first Setc
+       multiply by the reset coefficient 0 and their loss cannot be
+       observed *)
+    Setc 5l
+    :: List.map
+         (fun i ->
+           incr counter;
+           let sign v = if !counter land 1 = 0 then v else -v in
+           if i = input_setc then
+             (* occasionally drive the coefficient high enough that the
+                following MACs exercise the saturating edge; otherwise
+                keep values small and of alternating sign so the
+                accumulator stays in the observable range — data
+                selection per Requirement 3 *)
+             if !counter mod 11 = 0 then Setc 0x2000_0000l
+             else Setc (Int32.of_int (sign ((!counter * 7) + 1)))
+           else if i = input_mac then
+             if !counter mod 13 = 0 then Mac 0x2000_0000l
+             else Mac (Int32.of_int (sign ((!counter * 13) + 3)))
+           else if i = input_clear then Clear
+           else Read)
+         word
+end
+
+module Validate = struct
+  type outcome = Pass of int | Fail of { index : int; expected : response; actual : response }
+
+  let run ?(bugs = Pipe.no_bugs) cmds =
+    let spec = Spec.create () in
+    let pipe = Pipe.create ~bugs () in
+    let rec go idx = function
+      | [] -> Pass idx
+      | cmd :: rest ->
+          let expected = Spec.step spec cmd in
+          let actual = Pipe.issue pipe cmd in
+          if expected = actual then go (idx + 1) rest
+          else Fail { index = idx; expected; actual }
+    in
+    go 0 cmds
+
+  let bug_campaign cmds =
+    List.map
+      (fun (name, bugs) ->
+        (name, match run ~bugs cmds with Fail _ -> true | Pass _ -> false))
+      Pipe.bug_catalog
+
+  let pp_outcome ppf = function
+    | Pass n -> Format.fprintf ppf "PASS (%d responses compared)" n
+    | Fail { index; expected; actual } ->
+        Format.fprintf ppf "FAIL at command %d: expected %a, got %a" index pp_response
+          expected pp_response actual
+end

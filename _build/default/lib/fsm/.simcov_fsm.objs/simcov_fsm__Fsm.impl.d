@@ -1,0 +1,1 @@
+lib/fsm/fsm.ml: Array Format Fun Hashtbl List Printf Queue Simcov_graph Simcov_util

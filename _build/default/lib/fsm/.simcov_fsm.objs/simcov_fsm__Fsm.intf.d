@@ -1,0 +1,1 @@
+lib/fsm/fsm.mli: Format Simcov_graph Simcov_util

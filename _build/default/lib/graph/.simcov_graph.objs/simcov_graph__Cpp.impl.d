@@ -1,0 +1,1 @@
+lib/graph/cpp.ml: Array Digraph Euler List Mcmf Scc Shortest

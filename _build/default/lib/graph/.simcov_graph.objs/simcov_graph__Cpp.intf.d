@@ -1,0 +1,1 @@
+lib/graph/cpp.mli: Digraph

@@ -1,0 +1,1 @@
+lib/graph/euler.ml: Array Digraph

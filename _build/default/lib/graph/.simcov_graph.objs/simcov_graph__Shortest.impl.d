@@ -1,0 +1,1 @@
+lib/graph/shortest.ml: Array Digraph List Queue

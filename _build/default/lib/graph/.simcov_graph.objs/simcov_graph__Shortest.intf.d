@@ -1,0 +1,1 @@
+lib/graph/shortest.mli: Digraph

@@ -1,0 +1,57 @@
+let degrees g ~mult =
+  let n = Digraph.n_vertices g in
+  let indeg = Array.make n 0 and outdeg = Array.make n 0 in
+  Digraph.iter_edges
+    (fun e ->
+      let m = mult.(e.Digraph.id) in
+      outdeg.(e.Digraph.src) <- outdeg.(e.Digraph.src) + m;
+      indeg.(e.Digraph.dst) <- indeg.(e.Digraph.dst) + m)
+    g;
+  (indeg, outdeg)
+
+let is_balanced g ~mult =
+  let indeg, outdeg = degrees g ~mult in
+  let ok = ref true in
+  Array.iteri (fun v d -> if d <> outdeg.(v) then ok := false) indeg;
+  !ok
+
+(* Hierholzer with per-vertex cursors. Each edge id is expanded [mult]
+   times into per-vertex arrays of pending edge instances; the
+   classical splice-free formulation pushes vertices on a stack and
+   emits edges in reverse. *)
+let circuit g ~start ~mult =
+  if not (is_balanced g ~mult) then None
+  else begin
+    let n = Digraph.n_vertices g in
+    let pending : int list array = Array.make n [] in
+    let total = ref 0 in
+    Digraph.iter_edges
+      (fun e ->
+        for _ = 1 to mult.(e.Digraph.id) do
+          pending.(e.Digraph.src) <- e.Digraph.id :: pending.(e.Digraph.src);
+          incr total
+        done)
+      g;
+    if !total = 0 then Some []
+    else begin
+      (* stack of (vertex, incoming edge id used to get there) *)
+      let stack = ref [ (start, -1) ] in
+      let out = ref [] in
+      let used = ref 0 in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (v, via) :: rest -> (
+            match pending.(v) with
+            | e :: es ->
+                pending.(v) <- es;
+                incr used;
+                stack := ((Digraph.edge g e).Digraph.dst, e) :: !stack
+            | [] ->
+                stack := rest;
+                if via >= 0 then out := via :: !out)
+      done;
+      if !used <> !total then None (* some edges unreachable from start *)
+      else Some !out
+    end
+  end

@@ -1,0 +1,113 @@
+type arc = { dst : int; mutable cap : int; cost : int; rev : int }
+
+type t = {
+  n : int;
+  adj : arc array ref array; (* grown per node *)
+  sizes : int array;
+  mutable handles : (int * int * int) array; (* handle -> (node, index, cap0) *)
+  mutable n_arcs : int;
+}
+
+(* Per node, a growable array of arcs. A forward arc at (u, i) has a
+   twin at (v, rev); residual capacity moves between the two as flow is
+   pushed. *)
+
+let create n =
+  {
+    n;
+    adj = Array.init n (fun _ -> ref [||]);
+    sizes = Array.make n 0;
+    handles = [||];
+    n_arcs = 0;
+  }
+
+let push_arc t u arc =
+  let a = t.adj.(u) in
+  let size = t.sizes.(u) in
+  if size >= Array.length !a then begin
+    let bigger = Array.make (max 4 (2 * Array.length !a)) arc in
+    Array.blit !a 0 bigger 0 size;
+    a := bigger
+  end;
+  !a.(size) <- { arc with cap = arc.cap };
+  t.sizes.(u) <- size + 1;
+  size
+
+let add_arc t ~src ~dst ~cap ~cost =
+  assert (cap >= 0);
+  (* Compute both slots up front so self-loop twins point correctly. *)
+  let i = t.sizes.(src) in
+  let j = t.sizes.(dst) + if src = dst then 1 else 0 in
+  let _ = push_arc t src { dst; cap; cost; rev = j } in
+  let _ = push_arc t dst { dst = src; cap = 0; cost = -cost; rev = i } in
+  if t.n_arcs >= Array.length t.handles then begin
+    let bigger = Array.make (max 8 (2 * Array.length t.handles)) (0, 0, 0) in
+    Array.blit t.handles 0 bigger 0 t.n_arcs;
+    t.handles <- bigger
+  end;
+  t.handles.(t.n_arcs) <- (src, i, cap);
+  let handle = t.n_arcs in
+  t.n_arcs <- handle + 1;
+  handle
+
+let solve t ~source ~sink =
+  let dist = Array.make t.n max_int in
+  let in_queue = Array.make t.n false in
+  let pred_node = Array.make t.n (-1) in
+  let pred_arc = Array.make t.n (-1) in
+  let total_flow = ref 0 and total_cost = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Array.fill dist 0 t.n max_int;
+    dist.(source) <- 0;
+    let queue = Queue.create () in
+    Queue.add source queue;
+    in_queue.(source) <- true;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      in_queue.(u) <- false;
+      let arcs = !(t.adj.(u)) in
+      for i = 0 to t.sizes.(u) - 1 do
+        let a = arcs.(i) in
+        if a.cap > 0 && dist.(u) <> max_int && dist.(u) + a.cost < dist.(a.dst)
+        then begin
+          dist.(a.dst) <- dist.(u) + a.cost;
+          pred_node.(a.dst) <- u;
+          pred_arc.(a.dst) <- i;
+          if not in_queue.(a.dst) then begin
+            Queue.add a.dst queue;
+            in_queue.(a.dst) <- true
+          end
+        end
+      done
+    done;
+    if dist.(sink) = max_int then continue := false
+    else begin
+      let bottleneck = ref max_int in
+      let v = ref sink in
+      while !v <> source do
+        let u = pred_node.(!v) in
+        let a = !(t.adj.(u)).(pred_arc.(!v)) in
+        if a.cap < !bottleneck then bottleneck := a.cap;
+        v := u
+      done;
+      let v = ref sink in
+      while !v <> source do
+        let u = pred_node.(!v) in
+        let a = !(t.adj.(u)).(pred_arc.(!v)) in
+        a.cap <- a.cap - !bottleneck;
+        let twin = !(t.adj.(a.dst)).(a.rev) in
+        twin.cap <- twin.cap + !bottleneck;
+        v := u
+      done;
+      total_flow := !total_flow + !bottleneck;
+      total_cost := !total_cost + (!bottleneck * dist.(sink))
+    end
+  done;
+  (!total_flow, !total_cost)
+
+let flow_on t handle =
+  assert (handle >= 0 && handle < t.n_arcs);
+  let node, i, cap0 = t.handles.(handle) in
+  let a = !(t.adj.(node)).(i) in
+  cap0 - a.cap

@@ -1,0 +1,22 @@
+(** Minimum-cost maximum-flow (successive shortest paths with SPFA).
+
+    Used by the directed Chinese postman solver to balance vertex
+    degrees at minimum extra tour cost. Capacities and costs are ints;
+    costs may not create negative cycles (ours never do: all arc costs
+    are nonnegative). *)
+
+type t
+
+val create : int -> t
+(** [create n] is a flow network on [n] nodes. *)
+
+val add_arc : t -> src:int -> dst:int -> cap:int -> cost:int -> int
+(** Adds a forward arc (and its residual twin); returns a handle that
+    can be passed to {!flow_on}. *)
+
+val solve : t -> source:int -> sink:int -> int * int
+(** [(max_flow, total_cost)] of a min-cost max-flow from [source] to
+    [sink]. *)
+
+val flow_on : t -> int -> int
+(** Flow routed through a previously added arc (valid after {!solve}). *)

@@ -1,0 +1,22 @@
+(** Strongly connected components (Tarjan's algorithm, iterative). *)
+
+val components : Digraph.t -> int array * int
+(** [components g] is [(comp, k)] where [comp.(v)] is the component index
+    of vertex [v] (components are numbered [0 .. k - 1] in reverse
+    topological order: an edge between components goes from a
+    higher-numbered to a lower-numbered one... see note) and [k] is the
+    number of components. Tarjan emits components in reverse topological
+    order, so [comp.(u) >= comp.(v)] never holds for a cross edge
+    [u -> v] pointing forward; concretely, for any edge [u -> v] with
+    [comp.(u) <> comp.(v)], [comp.(u) > comp.(v)]. *)
+
+val is_strongly_connected : Digraph.t -> bool
+(** True when the whole vertex set forms a single component. For graphs
+    with isolated vertices this is false unless [n <= 1]. *)
+
+val restrict_strongly_connected : Digraph.t -> root:int -> int array option
+(** [restrict_strongly_connected g ~root] returns [Some comp_members]
+    (sorted vertex ids) of the component containing [root] if that
+    component contains every edge endpoint reachable from [root];
+    [None] when vertices reachable from [root] escape its component
+    (i.e. the reachable subgraph is not strongly connected). *)

@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Array Expr Format Hashtbl List Printf Queue Simcov_fsm

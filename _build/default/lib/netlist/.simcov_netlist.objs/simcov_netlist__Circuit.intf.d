@@ -1,0 +1,1 @@
+lib/netlist/circuit.mli: Expr Format Simcov_fsm

@@ -1,0 +1,1 @@
+lib/netlist/serialize.ml: Array Buffer Circuit Expr In_channel List Printf Result String

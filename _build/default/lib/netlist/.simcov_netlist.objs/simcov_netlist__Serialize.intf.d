@@ -1,0 +1,1 @@
+lib/netlist/serialize.mli: Circuit

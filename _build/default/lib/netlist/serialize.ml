@@ -1,0 +1,241 @@
+let expr_to_buf buf e =
+  let rec go = function
+    | Expr.Const true -> Buffer.add_char buf '1'
+    | Expr.Const false -> Buffer.add_char buf '0'
+    | Expr.Input i -> Buffer.add_string buf (Printf.sprintf "(in %d)" i)
+    | Expr.Reg r -> Buffer.add_string buf (Printf.sprintf "(reg %d)" r)
+    | Expr.Not a ->
+        Buffer.add_string buf "(not ";
+        go a;
+        Buffer.add_char buf ')'
+    | Expr.And (a, b) -> binary "and" a b
+    | Expr.Or (a, b) -> binary "or" a b
+    | Expr.Xor (a, b) -> binary "xor" a b
+    | Expr.Mux (s, h, l) ->
+        Buffer.add_string buf "(mux ";
+        go s;
+        Buffer.add_char buf ' ';
+        go h;
+        Buffer.add_char buf ' ';
+        go l;
+        Buffer.add_char buf ')'
+  and binary tag a b =
+    Buffer.add_char buf '(';
+    Buffer.add_string buf tag;
+    Buffer.add_char buf ' ';
+    go a;
+    Buffer.add_char buf ' ';
+    go b;
+    Buffer.add_char buf ')'
+  in
+  go e
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf ("circuit " ^ c.Circuit.name ^ "\n");
+  Array.iter (fun n -> Buffer.add_string buf ("input " ^ n ^ "\n")) c.Circuit.input_names;
+  Array.iter
+    (fun (r : Circuit.reg) ->
+      Buffer.add_string buf
+        (Printf.sprintf "reg %s %s %d = " r.Circuit.name r.Circuit.group
+           (if r.Circuit.init then 1 else 0));
+      expr_to_buf buf r.Circuit.next;
+      Buffer.add_char buf '\n')
+    c.Circuit.regs;
+  Array.iter
+    (fun (o : Circuit.port) ->
+      Buffer.add_string buf ("output " ^ o.Circuit.port_name ^ " = ");
+      expr_to_buf buf o.Circuit.expr;
+      Buffer.add_char buf '\n')
+    c.Circuit.outputs;
+  if c.Circuit.input_constraint <> Expr.tru then begin
+    Buffer.add_string buf "constraint ";
+    expr_to_buf buf c.Circuit.input_constraint;
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.contents buf
+
+(* --- parsing --- *)
+
+type token = Lparen | Rparen | Atom of string
+
+let tokenize s =
+  let tokens = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '(' ->
+        tokens := Lparen :: !tokens;
+        incr i
+    | ')' ->
+        tokens := Rparen :: !tokens;
+        incr i
+    | ' ' | '\t' -> incr i
+    | _ ->
+        let start = !i in
+        while !i < n && s.[!i] <> '(' && s.[!i] <> ')' && s.[!i] <> ' ' && s.[!i] <> '\t' do
+          incr i
+        done;
+        tokens := Atom (String.sub s start (!i - start)) :: !tokens);
+  done;
+  List.rev !tokens
+
+let ( let* ) = Result.bind
+
+let parse_expr tokens =
+  let rec parse = function
+    | Atom "0" :: rest -> Ok (Expr.Const false, rest)
+    | Atom "1" :: rest -> Ok (Expr.Const true, rest)
+    | Lparen :: Atom "in" :: Atom n :: Rparen :: rest -> (
+        match int_of_string_opt n with
+        | Some i when i >= 0 -> Ok (Expr.Input i, rest)
+        | _ -> Error ("bad input index " ^ n))
+    | Lparen :: Atom "reg" :: Atom n :: Rparen :: rest -> (
+        match int_of_string_opt n with
+        | Some r when r >= 0 -> Ok (Expr.Reg r, rest)
+        | _ -> Error ("bad register index " ^ n))
+    | Lparen :: Atom "not" :: rest ->
+        let* a, rest = parse rest in
+        let* rest = expect_rparen rest in
+        Ok (Expr.Not a, rest)
+    | Lparen :: Atom (("and" | "or" | "xor") as tag) :: rest ->
+        let* a, rest = parse rest in
+        let* b, rest = parse rest in
+        let* rest = expect_rparen rest in
+        let e =
+          match tag with
+          | "and" -> Expr.And (a, b)
+          | "or" -> Expr.Or (a, b)
+          | _ -> Expr.Xor (a, b)
+        in
+        Ok (e, rest)
+    | Lparen :: Atom "mux" :: rest ->
+        let* s, rest = parse rest in
+        let* h, rest = parse rest in
+        let* l, rest = parse rest in
+        let* rest = expect_rparen rest in
+        Ok (Expr.Mux (s, h, l), rest)
+    | t :: _ ->
+        Error
+          (Printf.sprintf "unexpected token %s"
+             (match t with Lparen -> "(" | Rparen -> ")" | Atom a -> a))
+    | [] -> Error "unexpected end of expression"
+  and expect_rparen = function
+    | Rparen :: rest -> Ok rest
+    | _ -> Error "expected )"
+  in
+  let* e, rest = parse tokens in
+  match rest with [] -> Ok e | _ -> Error "trailing tokens after expression"
+
+let split_eq line =
+  match String.index_opt line '=' with
+  | None -> Error "missing '='"
+  | Some i ->
+      Ok
+        ( String.trim (String.sub line 0 i),
+          String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let name = ref "circuit" in
+  let inputs = ref [] in
+  let regs = ref [] in
+  let outputs = ref [] in
+  let constraints = ref [] in
+  let parse_line lineno line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    let line = String.trim line in
+    if line = "" then Ok ()
+    else
+      let err msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+      match String.index_opt line ' ' with
+      | None -> err ("cannot parse: " ^ line)
+      | Some sp -> (
+          let kw = String.sub line 0 sp in
+          let rest = String.trim (String.sub line (sp + 1) (String.length line - sp - 1)) in
+          match kw with
+          | "circuit" ->
+              name := rest;
+              Ok ()
+          | "input" ->
+              inputs := rest :: !inputs;
+              Ok ()
+          | "reg" -> (
+              match split_eq rest with
+              | Error e -> err e
+              | Ok (head, body) -> (
+                  match String.split_on_char ' ' head |> List.filter (fun s -> s <> "") with
+                  | [ rname; group; init ] -> (
+                      match (int_of_string_opt init, parse_expr (tokenize body)) with
+                      | Some iv, Ok next when iv = 0 || iv = 1 ->
+                          regs :=
+                            {
+                              Circuit.name = rname;
+                              group;
+                              init = iv = 1;
+                              next;
+                            }
+                            :: !regs;
+                          Ok ()
+                      | _, Error e -> err e
+                      | _ -> err "bad reg init (want 0 or 1)")
+                  | _ -> err "want: reg <name> <group> <0|1> = <expr>"))
+          | "output" -> (
+              match split_eq rest with
+              | Error e -> err e
+              | Ok (oname, body) -> (
+                  match parse_expr (tokenize body) with
+                  | Ok e ->
+                      outputs := { Circuit.port_name = oname; expr = e } :: !outputs;
+                      Ok ()
+                  | Error e -> err e))
+          | "constraint" -> (
+              match parse_expr (tokenize rest) with
+              | Ok e ->
+                  constraints := e :: !constraints;
+                  Ok ()
+              | Error e -> err e)
+          | _ -> err ("unknown keyword: " ^ kw))
+  in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        match parse_line lineno line with Ok () -> go (lineno + 1) rest | Error _ as e -> e)
+  in
+  let* () = go 1 lines in
+  let circuit =
+    {
+      Circuit.name = !name;
+      input_names = Array.of_list (List.rev !inputs);
+      regs = Array.of_list (List.rev !regs);
+      outputs = Array.of_list (List.rev !outputs);
+      input_constraint = List.fold_left Expr.( &&& ) Expr.tru (List.rev !constraints);
+    }
+  in
+  (* sanity: leaf indices within bounds *)
+  let ni = Circuit.n_inputs circuit and nr = Circuit.n_regs circuit in
+  let check_expr e =
+    let ins, rgs = Expr.support e in
+    List.for_all (fun i -> i < ni) ins && List.for_all (fun r -> r < nr) rgs
+  in
+  let all_ok =
+    Array.for_all (fun (r : Circuit.reg) -> check_expr r.Circuit.next) circuit.Circuit.regs
+    && Array.for_all (fun (o : Circuit.port) -> check_expr o.Circuit.expr) circuit.Circuit.outputs
+    && check_expr circuit.Circuit.input_constraint
+  in
+  if all_ok then Ok circuit else Error "expression references an undeclared input/register"
+
+let save c path =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error e -> Error e

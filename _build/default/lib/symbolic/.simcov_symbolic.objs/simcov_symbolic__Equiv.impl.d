@@ -1,0 +1,1 @@
+lib/symbolic/equiv.ml: Array Bdd Circuit Expr Float List Simcov_bdd Simcov_netlist

@@ -1,0 +1,1 @@
+lib/symbolic/equiv.mli: Circuit Simcov_netlist

@@ -1,0 +1,1 @@
+lib/symbolic/symfsm.ml: Array Bdd Circuit Expr Float Fsm List Simcov_bdd Simcov_fsm Simcov_netlist

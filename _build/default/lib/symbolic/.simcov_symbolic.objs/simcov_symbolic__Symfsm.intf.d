@@ -1,0 +1,1 @@
+lib/symbolic/symfsm.mli: Bdd Simcov_bdd Simcov_fsm Simcov_netlist

@@ -1,0 +1,1 @@
+lib/symbolic/symtour.ml: Array Bdd Circuit Float List Simcov_bdd Simcov_netlist Symfsm

@@ -1,0 +1,1 @@
+lib/symbolic/symtour.mli: Circuit Simcov_netlist

@@ -1,0 +1,107 @@
+open Simcov_bdd
+open Simcov_netlist
+
+type counterexample = {
+  state_a : (string * bool) list;
+  state_b : (string * bool) list;
+  inputs : (string * bool) list;
+  output : string;
+}
+
+type result = Equivalent of { reachable_pairs : float } | Different of counterexample
+
+(* Variable layout for the product machine: the two circuits' state
+   variables are interleaved (cur/nxt pairs) first — A's registers,
+   then B's — followed by the shared inputs. *)
+let check (a : Circuit.t) (b : Circuit.t) =
+  if Circuit.n_inputs a <> Circuit.n_inputs b then
+    invalid_arg "Equiv.check: input counts differ";
+  if Circuit.n_outputs a <> Circuit.n_outputs b then
+    invalid_arg "Equiv.check: output counts differ";
+  let na = Circuit.n_regs a and nb = Circuit.n_regs b in
+  let n_state = na + nb in
+  let ni = Circuit.n_inputs a in
+  let man = Bdd.man ((2 * n_state) + ni) in
+  let cur k = 2 * k and nxt k = (2 * k) + 1 in
+  let inp j = (2 * n_state) + j in
+  let expr_bdd ~offset (e : Expr.t) =
+    let rec go = function
+      | Expr.Const c -> Bdd.of_bool man c
+      | Expr.Input i -> Bdd.var man (inp i)
+      | Expr.Reg r -> Bdd.var man (cur (offset + r))
+      | Expr.Not x -> Bdd.bnot man (go x)
+      | Expr.And (x, y) -> Bdd.band man (go x) (go y)
+      | Expr.Or (x, y) -> Bdd.bor man (go x) (go y)
+      | Expr.Xor (x, y) -> Bdd.bxor man (go x) (go y)
+      | Expr.Mux (s, h, l) -> Bdd.ite man (go s) (go h) (go l)
+    in
+    go e
+  in
+  let trans_of (c : Circuit.t) ~offset =
+    Array.to_list c.Circuit.regs
+    |> List.mapi (fun k (r : Circuit.reg) ->
+           Bdd.biff man (Bdd.var man (nxt (offset + k))) (expr_bdd ~offset r.Circuit.next))
+    |> Bdd.conj man
+  in
+  let init_of (c : Circuit.t) ~offset =
+    Array.to_list c.Circuit.regs
+    |> List.mapi (fun k (r : Circuit.reg) ->
+           if r.Circuit.init then Bdd.var man (cur (offset + k))
+           else Bdd.nvar man (cur (offset + k)))
+    |> Bdd.conj man
+  in
+  let valid =
+    Bdd.band man
+      (expr_bdd ~offset:0 a.Circuit.input_constraint)
+      (expr_bdd ~offset:na b.Circuit.input_constraint)
+  in
+  let trans = Bdd.band man valid (Bdd.band man (trans_of a ~offset:0) (trans_of b ~offset:na)) in
+  let init = Bdd.band man (init_of a ~offset:0) (init_of b ~offset:na) in
+  let cur_vars = List.init n_state cur in
+  let inp_vars = List.init ni inp in
+  let image set =
+    let img = Bdd.and_exists man (cur_vars @ inp_vars) set trans in
+    Bdd.rename man (fun v -> if v < 2 * n_state then v - 1 else v) img
+  in
+  let rec fix set =
+    let next = Bdd.bor man set (image set) in
+    if Bdd.equal next set then set else fix next
+  in
+  let reach = fix init in
+  (* the miter: some output pair differs under a valid input *)
+  let diff_of k =
+    Bdd.bxor man
+      (expr_bdd ~offset:0 a.Circuit.outputs.(k).Circuit.expr)
+      (expr_bdd ~offset:na b.Circuit.outputs.(k).Circuit.expr)
+  in
+  let rec find_diff k =
+    if k >= Circuit.n_outputs a then None
+    else begin
+      let bad = Bdd.band man reach (Bdd.band man valid (diff_of k)) in
+      if Bdd.is_false bad then find_diff (k + 1) else Some (k, bad)
+    end
+  in
+  match find_diff 0 with
+  | None ->
+      let total_vars = Bdd.num_vars man in
+      let count =
+        Bdd.sat_count man ~nvars:total_vars reach
+        /. Float.pow 2.0 (Float.of_int (total_vars - n_state))
+      in
+      Equivalent { reachable_pairs = count }
+  | Some (k, bad) ->
+      let assigns = Bdd.any_sat man bad in
+      let value_of v = List.assoc_opt v assigns = Some true in
+      let state_a =
+        List.init na (fun r -> (a.Circuit.regs.(r).Circuit.name, value_of (cur r)))
+      in
+      let state_b =
+        List.init nb (fun r -> (b.Circuit.regs.(r).Circuit.name, value_of (cur (na + r))))
+      in
+      let inputs =
+        List.init ni (fun j -> (a.Circuit.input_names.(j), value_of (inp j)))
+      in
+      Different
+        { state_a; state_b; inputs; output = a.Circuit.outputs.(k).Circuit.port_name }
+
+let equivalent a b = match check a b with Equivalent _ -> true | Different _ -> false

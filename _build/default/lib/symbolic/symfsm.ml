@@ -1,0 +1,158 @@
+open Simcov_bdd
+
+type t = {
+  man : Bdd.man;
+  n_state_vars : int;
+  n_input_vars : int;
+  cur : int array;
+  nxt : int array;
+  inp : int array;
+  trans : Bdd.t;
+  valid : Bdd.t;
+  init : Bdd.t;
+  outputs : Bdd.t array;
+}
+
+(* Variable layout: cur_i = 2i, nxt_i = 2i + 1 (interleaved), inputs
+   after all state variables. *)
+let layout ~n_state ~n_input =
+  let cur = Array.init n_state (fun i -> 2 * i) in
+  let nxt = Array.init n_state (fun i -> (2 * i) + 1) in
+  let inp = Array.init n_input (fun j -> (2 * n_state) + j) in
+  (cur, nxt, inp)
+
+let bits_needed n =
+  let rec go k acc = if k <= 1 then max acc 1 else go ((k + 1) / 2) (acc + 1) in
+  go n 0
+
+let of_circuit (c : Simcov_netlist.Circuit.t) =
+  let open Simcov_netlist in
+  let n_state = Circuit.n_regs c and n_input = Circuit.n_inputs c in
+  let cur, nxt, inp = layout ~n_state ~n_input in
+  let man = Bdd.man ((2 * n_state) + n_input) in
+  let rec expr_bdd (e : Expr.t) =
+    match e with
+    | Expr.Const b -> Bdd.of_bool man b
+    | Expr.Input i -> Bdd.var man inp.(i)
+    | Expr.Reg r -> Bdd.var man cur.(r)
+    | Expr.Not a -> Bdd.bnot man (expr_bdd a)
+    | Expr.And (a, b) -> Bdd.band man (expr_bdd a) (expr_bdd b)
+    | Expr.Or (a, b) -> Bdd.bor man (expr_bdd a) (expr_bdd b)
+    | Expr.Xor (a, b) -> Bdd.bxor man (expr_bdd a) (expr_bdd b)
+    | Expr.Mux (s, h, l) -> Bdd.ite man (expr_bdd s) (expr_bdd h) (expr_bdd l)
+  in
+  let valid = expr_bdd c.Circuit.input_constraint in
+  let trans =
+    Array.to_list c.Circuit.regs
+    |> List.mapi (fun i (r : Circuit.reg) ->
+           Bdd.biff man (Bdd.var man nxt.(i)) (expr_bdd r.Circuit.next))
+    |> Bdd.conj man
+    |> Bdd.band man valid
+  in
+  let init =
+    Array.to_list c.Circuit.regs
+    |> List.mapi (fun i (r : Circuit.reg) ->
+           if r.Circuit.init then Bdd.var man cur.(i) else Bdd.nvar man cur.(i))
+    |> Bdd.conj man
+  in
+  let outputs =
+    Array.map (fun (o : Circuit.port) -> expr_bdd o.Circuit.expr) c.Circuit.outputs
+  in
+  { man; n_state_vars = n_state; n_input_vars = n_input; cur; nxt; inp; trans; valid; init; outputs }
+
+let of_fsm (m : Simcov_fsm.Fsm.t) =
+  let open Simcov_fsm in
+  let n_state = bits_needed m.Fsm.n_states and n_input = bits_needed m.Fsm.n_inputs in
+  let cur, nxt, inp = layout ~n_state ~n_input in
+  let man = Bdd.man ((2 * n_state) + n_input) in
+  let cube vars width v =
+    Bdd.conj man
+      (List.init width (fun b ->
+           if (v lsr b) land 1 = 1 then Bdd.var man vars.(b) else Bdd.nvar man vars.(b)))
+  in
+  let trans = ref (Bdd.bfalse man) in
+  let valid = ref (Bdd.bfalse man) in
+  let n_outputs = ref 1 in
+  let transitions = Fsm.transitions m in
+  List.iter (fun (_, _, _, o) -> n_outputs := max !n_outputs (o + 1)) transitions;
+  let out_bits = bits_needed !n_outputs in
+  let outputs = Array.make out_bits (Bdd.bfalse man) in
+  List.iter
+    (fun (s, i, s', o) ->
+      let si = Bdd.band man (cube cur n_state s) (cube inp n_input i) in
+      valid := Bdd.bor man !valid si;
+      trans := Bdd.bor man !trans (Bdd.band man si (cube nxt n_state s'));
+      for b = 0 to out_bits - 1 do
+        if (o lsr b) land 1 = 1 then outputs.(b) <- Bdd.bor man outputs.(b) si
+      done)
+    transitions;
+  {
+    man;
+    n_state_vars = n_state;
+    n_input_vars = n_input;
+    cur;
+    nxt;
+    inp;
+    trans = !trans;
+    valid = !valid;
+    init = cube cur n_state m.Fsm.reset;
+    outputs;
+  }
+
+let cur_and_inp t = Array.to_list t.cur @ Array.to_list t.inp
+
+let image t set =
+  let img = Bdd.and_exists t.man (cur_and_inp t) set t.trans in
+  (* img is over nxt vars; shift them down to cur *)
+  Bdd.rename t.man (fun v -> if v < 2 * t.n_state_vars then v - 1 else v) img
+
+let preimage t set =
+  let set' = Bdd.rename t.man (fun v -> if v < 2 * t.n_state_vars then v + 1 else v) set in
+  Bdd.and_exists t.man (Array.to_list t.nxt @ Array.to_list t.inp) set' t.trans
+
+let reachable t =
+  let rec go set n =
+    let next = Bdd.bor t.man set (image t set) in
+    if Bdd.equal next set then (set, n) else go next (n + 1)
+  in
+  go t.init 1
+
+(* Count assignments of [f] over exactly [width] variables, given that
+   support f is contained in those variables: total count divided by
+   the free dimensions. *)
+let count_over t f ~width =
+  let total_vars = Bdd.num_vars t.man in
+  Bdd.sat_count t.man ~nvars:total_vars f /. Float.pow 2.0 (Float.of_int (total_vars - width))
+
+let count_states t set = count_over t set ~width:t.n_state_vars
+
+let count_reachable t = count_states t (fst (reachable t))
+
+let count_transitions t =
+  let r, _ = reachable t in
+  count_over t (Bdd.band t.man r t.valid) ~width:(t.n_state_vars + t.n_input_vars)
+
+let count_valid_inputs t =
+  let r, _ = reachable t in
+  let v = Bdd.and_exists t.man (Array.to_list t.cur) r t.valid in
+  count_over t v ~width:t.n_input_vars
+
+let state_space_size t = Float.pow 2.0 (Float.of_int t.n_state_vars)
+let input_space_size t = Float.pow 2.0 (Float.of_int t.n_input_vars)
+
+let pick_state t set =
+  if Bdd.is_false set then None
+  else begin
+    let assigns = Bdd.any_sat t.man set in
+    let state = Array.make t.n_state_vars false in
+    List.iter
+      (fun (v, b) ->
+        if v < 2 * t.n_state_vars && v mod 2 = 0 then state.(v / 2) <- b)
+      assigns;
+    Some state
+  end
+
+let state_cube t state =
+  Bdd.conj t.man
+    (List.init t.n_state_vars (fun i ->
+         if state.(i) then Bdd.var t.man t.cur.(i) else Bdd.nvar t.man t.cur.(i)))

@@ -1,0 +1,78 @@
+(** Symbolic (BDD-based) finite state machines.
+
+    The implicit transition-relation representation the paper builds
+    inside SIS (Section 7.2): current-state variables, next-state
+    variables and input variables, with the transition relation
+    T(s, x, s') = AND_i (s'_i <-> delta_i(s, x)), an input-validity
+    constraint V(s, x), and an initial-state predicate. Current and
+    next state variables are interleaved in the variable order, the
+    standard heuristic for relation BDDs.
+
+    Used to reproduce the paper's counts: reachable states (13,720 of
+    2^22 there), valid input combinations (8228 of 2^25), and the
+    number of distinct transitions (123 million). *)
+
+open Simcov_bdd
+
+type t = {
+  man : Bdd.man;
+  n_state_vars : int;
+  n_input_vars : int;
+  cur : int array;  (** current-state BDD variables *)
+  nxt : int array;  (** next-state BDD variables *)
+  inp : int array;  (** input BDD variables *)
+  trans : Bdd.t;  (** T(cur, inp, nxt), conjoined with validity *)
+  valid : Bdd.t;  (** V(cur, inp) *)
+  init : Bdd.t;  (** I(cur) *)
+  outputs : Bdd.t array;  (** O_k(cur, inp) per output bit *)
+}
+
+val of_circuit : Simcov_netlist.Circuit.t -> t
+(** Compile a netlist: one state variable per register, one input
+    variable per primary input. *)
+
+val of_fsm : Simcov_fsm.Fsm.t -> t
+(** Encode an explicit machine in binary (states and inputs packed
+    little-endian; unreachable encodings excluded by validity). *)
+
+(** {1 Traversal} *)
+
+val image : t -> Bdd.t -> Bdd.t
+(** Forward image over valid transitions: the set (over [cur] vars) of
+    successors of the given set (over [cur] vars). *)
+
+val preimage : t -> Bdd.t -> Bdd.t
+(** States with a valid transition into the given set. *)
+
+val reachable : t -> Bdd.t * int
+(** Least fixpoint of [image] from [init]; also returns the number of
+    iterations (the sequential depth + 1). *)
+
+(** {1 Counting} *)
+
+val count_states : t -> Bdd.t -> float
+(** Number of states in a set over [cur] vars. *)
+
+val count_reachable : t -> float
+
+val count_transitions : t -> float
+(** Number of distinct (reachable state, valid input) pairs — for a
+    deterministic machine, the number of transitions a tour must
+    cover. *)
+
+val count_valid_inputs : t -> float
+(** Number of input combinations valid in at least one reachable state
+    (the paper's "only 8228 of 2^25 are valid"). *)
+
+val state_space_size : t -> float
+(** [2^n_state_vars]. *)
+
+val input_space_size : t -> float
+
+(** {1 Concretization} *)
+
+val pick_state : t -> Bdd.t -> bool array option
+(** Some concrete state in the set (arbitrary but deterministic). *)
+
+val state_cube : t -> bool array -> Bdd.t
+(** Characteristic function (over [cur] vars) of one concrete state. *)

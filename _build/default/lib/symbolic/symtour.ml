@@ -1,0 +1,126 @@
+open Simcov_bdd
+open Simcov_netlist
+
+type progress = { steps : int; covered : float; total : float }
+type result = { word : bool array list; complete : bool; progress : progress }
+
+let count_pairs (sym : Symfsm.t) f =
+  let total_vars = Bdd.num_vars sym.Symfsm.man in
+  Bdd.sat_count sym.Symfsm.man ~nvars:total_vars f
+  /. Float.pow 2.0 (Float.of_int (total_vars - sym.Symfsm.n_state_vars - sym.Symfsm.n_input_vars))
+
+let input_cube (sym : Symfsm.t) iv =
+  Bdd.conj sym.Symfsm.man
+    (List.init sym.Symfsm.n_input_vars (fun j ->
+         if iv.(j) then Bdd.var sym.Symfsm.man sym.Symfsm.inp.(j)
+         else Bdd.nvar sym.Symfsm.man sym.Symfsm.inp.(j)))
+
+(* extract a concrete input vector from a partial satisfying
+   assignment; unassigned variables are input don't-cares and default
+   to false *)
+let inputs_of_assigns (sym : Symfsm.t) assigns =
+  let iv = Array.make sym.Symfsm.n_input_vars false in
+  List.iter
+    (fun (v, b) ->
+      if v >= 2 * sym.Symfsm.n_state_vars then iv.(v - (2 * sym.Symfsm.n_state_vars)) <- b)
+    assigns;
+  iv
+
+let member (sym : Symfsm.t) set state =
+  Bdd.eval sym.Symfsm.man set (fun v ->
+      if v < 2 * sym.Symfsm.n_state_vars && v mod 2 = 0 then state.(v / 2) else false)
+
+let generate ?(max_steps = 100_000) (circuit : Circuit.t) =
+  let sym = Symfsm.of_circuit circuit in
+  let man = sym.Symfsm.man in
+  let reach, _ = Symfsm.reachable sym in
+  let target = Bdd.band man reach sym.Symfsm.valid in
+  let total = count_pairs sym target in
+  let covered = ref (Bdd.bfalse man) in
+  let state = ref (Circuit.initial_state circuit) in
+  let word = ref [] in
+  let steps = ref 0 in
+  let apply iv =
+    covered :=
+      Bdd.bor man !covered (Bdd.band man (Symfsm.state_cube sym !state) (input_cube sym iv));
+    let state', _ = Circuit.step circuit !state iv in
+    state := state';
+    word := iv :: !word;
+    incr steps
+  in
+  let uncovered () = Bdd.band man target (Bdd.bnot man !covered) in
+  (* an uncovered transition out of the current state, if any *)
+  let local_input () =
+    let u = Bdd.band man (uncovered ()) (Symfsm.state_cube sym !state) in
+    if Bdd.is_false u then None else Some (inputs_of_assigns sym (Bdd.any_sat man u))
+  in
+  (* walk to the nearest state owning an uncovered transition via
+     backward BFS layers *)
+  let walk_to_goal () =
+    let goal =
+      Bdd.and_exists man (Array.to_list sym.Symfsm.inp) (uncovered ()) (Bdd.btrue man)
+    in
+    if Bdd.is_false goal then false
+    else begin
+      (* build layers until the current state is included *)
+      let rec build layers frontier union =
+        if member sym frontier !state then Some (frontier :: layers)
+        else begin
+          let pre = Symfsm.preimage sym frontier in
+          let union' = Bdd.bor man union pre in
+          if Bdd.equal union' union then None (* unreachable from here *)
+          else build (frontier :: layers) (Bdd.band man pre (Bdd.bnot man union)) union'
+        end
+      in
+      match build [] goal goal with
+      | None -> false
+      | Some (_current_layer :: deeper) ->
+          (* deeper = [next_layer; ...; goal]; step through them *)
+          List.iter
+            (fun layer ->
+              let layer' =
+                Bdd.rename man
+                  (fun v -> if v < 2 * sym.Symfsm.n_state_vars then v + 1 else v)
+                  layer
+              in
+              let choices =
+                Bdd.band man (Symfsm.state_cube sym !state)
+                  (Bdd.band man sym.Symfsm.trans layer')
+              in
+              (* trans includes validity; choices is nonempty by
+                 construction of the layers *)
+              apply (inputs_of_assigns sym (Bdd.any_sat man choices)))
+            deeper;
+          true
+      | Some [] -> assert false
+    end
+  in
+  let running = ref true in
+  while !running && !steps < max_steps do
+    match local_input () with
+    | Some iv -> apply iv
+    | None -> if not (walk_to_goal ()) then running := false
+  done;
+  let covered_n = count_pairs sym !covered in
+  {
+    word = List.rev !word;
+    complete = Bdd.is_false (uncovered ());
+    progress = { steps = !steps; covered = covered_n; total };
+  }
+
+let coverage_of_word (circuit : Circuit.t) word =
+  let sym = Symfsm.of_circuit circuit in
+  let man = sym.Symfsm.man in
+  let reach, _ = Symfsm.reachable sym in
+  let target = Bdd.band man reach sym.Symfsm.valid in
+  let covered = ref (Bdd.bfalse man) in
+  let state = ref (Circuit.initial_state circuit) in
+  List.iter
+    (fun iv ->
+      covered :=
+        Bdd.bor man !covered
+          (Bdd.band man (Symfsm.state_cube sym !state) (input_cube sym iv));
+      let state', _ = Circuit.step circuit !state iv in
+      state := state')
+    word;
+  (count_pairs sym !covered, count_pairs sym target)

@@ -1,0 +1,37 @@
+(** Transition-tour generation over the implicit (BDD) representation.
+
+    The paper generates its tour "by traversal of this implicit
+    representation, along with consideration of input don't-cares"
+    (Section 6.5) — no explicit state enumeration. This module does
+    the same: it tracks the set of covered (state, input) pairs as a
+    BDD and repeatedly walks (concretely, one cycle at a time) to the
+    nearest state owning an uncovered valid transition, found through
+    backward symbolic breadth-first layers.
+
+    The resulting tours are not optimal (neither was the paper's:
+    1069 M traversals over 123 M transitions); they exist to exercise
+    models whose state spaces are far beyond explicit methods. Use
+    {!Simcov_testgen.Tour} when the model fits in arrays. *)
+
+open Simcov_netlist
+
+type progress = {
+  steps : int;  (** inputs applied so far *)
+  covered : float;  (** transitions covered *)
+  total : float;  (** reachable valid transitions *)
+}
+
+type result = {
+  word : bool array list;  (** input vectors, in order, from the initial state *)
+  complete : bool;  (** all reachable valid transitions covered *)
+  progress : progress;
+}
+
+val generate : ?max_steps:int -> Circuit.t -> result
+(** Greedy symbolic tour from the initial state. Stops when complete
+    or after [max_steps] (default 100_000) inputs. The word is
+    replayable with {!Simcov_netlist.Circuit.simulate}. *)
+
+val coverage_of_word : Circuit.t -> bool array list -> float * float
+(** [(covered, total)] transitions for an arbitrary input word (each
+    vector must be valid when applied). *)

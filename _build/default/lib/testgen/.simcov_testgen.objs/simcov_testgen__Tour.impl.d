@@ -1,0 +1,1 @@
+lib/testgen/tour.ml: Array Cpp Digraph Fsm Hashtbl List Option Queue Simcov_fsm Simcov_graph Simcov_util

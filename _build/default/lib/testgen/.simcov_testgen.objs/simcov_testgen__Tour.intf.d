@@ -1,0 +1,1 @@
+lib/testgen/tour.mli: Fsm Simcov_fsm Simcov_util

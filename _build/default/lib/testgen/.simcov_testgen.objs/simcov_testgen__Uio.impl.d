@@ -1,0 +1,1 @@
+lib/testgen/uio.ml: Array Fsm Hashtbl Int List Option Queue Simcov_fsm Tour

@@ -1,0 +1,1 @@
+lib/testgen/uio.mli: Fsm Simcov_fsm

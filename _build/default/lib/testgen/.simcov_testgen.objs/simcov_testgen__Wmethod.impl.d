@@ -1,0 +1,1 @@
+lib/testgen/wmethod.ml: Array Fsm Fun List Simcov_coverage Simcov_fsm Tour

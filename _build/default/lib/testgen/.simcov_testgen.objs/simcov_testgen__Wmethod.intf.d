@@ -1,0 +1,1 @@
+lib/testgen/wmethod.mli: Fsm Simcov_coverage Simcov_fsm

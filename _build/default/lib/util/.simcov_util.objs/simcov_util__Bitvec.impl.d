@@ -1,0 +1,1 @@
+lib/util/bitvec.ml: Format Int Seq

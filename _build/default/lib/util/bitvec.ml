@@ -1,0 +1,51 @@
+type t = { width : int; value : int }
+
+let mask width = (1 lsl width) - 1
+
+let create ~width v =
+  assert (width > 0 && width <= 62);
+  { width; value = v land mask width }
+
+let zero ~width = create ~width 0
+
+let width t = t.width
+let to_int t = t.value
+
+let get t i =
+  assert (i >= 0 && i < t.width);
+  (t.value lsr i) land 1 = 1
+
+let set t i b =
+  assert (i >= 0 && i < t.width);
+  let bit = 1 lsl i in
+  { t with value = (if b then t.value lor bit else t.value land lnot bit) }
+
+let slice t ~lo ~hi =
+  assert (0 <= lo && lo <= hi && hi < t.width);
+  create ~width:(hi - lo + 1) (t.value lsr lo)
+
+let concat hi lo =
+  create ~width:(hi.width + lo.width) ((hi.value lsl lo.width) lor lo.value)
+
+let popcount t =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+  go t.value 0
+
+let equal a b = a.width = b.width && a.value = b.value
+let compare a b =
+  let c = Int.compare a.width b.width in
+  if c <> 0 then c else Int.compare a.value b.value
+
+let fold_bits f t init =
+  let rec go i acc = if i >= t.width then acc else go (i + 1) (f i (get t i) acc) in
+  go 0 init
+
+let pp ppf t =
+  Format.fprintf ppf "0b";
+  for i = t.width - 1 downto 0 do
+    Format.pp_print_char ppf (if get t i then '1' else '0')
+  done
+
+let all ~width =
+  let n = 1 lsl width in
+  Seq.init n (fun v -> create ~width v)

@@ -1,0 +1,43 @@
+(** Fixed-width bit vectors backed by native [int].
+
+    Widths up to 62 bits are supported, which covers every encoding in
+    the project (instruction words, state codes, input cubes). Bit 0 is
+    the least significant bit. *)
+
+type t = private { width : int; value : int }
+
+val create : width:int -> int -> t
+(** [create ~width v] truncates [v] to [width] bits. Requires
+    [0 < width <= 62]. *)
+
+val zero : width:int -> t
+
+val width : t -> int
+val to_int : t -> int
+
+val get : t -> int -> bool
+(** [get t i] is bit [i]. Requires [0 <= i < width t]. *)
+
+val set : t -> int -> bool -> t
+(** Functional update of bit [i]. *)
+
+val slice : t -> lo:int -> hi:int -> t
+(** [slice t ~lo ~hi] extracts bits [lo..hi] inclusive as a new vector of
+    width [hi - lo + 1]. *)
+
+val concat : t -> t -> t
+(** [concat hi lo] places [hi] above [lo]: result width is the sum. *)
+
+val popcount : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val fold_bits : (int -> bool -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over bit indices from 0 to [width - 1]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as a binary literal, MSB first, e.g. [0b01011]. *)
+
+val all : width:int -> t Seq.t
+(** All [2^width] vectors in increasing numeric order. *)

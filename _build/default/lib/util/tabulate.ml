@@ -1,0 +1,45 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  assert (List.length row = List.length t.headers);
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter measure all;
+  let buf = Buffer.create 256 in
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  List.iteri
+    (fun i _ ->
+      if i > 0 then Buffer.add_string buf "-+-";
+      Buffer.add_string buf (String.make widths.(i) '-'))
+    t.headers;
+  Buffer.add_char buf '\n';
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print ?title t =
+  (match title with
+  | None -> ()
+  | Some s ->
+      print_newline ();
+      print_endline ("== " ^ s ^ " ==");
+      print_newline ());
+  print_string (render t)

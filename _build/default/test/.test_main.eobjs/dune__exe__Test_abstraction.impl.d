@@ -1,0 +1,1 @@
+test/test_abstraction.ml: Alcotest Array Circuit Expr Fsm Fun Homomorphism List Netabs Printf QCheck QCheck_alcotest Simcov_abstraction Simcov_fsm Simcov_netlist Simcov_util

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Bdd Fun Gen List Printf QCheck QCheck_alcotest Simcov_bdd Simcov_util Test

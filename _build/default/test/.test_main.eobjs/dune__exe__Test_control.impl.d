@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Circuit Control List Netabs Simcov_abstraction Simcov_dlx Simcov_netlist Simcov_util

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Completeness Fsm Fun List Methodology Requirements Result Simcov_abstraction Simcov_core Simcov_coverage Simcov_dlx Simcov_fsm Simcov_testgen Simcov_util

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Detect Fault Fsm Fun List QCheck QCheck_alcotest Simcov_abstraction Simcov_coverage Simcov_fsm Simcov_testgen Simcov_util Uniformity

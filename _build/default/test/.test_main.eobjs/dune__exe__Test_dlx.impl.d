@@ -1,0 +1,1 @@
+test/test_dlx.ml: Alcotest Array Format Hazardgen Int32 Isa List Pipeline Printf QCheck QCheck_alcotest Result Simcov_dlx Simcov_util Spec String Validate

@@ -1,0 +1,1 @@
+test/test_dsp.ml: Alcotest Format Int32 List Pipe QCheck QCheck_alcotest Simcov_core Simcov_coverage Simcov_dsp Simcov_fsm Simcov_graph Simcov_testgen Simcov_util Spec Testmodel Validate

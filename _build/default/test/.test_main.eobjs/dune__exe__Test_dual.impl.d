@@ -1,0 +1,1 @@
+test/test_dual.ml: Alcotest Array Dual Format Isa List QCheck QCheck_alcotest Simcov_dlx Simcov_util String Validate

@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Array Circuit Equiv Expr List Printf QCheck QCheck_alcotest Simcov_abstraction Simcov_fsm Simcov_netlist Simcov_symbolic Simcov_util

@@ -1,0 +1,1 @@
+test/test_fig2.ml: Alcotest Array Completeness Fig2 List Result Simcov_core Simcov_fsm Simcov_testgen Simcov_util

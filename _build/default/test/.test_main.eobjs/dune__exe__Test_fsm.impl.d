@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Array Fsm List Printf QCheck QCheck_alcotest Simcov_fsm Simcov_graph Simcov_util

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cpp Digraph Euler Fun List Mcmf QCheck QCheck_alcotest Scc Shortest Simcov_graph Simcov_util

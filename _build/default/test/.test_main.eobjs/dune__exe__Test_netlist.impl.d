@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Circuit Expr List QCheck QCheck_alcotest Simcov_fsm Simcov_netlist Simcov_util

@@ -1,0 +1,1 @@
+test/test_observability.ml: Alcotest Circuit Expr List Observability Simcov_coverage Simcov_netlist Simcov_testgen

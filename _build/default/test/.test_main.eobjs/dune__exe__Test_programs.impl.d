@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Array Format List Pipeline Printf Programs Simcov_dlx Spec Validate

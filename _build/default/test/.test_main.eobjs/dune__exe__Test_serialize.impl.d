@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Array Circuit Expr Filename List QCheck QCheck_alcotest Serialize Simcov_dlx Simcov_netlist Simcov_util Sys

@@ -1,0 +1,1 @@
+test/test_stuckat.ml: Alcotest Circuit Expr List Simcov_bdd Simcov_coverage Simcov_netlist Simcov_testgen String Stuckat

@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Circuit Expr Simcov_bdd Simcov_fsm Simcov_netlist Simcov_symbolic Simcov_util

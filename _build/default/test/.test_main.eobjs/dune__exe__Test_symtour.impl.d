@@ -1,0 +1,1 @@
+test/test_symtour.ml: Alcotest Array Circuit Expr List Simcov_fsm Simcov_netlist Simcov_symbolic Simcov_testgen Symtour

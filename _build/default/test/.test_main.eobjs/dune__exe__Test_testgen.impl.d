@@ -1,0 +1,1 @@
+test/test_testgen.ml: Alcotest Fsm Hashtbl List QCheck QCheck_alcotest Simcov_fsm Simcov_testgen Simcov_util Tour

@@ -1,0 +1,1 @@
+test/test_testmodel.ml: Alcotest Array Fsm Isa List Simcov_abstraction Simcov_dlx Simcov_fsm Simcov_graph Simcov_testgen Testmodel

@@ -1,0 +1,1 @@
+test/test_uio_wmethod.ml: Alcotest Array Fsm List Printf QCheck QCheck_alcotest Simcov_core Simcov_coverage Simcov_fsm Simcov_testgen Simcov_util Tour Uio Wmethod

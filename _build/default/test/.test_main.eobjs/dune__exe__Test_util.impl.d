@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitvec Fun List QCheck QCheck_alcotest Rng Simcov_util String Tabulate

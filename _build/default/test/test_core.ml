@@ -1,0 +1,149 @@
+open Simcov_core
+open Simcov_fsm
+
+(* an identity-output machine: forall-1-distinguishable, strongly
+   connected *)
+let ident =
+  Fsm.make ~n_states:4 ~n_inputs:2
+    ~next:(fun s i -> (s + i + 1) mod 4)
+    ~output:(fun s i -> (s * 2) + i)
+    ()
+
+let test_certify_ok () =
+  match Completeness.certify ident with
+  | Ok c ->
+      Alcotest.(check int) "k = 1" 1 c.Completeness.k;
+      Alcotest.(check int) "4 states" 4 c.Completeness.n_states;
+      Alcotest.(check int) "8 transitions" 8 c.Completeness.n_transitions;
+      Alcotest.(check bool) "tour at least 8" true (c.Completeness.tour_length >= 8)
+  | Error _ -> Alcotest.fail "expected certificate"
+
+let test_certify_not_sc () =
+  let m = Fsm.of_table [ (0, 0, 1, 0); (1, 0, 1, 1) ] in
+  Alcotest.(check bool) "not SC" true
+    (Completeness.certify m = Error Completeness.Not_strongly_connected)
+
+let test_certify_indistinguishable () =
+  (* output constant: no k distinguishes anything *)
+  let m =
+    Fsm.make ~n_states:2 ~n_inputs:1 ~next:(fun s _ -> 1 - s) ~output:(fun _ _ -> 0) ()
+  in
+  match Completeness.certify ~k_bound:4 m with
+  | Error (Completeness.Indistinguishable_pair _) -> ()
+  | _ -> Alcotest.fail "expected indistinguishable pair"
+
+let test_padded_tour () =
+  match Completeness.certify ident with
+  | Ok c ->
+      let word = Completeness.padded_tour ident c in
+      Alcotest.(check int) "tour + k" (c.Completeness.tour_length + c.Completeness.k)
+        (List.length word);
+      Alcotest.(check bool) "still a tour" true (Simcov_testgen.Tour.word_is_tour ident word)
+  | Error _ -> Alcotest.fail "expected certificate"
+
+let test_empirical_check_100pct () =
+  match Completeness.certify ident with
+  | Ok c ->
+      let rng = Simcov_util.Rng.create 12 in
+      let report = Completeness.check_empirically rng ident c in
+      Alcotest.(check (float 0.001)) "100% coverage" 100.0
+        (Simcov_coverage.Detect.coverage_pct report);
+      Alcotest.(check bool) "found some faults" true (report.Simcov_coverage.Detect.effective > 10)
+  | Error _ -> Alcotest.fail "expected certificate"
+
+let test_requirements_on_good_model () =
+  let model = Simcov_dlx.Testmodel.build Simcov_dlx.Testmodel.default in
+  let rng = Simcov_util.Rng.create 3 in
+  let r = Requirements.check ~rng model in
+  Alcotest.(check bool) "r2 ok" true (Requirements.is_ok r.Requirements.r2_bounded_processing);
+  Alcotest.(check bool) "r4 ok" true (Requirements.is_ok r.Requirements.r4_no_masking);
+  Alcotest.(check bool) "r5 ok" true
+    (Requirements.is_ok r.Requirements.r5_observable_interaction);
+  Alcotest.(check bool) "all ok" true (Requirements.all_ok r)
+
+let test_requirements_r5_violated () =
+  let model =
+    Simcov_dlx.Testmodel.build
+      { Simcov_dlx.Testmodel.default with Simcov_dlx.Testmodel.observable_dest = false }
+  in
+  let r = Requirements.check model in
+  match r.Requirements.r5_observable_interaction with
+  | Requirements.Violated _ -> ()
+  | _ -> Alcotest.fail "hiding interaction state must violate R5"
+
+let test_requirements_r1_via_uniformity () =
+  (* concrete machine: fig2-style; fault only on one member of a merged
+     pair -> R1 violated; on both -> satisfied *)
+  let machine =
+    Fsm.of_table
+      [
+        (0, 0, 1, 0);
+        (1, 0, 2, 0);
+        (1, 1, 3, 0);
+        (2, 1, 4, 1);
+        (3, 1, 4, 1);
+        (4, 3, 0, 4);
+      ]
+  in
+  let mapping =
+    {
+      Simcov_abstraction.Homomorphism.n_abs_states = 4;
+      n_abs_inputs = 4;
+      state_map = (fun s -> if s = 3 then 2 else if s = 4 then 3 else s);
+      input_map = Fun.id;
+      output_map = Fun.id;
+    }
+  in
+  let model = Simcov_dlx.Testmodel.build Simcov_dlx.Testmodel.default in
+  let r_bad =
+    Requirements.check ~concrete:(machine, mapping, fun (s, i) -> s = 3 && i = 1) model
+  in
+  (match r_bad.Requirements.r1_uniform_output_errors with
+  | Requirements.Violated _ -> ()
+  | _ -> Alcotest.fail "expected R1 violation");
+  let r_good =
+    Requirements.check
+      ~concrete:(machine, mapping, fun (s, i) -> (s = 3 || s = 2) && i = 1)
+      model
+  in
+  match r_good.Requirements.r1_uniform_output_errors with
+  | Requirements.Satisfied _ -> ()
+  | _ -> Alcotest.fail "expected R1 satisfied"
+
+let test_validate_dlx_default () =
+  let r = Methodology.validate_dlx () in
+  Alcotest.(check int) "28 model states" 28 r.Methodology.model_states;
+  Alcotest.(check bool) "certificate holds" true (Result.is_ok r.Methodology.certificate);
+  Alcotest.(check bool) "requirements ok" true
+    (Requirements.all_ok r.Methodology.requirements);
+  Alcotest.(check int) "all 12 bugs detected" 12 r.Methodology.n_bugs_detected;
+  Alcotest.(check (float 0.001)) "FSM coverage 100%" 100.0
+    (Simcov_coverage.Detect.coverage_pct r.Methodology.fsm_fault_coverage)
+
+let test_ablation_dest_tracking () =
+  let r = Methodology.ablation_dest_tracking () in
+  Alcotest.(check bool) "quotient conflict witnessed" true r.Methodology.quotient_conflict;
+  Alcotest.(check bool) "abstract tour under-covers refined transitions" true
+    (r.Methodology.refined_covered_by_abstract_tour < r.Methodology.refined_transitions);
+  let pct_abs =
+    Simcov_coverage.Detect.coverage_pct r.Methodology.fault_coverage_abstract_tour
+  in
+  let pct_ref =
+    Simcov_coverage.Detect.coverage_pct r.Methodology.fault_coverage_refined_tour
+  in
+  Alcotest.(check (float 0.001)) "refined tour: 100%" 100.0 pct_ref;
+  Alcotest.(check bool) "abstract tour misses faults" true (pct_abs < 100.0)
+
+let suite =
+  [
+    Alcotest.test_case "certify ok" `Quick test_certify_ok;
+    Alcotest.test_case "certify not SC" `Quick test_certify_not_sc;
+    Alcotest.test_case "certify indistinguishable" `Quick test_certify_indistinguishable;
+    Alcotest.test_case "padded tour" `Quick test_padded_tour;
+    Alcotest.test_case "empirical check 100%" `Quick test_empirical_check_100pct;
+    Alcotest.test_case "requirements good model" `Quick test_requirements_on_good_model;
+    Alcotest.test_case "requirements r5 violated" `Quick test_requirements_r5_violated;
+    Alcotest.test_case "requirements r1 uniformity" `Quick test_requirements_r1_via_uniformity;
+    Alcotest.test_case "validate dlx default" `Slow test_validate_dlx_default;
+    Alcotest.test_case "ablation dest tracking" `Slow test_ablation_dest_tracking;
+  ]

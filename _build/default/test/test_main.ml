@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "simcov"
+    [
+      ("util", Test_util.suite);
+      ("graph", Test_graph.suite);
+      ("bdd", Test_bdd.suite);
+      ("fsm", Test_fsm.suite);
+      ("netlist", Test_netlist.suite);
+      ("symbolic", Test_symbolic.suite);
+      ("abstraction", Test_abstraction.suite);
+      ("coverage", Test_coverage.suite);
+      ("testgen", Test_testgen.suite);
+      ("dlx", Test_dlx.suite);
+      ("testmodel", Test_testmodel.suite);
+      ("core", Test_core.suite);
+      ("control", Test_control.suite);
+      ("uio_wmethod", Test_uio_wmethod.suite);
+      ("equiv", Test_equiv.suite);
+      ("symtour", Test_symtour.suite);
+      ("dsp", Test_dsp.suite);
+      ("observability", Test_observability.suite);
+      ("serialize", Test_serialize.suite);
+      ("stuckat", Test_stuckat.suite);
+      ("dual", Test_dual.suite);
+      ("programs", Test_programs.suite);
+      ("fig2", Test_fig2.suite);
+    ]

@@ -1,0 +1,99 @@
+open Simcov_netlist
+open Simcov_coverage
+
+let ( !! ) = Expr.( !! )
+let ( &&& ) = Expr.( &&& )
+let ( ^^^ ) = Expr.( ^^^ )
+
+let counter () =
+  let open Circuit.Build in
+  let ctx = create "counter" in
+  let en = input ctx "en" in
+  let b0 = reg ctx "b0" in
+  let b1 = reg ctx "b1" in
+  assign ctx b0 (Expr.mux en (!!b0) b0);
+  assign ctx b1 (Expr.mux en (b1 ^^^ b0) b1);
+  output ctx "wrap" (en &&& b0 &&& b1);
+  finish ctx
+
+let enabled n = List.init n (fun _ -> [| true |])
+
+let test_full_run_covers () =
+  let c = counter () in
+  let r = Observability.analyze c (enabled 8) in
+  Alcotest.(check int) "both toggled" 2 r.Observability.toggled;
+  Alcotest.(check int) "both observed" 2 r.Observability.observed;
+  Alcotest.(check (float 0.01)) "100%" 100.0 (Observability.observability_pct r)
+
+let test_idle_run_covers_nothing () =
+  let c = counter () in
+  let r = Observability.analyze c (List.init 8 (fun _ -> [| false |])) in
+  Alcotest.(check int) "nothing toggles" 0 r.Observability.toggled;
+  (* with en=0 throughout, outputs are constant false: no observation *)
+  Alcotest.(check int) "nothing observed" 0 r.Observability.observed
+
+let test_short_run_partial () =
+  let c = counter () in
+  (* one enabled step: b0 toggles, b1 does not *)
+  let r = Observability.analyze c [ [| true |] ] in
+  Alcotest.(check int) "only b0 toggles" 1 r.Observability.toggled
+
+let test_dead_register_never_observed () =
+  let open Circuit.Build in
+  let ctx = create "dead" in
+  let i = input ctx "i" in
+  let live = reg ctx "live" in
+  let dead = reg ctx "dead" in
+  assign ctx live i;
+  assign ctx dead (dead ^^^ i);
+  output ctx "o" live;
+  let c = finish ctx in
+  let word = List.init 6 (fun k -> [| k mod 2 = 0 |]) in
+  let r = Observability.analyze c word in
+  Alcotest.(check int) "dead toggles" 2 r.Observability.toggled;
+  Alcotest.(check int) "but only live is observed" 1 r.Observability.observed;
+  Alcotest.(check int) "toggled and observed" 1 r.Observability.toggled_and_observed
+
+let test_horizon_matters () =
+  (* a 3-deep shift register to a single output: the first stage needs
+     horizon >= 3 to be observed *)
+  let open Circuit.Build in
+  let ctx = create "shift" in
+  let i = input ctx "i" in
+  let s1 = reg ctx "s1" in
+  let s2 = reg ctx "s2" in
+  let s3 = reg ctx "s3" in
+  assign ctx s1 i;
+  assign ctx s2 s1;
+  assign ctx s3 s2;
+  output ctx "o" s3;
+  let c = finish ctx in
+  let word = List.init 10 (fun k -> [| k mod 3 = 0 |]) in
+  let r1 = Observability.analyze ~horizon:1 c word in
+  let r3 = Observability.analyze ~horizon:3 c word in
+  Alcotest.(check bool) "short horizon misses s1" true
+    (r1.Observability.observed < r3.Observability.observed);
+  Alcotest.(check int) "horizon 3 sees all" 3 r3.Observability.observed
+
+let test_tour_vs_random_observability () =
+  (* the tour of the counter achieves full observability coverage with
+     few steps; short random-ish idle-heavy runs do not *)
+  let c = counter () in
+  let m = Circuit.to_fsm c in
+  match Simcov_testgen.Tour.transition_tour m with
+  | None -> Alcotest.fail "tour"
+  | Some t ->
+      let word = List.map (fun i -> [| i = 1 |]) t.Simcov_testgen.Tour.word in
+      let r = Observability.analyze c word in
+      Alcotest.(check (float 0.01)) "tour: full" 100.0
+        (Observability.observability_pct r)
+
+let suite =
+  [
+    Alcotest.test_case "full run covers" `Quick test_full_run_covers;
+    Alcotest.test_case "idle run covers nothing" `Quick test_idle_run_covers_nothing;
+    Alcotest.test_case "short run partial" `Quick test_short_run_partial;
+    Alcotest.test_case "dead register" `Quick test_dead_register_never_observed;
+    Alcotest.test_case "horizon matters" `Quick test_horizon_matters;
+    Alcotest.test_case "tour observability" `Quick test_tour_vs_random_observability;
+  ]

@@ -1,0 +1,240 @@
+open Simcov_dlx
+open Simcov_fsm
+
+let cfg = Testmodel.default
+
+let model = Testmodel.build cfg
+
+let test_input_roundtrip () =
+  for code = 0 to Testmodel.n_input_codes cfg - 1 do
+    if code land 7 < 7 then
+      Alcotest.(check int) "roundtrip"
+        code
+        (Testmodel.input_code cfg (Testmodel.input_decode cfg code))
+  done
+
+let test_valid_input_count () =
+  (* ALU-RR 64, ALU-RI 16, LOAD 16, STORE 16, BRANCH 8, JUMP 1, NOP 1 *)
+  Alcotest.(check int) "122 valid abstract instructions" 122
+    (Testmodel.n_valid_inputs cfg);
+  Alcotest.(check int) "of 1024 codes" 1024 (Testmodel.n_input_codes cfg)
+
+let test_model_shape () =
+  Alcotest.(check int) "28 states" 28 model.Fsm.n_states;
+  Alcotest.(check int) "all reachable" 28 (Fsm.n_reachable model);
+  Alcotest.(check int) "28 * 122 transitions" (28 * 122) (Fsm.n_transitions model);
+  Alcotest.(check bool) "strongly connected" true
+    (Simcov_graph.Scc.is_strongly_connected (Fsm.transition_graph model))
+
+let code c = Testmodel.input_code cfg c
+
+let alu ?(rd = 1) ?(rs1 = 0) ?(rs2 = 0) () =
+  code { Testmodel.cls = Isa.Alu_rr; rd; rs1; rs2; taken = false }
+
+let load ?(rd = 1) ?(rs1 = 0) () =
+  code { Testmodel.cls = Isa.Load; rd; rs1; rs2 = 0; taken = false }
+
+let nopi = Testmodel.input_code cfg { Testmodel.cls = Isa.Nopc; rd = 0; rs1 = 0; rs2 = 0; taken = false }
+let branch ~taken = code { Testmodel.cls = Isa.Branch; rd = 0; rs1 = 1; rs2 = 0; taken }
+let jump = code { Testmodel.cls = Isa.Jump; rd = 0; rs1 = 0; rs2 = 0; taken = false }
+
+let stall_bit o = o land 1
+let fwd_a o = (o lsr 1) land 3
+let fwd_b o = (o lsr 3) land 3
+let squash_bit o = (o lsr 5) land 1
+
+let test_load_use_stall () =
+  (* load r1 then alu reading r1: stall + MEM/WB forward *)
+  let outs = Fsm.output_word model [ load ~rd:1 (); alu ~rd:2 ~rs1:1 () ] in
+  let o = List.nth outs 1 in
+  Alcotest.(check int) "stall" 1 (stall_bit o);
+  Alcotest.(check int) "operand A from MEM/WB" 2 (fwd_a o)
+
+let test_no_stall_when_different_reg () =
+  let outs = Fsm.output_word model [ load ~rd:1 (); alu ~rd:2 ~rs1:2 ~rs2:3 () ] in
+  let o = List.nth outs 1 in
+  Alcotest.(check int) "no stall" 0 (stall_bit o);
+  Alcotest.(check int) "no forward" 0 (fwd_a o)
+
+let test_alu_forward () =
+  let outs = Fsm.output_word model [ alu ~rd:3 (); alu ~rd:2 ~rs1:3 () ] in
+  let o = List.nth outs 1 in
+  Alcotest.(check int) "no stall for ALU producer" 0 (stall_bit o);
+  Alcotest.(check int) "EX/MEM forward" 1 (fwd_a o)
+
+let test_memwb_forward_two_apart () =
+  let outs = Fsm.output_word model [ alu ~rd:3 (); nopi; alu ~rd:2 ~rs1:3 () ] in
+  let o = List.nth outs 2 in
+  Alcotest.(check int) "MEM/WB forward" 2 (fwd_a o)
+
+let test_three_apart_no_forward () =
+  let outs = Fsm.output_word model [ alu ~rd:3 (); nopi; nopi; alu ~rd:2 ~rs1:3 () ] in
+  let o = List.nth outs 3 in
+  Alcotest.(check int) "register file" 0 (fwd_a o)
+
+let test_fwd_b_independent () =
+  let outs = Fsm.output_word model [ alu ~rd:3 (); alu ~rd:2 ~rs1:1 ~rs2:3 () ] in
+  let o = List.nth outs 1 in
+  Alcotest.(check int) "A from regfile" 0 (fwd_a o);
+  Alcotest.(check int) "B from EX/MEM" 1 (fwd_b o)
+
+let test_squash_resets_history () =
+  (* after a taken branch the in-flight slots are bubbles *)
+  let outs = Fsm.output_word model [ alu ~rd:3 (); branch ~taken:true; alu ~rd:2 ~rs1:3 () ] in
+  let o_branch = List.nth outs 1 in
+  Alcotest.(check int) "squash" 1 (squash_bit o_branch);
+  let o = List.nth outs 2 in
+  Alcotest.(check int) "no forward after squash" 0 (fwd_a o)
+
+let test_not_taken_keeps_history () =
+  let outs = Fsm.output_word model [ alu ~rd:3 (); branch ~taken:false; alu ~rd:2 ~rs1:3 () ] in
+  let o = List.nth outs 2 in
+  Alcotest.(check int) "not-taken branch: MEM/WB forward" 2 (fwd_a o)
+
+let test_jump_squashes () =
+  let outs = Fsm.output_word model [ jump ] in
+  Alcotest.(check int) "jump squashes" 1 (squash_bit (List.hd outs))
+
+let test_rd0_no_write_tracking () =
+  let outs = Fsm.output_word model [ alu ~rd:0 ~rs1:1 (); alu ~rd:2 ~rs1:1 () ] in
+  (* writing r0 is discarded: no forward to a consumer of anything *)
+  let o = List.nth outs 1 in
+  Alcotest.(check int) "no forward from r0 write" 0 (fwd_a o)
+
+let test_stall_clears_memwb_slot () =
+  (* load r1; dependent alu (stalls); consumer of the pre-load producer
+     is now out of forwarding reach *)
+  let outs =
+    Fsm.output_word model
+      [ alu ~rd:2 (); load ~rd:1 (); alu ~rd:3 ~rs1:1 (); alu ~rd:1 ~rs1:3 ~rs2:2 () ]
+  in
+  let o = List.nth outs 3 in
+  (* rs1=3 matches EX/MEM producer (the stalled alu); rs2=2's producer
+     fell out of the window because of the stall bubble *)
+  Alcotest.(check int) "A forwards" 1 (fwd_a o);
+  Alcotest.(check int) "B from regfile" 0 (fwd_b o)
+
+let test_min_forall_k_with_observability () =
+  (* Requirement 5 satisfied: interaction state observable => every
+     state pair distinguished by every single input *)
+  Alcotest.(check (option int)) "forall-1" (Some 1) (Fsm.min_forall_k model)
+
+let test_forall_k_without_observability () =
+  let m = Testmodel.build { cfg with Testmodel.observable_dest = false } in
+  (* hidden interaction state: some pairs are not forall-k
+     distinguishable for any small k *)
+  Alcotest.(check (option int)) "no k up to 8" None (Fsm.min_forall_k ~bound:8 m)
+
+let test_dest_merge_conflict () =
+  match Simcov_abstraction.Homomorphism.quotient model (Testmodel.dest_merge_mapping cfg) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "dropping destination addresses must be a non-exact abstraction"
+
+let test_destless_model_small () =
+  let m = Testmodel.build { cfg with Testmodel.track_dest = false } in
+  Alcotest.(check int) "6 states" 6 m.Fsm.n_states;
+  Alcotest.(check bool) "still connected" true
+    (Simcov_graph.Scc.is_strongly_connected (Fsm.transition_graph m))
+
+(* ---- concretization ---- *)
+
+let run_both word =
+  let conc = Testmodel.concretize cfg word in
+  Simcov_dlx.Validate.run_program ~preload_regs:conc.Testmodel.preload_regs
+    ~preload_mem:conc.Testmodel.preload_mem conc.Testmodel.program
+
+let test_concretize_simple () =
+  let word = [ alu ~rd:1 ~rs1:2 ~rs2:3 (); load ~rd:2 ~rs1:1 (); alu ~rd:3 ~rs1:2 () ] in
+  let conc = Testmodel.concretize cfg word in
+  Alcotest.(check int) "3 issued instructions" 3 (Array.length conc.Testmodel.issue_map);
+  match run_both word with
+  | Simcov_dlx.Validate.Pass _ -> ()
+  | f -> Alcotest.failf "bug-free pipeline must pass: %a" Simcov_dlx.Validate.pp_outcome f
+
+let test_concretize_branches () =
+  let word =
+    [
+      alu ~rd:1 ~rs1:2 ~rs2:3 ();
+      branch ~taken:true;
+      branch ~taken:false;
+      jump;
+      alu ~rd:2 ~rs1:1 ();
+      jump;
+      nopi;
+    ]
+  in
+  match run_both word with
+  | Simcov_dlx.Validate.Pass n -> Alcotest.(check int) "all issued commits" 7 n
+  | f -> Alcotest.failf "must pass: %a" Simcov_dlx.Validate.pp_outcome f
+
+let test_concretize_branch_directions () =
+  (* both directions on a register whose value varies *)
+  let word =
+    [
+      alu ~rd:1 ~rs1:1 ~rs2:1 () (* r1 != 0 stays *);
+      branch ~taken:true;
+      branch ~taken:false;
+      load ~rd:1 ~rs1:0 ();
+      branch ~taken:true;
+    ]
+  in
+  match run_both word with
+  | Simcov_dlx.Validate.Pass _ -> ()
+  | f -> Alcotest.failf "must pass: %a" Simcov_dlx.Validate.pp_outcome f
+
+let test_concretize_tour_runs_clean () =
+  (* the whole CPP tour concretizes into a program on which the
+     bug-free pipeline matches the spec *)
+  match Simcov_testgen.Tour.transition_tour model with
+  | None -> Alcotest.fail "tour must exist"
+  | Some t -> (
+      Alcotest.(check bool) "covers everything" true
+        (Simcov_testgen.Tour.word_is_tour model t.Simcov_testgen.Tour.word);
+      match run_both t.Simcov_testgen.Tour.word with
+      | Simcov_dlx.Validate.Pass n ->
+          Alcotest.(check bool) "thousands of commits" true (n > 3000)
+      | f -> Alcotest.failf "tour program must pass: %a" Simcov_dlx.Validate.pp_outcome f)
+
+let test_tour_program_catches_all_bugs () =
+  match Simcov_testgen.Tour.transition_tour model with
+  | None -> Alcotest.fail "tour must exist"
+  | Some t ->
+      let conc = Testmodel.concretize cfg t.Simcov_testgen.Tour.word in
+      List.iter
+        (fun (name, bugs) ->
+          let outcome =
+            Simcov_dlx.Validate.run_program ~bugs
+              ~preload_regs:conc.Testmodel.preload_regs
+              ~preload_mem:conc.Testmodel.preload_mem conc.Testmodel.program
+          in
+          match outcome with
+          | Simcov_dlx.Validate.Fail _ -> ()
+          | Simcov_dlx.Validate.Pass _ -> Alcotest.failf "tour missed bug %s" name)
+        Simcov_dlx.Pipeline.bug_catalog
+
+let suite =
+  [
+    Alcotest.test_case "input roundtrip" `Quick test_input_roundtrip;
+    Alcotest.test_case "valid input count" `Quick test_valid_input_count;
+    Alcotest.test_case "model shape" `Quick test_model_shape;
+    Alcotest.test_case "load-use stall" `Quick test_load_use_stall;
+    Alcotest.test_case "no stall different reg" `Quick test_no_stall_when_different_reg;
+    Alcotest.test_case "alu forward" `Quick test_alu_forward;
+    Alcotest.test_case "memwb forward" `Quick test_memwb_forward_two_apart;
+    Alcotest.test_case "three apart regfile" `Quick test_three_apart_no_forward;
+    Alcotest.test_case "fwd b independent" `Quick test_fwd_b_independent;
+    Alcotest.test_case "squash resets history" `Quick test_squash_resets_history;
+    Alcotest.test_case "not taken keeps history" `Quick test_not_taken_keeps_history;
+    Alcotest.test_case "jump squashes" `Quick test_jump_squashes;
+    Alcotest.test_case "rd0 not tracked" `Quick test_rd0_no_write_tracking;
+    Alcotest.test_case "stall clears memwb slot" `Quick test_stall_clears_memwb_slot;
+    Alcotest.test_case "forall-k with observability" `Quick test_min_forall_k_with_observability;
+    Alcotest.test_case "forall-k without observability" `Quick test_forall_k_without_observability;
+    Alcotest.test_case "dest merge conflict" `Quick test_dest_merge_conflict;
+    Alcotest.test_case "dest-less model" `Quick test_destless_model_small;
+    Alcotest.test_case "concretize simple" `Quick test_concretize_simple;
+    Alcotest.test_case "concretize branches" `Quick test_concretize_branches;
+    Alcotest.test_case "concretize branch directions" `Quick test_concretize_branch_directions;
+    Alcotest.test_case "tour program runs clean" `Slow test_concretize_tour_runs_clean;
+    Alcotest.test_case "tour program catches all bugs" `Slow test_tour_program_catches_all_bugs;
+  ]

@@ -1,0 +1,140 @@
+open Simcov_util
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done
+
+let test_rng_int_covers () =
+  let rng = Rng.create 3 in
+  let hit = Array.make 8 false in
+  for _ = 1 to 500 do
+    hit.(Rng.int rng 8) <- true
+  done;
+  Alcotest.(check bool) "all buckets hit" true (Array.for_all Fun.id hit)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 9 in
+  let _ = Rng.next a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next a) (Rng.next b)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 5 in
+  let a = Array.init 20 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let test_rng_split_independent () =
+  let a = Rng.create 11 in
+  let b = Rng.split a in
+  let equal_count = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.next a = Rng.next b then incr equal_count
+  done;
+  Alcotest.(check int) "independent streams" 0 !equal_count
+
+let test_bitvec_roundtrip () =
+  let v = Bitvec.create ~width:8 0b1011_0010 in
+  Alcotest.(check int) "to_int" 0b1011_0010 (Bitvec.to_int v);
+  Alcotest.(check bool) "bit1" true (Bitvec.get v 1);
+  Alcotest.(check bool) "bit0" false (Bitvec.get v 0);
+  Alcotest.(check bool) "bit7" true (Bitvec.get v 7)
+
+let test_bitvec_truncates () =
+  let v = Bitvec.create ~width:4 0xFF in
+  Alcotest.(check int) "truncated" 0xF (Bitvec.to_int v)
+
+let test_bitvec_set () =
+  let v = Bitvec.zero ~width:6 in
+  let v = Bitvec.set v 3 true in
+  Alcotest.(check int) "set bit 3" 8 (Bitvec.to_int v);
+  let v = Bitvec.set v 3 false in
+  Alcotest.(check int) "clear bit 3" 0 (Bitvec.to_int v)
+
+let test_bitvec_slice_concat () =
+  let v = Bitvec.create ~width:8 0b1101_0110 in
+  let hi = Bitvec.slice v ~lo:4 ~hi:7 in
+  let lo = Bitvec.slice v ~lo:0 ~hi:3 in
+  Alcotest.(check int) "hi nibble" 0b1101 (Bitvec.to_int hi);
+  Alcotest.(check int) "lo nibble" 0b0110 (Bitvec.to_int lo);
+  let back = Bitvec.concat hi lo in
+  Alcotest.(check int) "concat restores" (Bitvec.to_int v) (Bitvec.to_int back);
+  Alcotest.(check int) "concat width" 8 (Bitvec.width back)
+
+let test_bitvec_popcount () =
+  Alcotest.(check int) "popcount" 5 (Bitvec.popcount (Bitvec.create ~width:8 0b0111_1010))
+
+let test_bitvec_all () =
+  let l = List.of_seq (Bitvec.all ~width:3) in
+  Alcotest.(check int) "8 vectors" 8 (List.length l);
+  Alcotest.(check int) "last is 7" 7 (Bitvec.to_int (List.nth l 7))
+
+let test_bitvec_fold_bits () =
+  let v = Bitvec.create ~width:5 0b10101 in
+  let ones = Bitvec.fold_bits (fun _ b acc -> if b then acc + 1 else acc) v 0 in
+  Alcotest.(check int) "fold counts ones" 3 ones
+
+let test_tabulate_render () =
+  let t = Tabulate.create [ "a"; "bb" ] in
+  Tabulate.add_row t [ "xxx"; "y" ];
+  let s = Tabulate.render t in
+  Alcotest.(check bool) "header present" true
+    (String.length s > 0 && String.sub s 0 1 = "a");
+  Alcotest.(check bool) "row present" true
+    (String.length s > 10)
+
+let qcheck_bitvec_slice =
+  QCheck.Test.make ~name:"bitvec: slice/concat roundtrip" ~count:200
+    QCheck.(pair (int_bound 255) (int_range 1 7))
+    (fun (v, cut) ->
+      let bv = Bitvec.create ~width:8 v in
+      let hi = Bitvec.slice bv ~lo:cut ~hi:7 in
+      let lo = Bitvec.slice bv ~lo:0 ~hi:(cut - 1) in
+      Bitvec.to_int (Bitvec.concat hi lo) = Bitvec.to_int bv)
+
+let qcheck_rng_float_range =
+  QCheck.Test.make ~name:"rng: float in range" ~count:100 QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let f = Rng.float rng 3.0 in
+      f >= 0.0 && f < 3.0)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng int covers" `Quick test_rng_int_covers;
+    Alcotest.test_case "rng copy" `Quick test_rng_copy_independent;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "bitvec roundtrip" `Quick test_bitvec_roundtrip;
+    Alcotest.test_case "bitvec truncates" `Quick test_bitvec_truncates;
+    Alcotest.test_case "bitvec set" `Quick test_bitvec_set;
+    Alcotest.test_case "bitvec slice/concat" `Quick test_bitvec_slice_concat;
+    Alcotest.test_case "bitvec popcount" `Quick test_bitvec_popcount;
+    Alcotest.test_case "bitvec all" `Quick test_bitvec_all;
+    Alcotest.test_case "bitvec fold_bits" `Quick test_bitvec_fold_bits;
+    Alcotest.test_case "tabulate render" `Quick test_tabulate_render;
+    QCheck_alcotest.to_alcotest qcheck_bitvec_slice;
+    QCheck_alcotest.to_alcotest qcheck_rng_float_range;
+  ]
