@@ -11,6 +11,7 @@ open Simcov_core
 
 let seed = 20260707
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+let json = Array.exists (fun a -> a = "--json") Sys.argv
 
 let time_it f =
   let t0 = Unix.gettimeofday () in
@@ -110,8 +111,12 @@ let exp_sec72 () =
   row "reachability iterations" (string_of_int iters) "-";
   row "transitions to cover" (fmt_float n_trans) "123 million";
   row "tour length lower bound" (fmt_float n_trans) "1069 million (non-optimal tour)";
-  row "transition-relation BDD nodes" (string_of_int (Simcov_bdd.Bdd.size sym.trans)) "-";
-  row "relation build time" (Printf.sprintf "%.2fs" t_build) "~10s (Ultrasparc 166MHz)";
+  row "transition-relation conjuncts"
+    (Printf.sprintf "%d (%d nodes total)" (List.length sym.parts)
+       (List.fold_left (fun acc p -> acc + Simcov_bdd.Bdd.size p.rel) 0 sym.parts))
+    "-";
+  row "relation build time (partitioned)" (Printf.sprintf "%.2fs" t_build)
+    "~10s (Ultrasparc 166MHz)";
   row "reachability time" (Printf.sprintf "%.2fs" t_reach) "-";
   Tabulate.print ~title:"E3 / Section 7.2 — derived test-model statistics" t
 
@@ -543,24 +548,25 @@ let exp_dsp () =
 (* E11 — symbolic tour + observability metric                          *)
 (* ------------------------------------------------------------------ *)
 
-let exp_symbolic_tour () =
-  (* a mid-size circuit: symbolic tour without explicit enumeration *)
+(* a mid-size circuit family: symbolic tours without explicit
+   enumeration (E11), and the tour-length probe of the E13 JSON *)
+let lfsr width taps =
   let open Simcov_netlist in
-  let lfsr width taps =
-    let open Circuit.Build in
-    let ctx = create "lfsr" in
-    let en = input ctx "en" in
-    let bits = reg_vec ctx ~init:1 "s" width in
-    let feedback =
-      List.fold_left (fun acc t -> Expr.( ^^^ ) acc bits.(t)) Expr.fls taps
-    in
-    assign ctx bits.(0) (Expr.mux en feedback bits.(0));
-    for k = 1 to width - 1 do
-      assign ctx bits.(k) (Expr.mux en bits.(k - 1) bits.(k))
-    done;
-    output ctx "msb" bits.(width - 1);
-    finish ctx
+  let open Circuit.Build in
+  let ctx = create "lfsr" in
+  let en = input ctx "en" in
+  let bits = reg_vec ctx ~init:1 "s" width in
+  let feedback =
+    List.fold_left (fun acc t -> Expr.( ^^^ ) acc bits.(t)) Expr.fls taps
   in
+  assign ctx bits.(0) (Expr.mux en feedback bits.(0));
+  for k = 1 to width - 1 do
+    assign ctx bits.(k) (Expr.mux en bits.(k - 1) bits.(k))
+  done;
+  output ctx "msb" bits.(width - 1);
+  finish ctx
+
+let exp_symbolic_tour () =
   let t =
     Tabulate.create
       [ "circuit"; "latches"; "transitions"; "tour steps"; "complete"; "time" ]
@@ -656,6 +662,103 @@ let exp_dual () =
     ~title:
       "E12 — dual-issue DLX: pair-class coverage exposes every pairing-rule bug (the        superscalar case of Section 5)"
     t
+
+(* ------------------------------------------------------------------ *)
+(* E13 — symbolic traversal: partitioned TR + frontier BFS ablation    *)
+(* ------------------------------------------------------------------ *)
+
+let exp_traversal () =
+  let final, _ = Control.derive_test_model () in
+  let open Simcov_symbolic.Symfsm in
+  (* each configuration gets a fresh manager so cache warm-up and node
+     counts are not shared between runs *)
+  let run (partitioned, frontier) =
+    let sym = of_circuit final in
+    let tb0 = Unix.gettimeofday () in
+    if not partitioned then ignore (trans sym);
+    let build_s = Unix.gettimeofday () -. tb0 in
+    let tr = traverse ~partitioned ~frontier sym in
+    (build_s, tr, count_states sym tr.reached)
+  in
+  let configs =
+    [
+      ((false, false), "monolithic + full-set (seed baseline)");
+      ((false, true), "monolithic + frontier");
+      ((true, false), "partitioned + full-set");
+      ((true, true), "partitioned + frontier (default)");
+    ]
+  in
+  let results = List.map (fun (cfg, name) -> (cfg, name, run cfg)) configs in
+  let total (b, (tr : traversal)) = b +. tr.total_time_s in
+  let _, _, (base_build, base_tr, base_states) = List.hd results in
+  let base_total = total (base_build, base_tr) in
+  let t =
+    Tabulate.create
+      [ "configuration"; "build"; "reach"; "total"; "iters"; "images"; "peak nodes"; "speedup" ]
+  in
+  List.iter
+    (fun (_, name, (build_s, tr, _)) ->
+      Tabulate.add_row t
+        [
+          name;
+          Printf.sprintf "%.2fs" build_s;
+          Printf.sprintf "%.2fs" tr.total_time_s;
+          Printf.sprintf "%.2fs" (total (build_s, tr));
+          string_of_int tr.iterations;
+          string_of_int tr.images;
+          string_of_int tr.peak_live_nodes;
+          Printf.sprintf "%.1fx" (base_total /. total (build_s, tr));
+        ])
+    results;
+  Tabulate.print
+    ~title:
+      "E13 — DLX-model symbolic reachability: partitioned transition relation and \
+       frontier BFS vs the monolithic baseline"
+    t;
+  (* all four must agree — each config has its own manager, so compare
+     iteration and state counts here (exact BDD equality on a shared
+     manager is covered by the test suite) *)
+  List.iter
+    (fun (_, name, (_, (tr : traversal), states)) ->
+      if tr.iterations <> base_tr.iterations || states <> base_states then
+        failwith ("E13: traversal disagrees with baseline: " ^ name))
+    results;
+  if json then begin
+    let _, _, (best_build, best_tr, _) = List.nth results 3 in
+    let sym = of_circuit final in
+    let tour, tour_s =
+      time_it (fun () -> Simcov_symbolic.Symtour.generate (lfsr 8 [ 7; 5; 4; 3 ]))
+    in
+    let buf = Buffer.create 1024 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    add "{\n";
+    add "  \"model\": \"dlx-control\",\n";
+    add "  \"latches\": %d,\n" sym.n_state_vars;
+    add "  \"inputs\": %d,\n" sym.n_input_vars;
+    add "  \"reachable_states\": %.0f,\n" base_states;
+    add "  \"iterations\": %d,\n" base_tr.iterations;
+    add "  \"configs\": [\n";
+    List.iteri
+      (fun i ((partitioned, frontier), _, (build_s, (tr : traversal), _)) ->
+        add
+          "    {\"partitioned\": %b, \"frontier\": %b, \"build_s\": %.4f, \
+           \"reach_s\": %.4f, \"total_s\": %.4f, \"images\": %d, \
+           \"peak_bdd_nodes\": %d}%s\n"
+          partitioned frontier build_s tr.total_time_s (total (build_s, tr)) tr.images
+          tr.peak_live_nodes
+          (if i < List.length results - 1 then "," else ""))
+      results;
+    add "  ],\n";
+    add "  \"speedup_total\": %.2f,\n" (base_total /. total (best_build, best_tr));
+    add "  \"tour\": {\"circuit\": \"lfsr-8\", \"length\": %d, \"complete\": %b, \
+         \"time_s\": %.4f}\n"
+      (List.length tour.Simcov_symbolic.Symtour.word)
+      tour.Simcov_symbolic.Symtour.complete tour_s;
+    add "}\n";
+    Out_channel.with_open_text "BENCH_symbolic.json" (fun oc ->
+        Out_channel.output_string oc (Buffer.contents buf));
+    print_endline "wrote BENCH_symbolic.json"
+  end
 
 (* ------------------------------------------------------------------ *)
 (* E8 — Bechamel micro-benchmarks                                      *)
@@ -762,5 +865,6 @@ let () =
   exp_dsp ();
   exp_dual ();
   exp_symbolic_tour ();
+  exp_traversal ();
   bechamel_suite ();
   print_newline ()

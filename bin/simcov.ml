@@ -136,9 +136,17 @@ let stats () =
   Format.printf "%a@." Simcov_netlist.Circuit.pp_stats final;
   let sym = Simcov_symbolic.Symfsm.of_circuit final in
   let open Simcov_symbolic.Symfsm in
-  let r, iters = reachable sym in
-  Printf.printf "reachable states: %.0f of %.0f (in %d iterations)\n"
-    (count_states sym r) (state_space_size sym) iters;
+  let tr = reachable_stats sym in
+  Printf.printf "reachable states: %.0f of %.0f (in %d iterations, %.2fs)\n"
+    (count_states sym tr.reached) (state_space_size sym) tr.iterations
+    tr.total_time_s;
+  List.iter
+    (fun st ->
+      Printf.printf
+        "  iter %d: frontier %.0f states (%d nodes), reached %d nodes, %d live, %.3fs\n"
+        st.iteration st.frontier_states st.frontier_nodes st.reached_nodes
+        st.live_nodes st.time_s)
+    tr.iter_stats;
   Printf.printf "valid input combinations: %.0f of %.0f\n" (count_valid_inputs sym)
     (input_space_size sym);
   Printf.printf "transitions to cover: %.0f\n" (count_transitions sym);

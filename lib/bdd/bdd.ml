@@ -1,29 +1,214 @@
 type t = False | True | Node of { v : int; lo : t; hi : t; uid : int }
 
+(* ------------------------------------------------------------------ *)
+(* Packed int keys                                                     *)
+(*                                                                     *)
+(* Every table in the manager is keyed by a single native int: a node  *)
+(* is identified by (var, lo_uid, hi_uid) packed as                    *)
+(*   var:10 | lo:26 | hi:26                                            *)
+(* (62 bits, always non-negative), and a binary-operation cache entry  *)
+(* by (uid_a, uid_b) packed as a:26 | b:26. The limits — 1024          *)
+(* variables, 2^26 (~67M) nodes — are far beyond what fits in memory   *)
+(* here and are enforced explicitly.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let uid_bits = 26
+let uid_limit = 1 lsl uid_bits
+let var_limit = 1 lsl (62 - (2 * uid_bits))
+
+let pack3 v lo hi = (v lsl (2 * uid_bits)) lor (lo lsl uid_bits) lor hi
+let pack2 a b = (a lsl uid_bits) lor b
+
+(* ------------------------------------------------------------------ *)
+(* Open-addressed int-keyed hash tables                                *)
+(*                                                                     *)
+(* Linear probing over power-of-two arrays, no deletion. Replaces the  *)
+(* polymorphic tuple-keyed Hashtbl of the original kernel: no tuple    *)
+(* allocation per lookup, no polymorphic hashing, and probes touch a   *)
+(* flat int array.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let empty_key = min_int
+
+let mix k =
+  let h = k * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 29)
+
+module Itab = struct
+  type 'a tab = {
+    mutable keys : int array;
+    mutable data : 'a array;
+    mutable used : int;
+    dummy : 'a;
+  }
+
+  let round_pow2 n =
+    let rec go c = if c >= n then c else go (c * 2) in
+    go 16
+
+  let create size dummy =
+    let n = round_pow2 size in
+    { keys = Array.make n empty_key; data = Array.make n dummy; used = 0; dummy }
+
+  (* index of [k], or -1 when absent *)
+  let find_idx t k =
+    let m = Array.length t.keys - 1 in
+    let keys = t.keys in
+    let rec go i =
+      let key = Array.unsafe_get keys i in
+      if key = k then i else if key = empty_key then -1 else go ((i + 1) land m)
+    in
+    go (mix k land m)
+
+  let value t i = Array.unsafe_get t.data i
+
+  let resize t =
+    let old_keys = t.keys and old_data = t.data in
+    let n = 2 * Array.length old_keys in
+    let keys = Array.make n empty_key and data = Array.make n t.dummy in
+    let m = n - 1 in
+    Array.iteri
+      (fun i k ->
+        if k <> empty_key then begin
+          let rec go j =
+            if Array.unsafe_get keys j = empty_key then j else go ((j + 1) land m)
+          in
+          let j = go (mix k land m) in
+          keys.(j) <- k;
+          data.(j) <- old_data.(i)
+        end)
+      old_keys;
+    t.keys <- keys;
+    t.data <- data
+
+  let add t k v =
+    if 4 * (t.used + 1) > 3 * Array.length t.keys then resize t;
+    let m = Array.length t.keys - 1 in
+    let rec go i =
+      let key = Array.unsafe_get t.keys i in
+      if key = empty_key then begin
+        t.keys.(i) <- k;
+        t.data.(i) <- v;
+        t.used <- t.used + 1
+      end
+      else if key = k then t.data.(i) <- v
+      else go ((i + 1) land m)
+    in
+    go (mix k land m)
+
+  let length t = t.used
+end
+
+(* ITE needs three uids (78 bits), so its cache carries two key words
+   per entry. *)
+module Itab2 = struct
+  type 'a tab = {
+    mutable ka : int array;
+    mutable kb : int array;
+    mutable data : 'a array;
+    mutable used : int;
+    dummy : 'a;
+  }
+
+  let create size dummy =
+    let n = Itab.round_pow2 size in
+    {
+      ka = Array.make n empty_key;
+      kb = Array.make n 0;
+      data = Array.make n dummy;
+      used = 0;
+      dummy;
+    }
+
+  let hash a b = mix (a lxor mix b)
+
+  let find_idx t a b =
+    let m = Array.length t.ka - 1 in
+    let rec go i =
+      let key = Array.unsafe_get t.ka i in
+      if key = a && Array.unsafe_get t.kb i = b then i
+      else if key = empty_key then -1
+      else go ((i + 1) land m)
+    in
+    go (hash a b land m)
+
+  let value t i = Array.unsafe_get t.data i
+
+  let resize t =
+    let old_ka = t.ka and old_kb = t.kb and old_data = t.data in
+    let n = 2 * Array.length old_ka in
+    let ka = Array.make n empty_key
+    and kb = Array.make n 0
+    and data = Array.make n t.dummy in
+    let m = n - 1 in
+    Array.iteri
+      (fun i a ->
+        if a <> empty_key then begin
+          let b = old_kb.(i) in
+          let rec go j =
+            if Array.unsafe_get ka j = empty_key then j else go ((j + 1) land m)
+          in
+          let j = go (hash a b land m) in
+          ka.(j) <- a;
+          kb.(j) <- b;
+          data.(j) <- old_data.(i)
+        end)
+      old_ka;
+    t.ka <- ka;
+    t.kb <- kb;
+    t.data <- data
+
+  let add t a b v =
+    if 4 * (t.used + 1) > 3 * Array.length t.ka then resize t;
+    let m = Array.length t.ka - 1 in
+    let rec go i =
+      let key = Array.unsafe_get t.ka i in
+      if key = empty_key then begin
+        t.ka.(i) <- a;
+        t.kb.(i) <- b;
+        t.data.(i) <- v;
+        t.used <- t.used + 1
+      end
+      else if key = a && Array.unsafe_get t.kb i = b then t.data.(i) <- v
+      else go ((i + 1) land m)
+    in
+    go (hash a b land m)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Manager                                                             *)
+(* ------------------------------------------------------------------ *)
+
 type man = {
   nvars : int;
-  unique : (int * int * int, t) Hashtbl.t;
+  unique : t Itab.tab;
   mutable next_uid : int;
-  and_cache : (int * int, t) Hashtbl.t;
-  xor_cache : (int * int, t) Hashtbl.t;
-  not_cache : (int, t) Hashtbl.t;
-  ite_cache : (int * int * int, t) Hashtbl.t;
+  and_cache : t Itab.tab;
+  or_cache : t Itab.tab;
+  xor_cache : t Itab.tab;
+  not_cache : t Itab.tab;
+  ite_cache : t Itab2.tab;
 }
 
 let man ?(cache_size = 1 lsl 14) nvars =
-  assert (nvars >= 0);
+  if nvars < 0 then invalid_arg "Bdd.man: negative variable count";
+  if nvars > var_limit then
+    invalid_arg
+      (Printf.sprintf "Bdd.man: %d variables exceeds the packing limit of %d" nvars
+         var_limit);
   {
     nvars;
-    unique = Hashtbl.create cache_size;
+    unique = Itab.create cache_size False;
     next_uid = 2;
-    and_cache = Hashtbl.create cache_size;
-    xor_cache = Hashtbl.create cache_size;
-    not_cache = Hashtbl.create cache_size;
-    ite_cache = Hashtbl.create cache_size;
+    and_cache = Itab.create cache_size False;
+    or_cache = Itab.create cache_size False;
+    xor_cache = Itab.create cache_size False;
+    not_cache = Itab.create (cache_size / 4) False;
+    ite_cache = Itab2.create (cache_size / 4) False;
   }
 
 let num_vars m = m.nvars
-let node_count m = Hashtbl.length m.unique + 2
+let node_count m = Itab.length m.unique + 2
 
 let bfalse _ = False
 let btrue _ = True
@@ -33,15 +218,19 @@ let id = function False -> 0 | True -> 1 | Node n -> n.uid
 
 let mk m v lo hi =
   if lo == hi then lo
-  else
-    let key = (v, id lo, id hi) in
-    match Hashtbl.find_opt m.unique key with
-    | Some n -> n
-    | None ->
-        let n = Node { v; lo; hi; uid = m.next_uid } in
-        m.next_uid <- m.next_uid + 1;
-        Hashtbl.add m.unique key n;
-        n
+  else begin
+    let key = pack3 v (id lo) (id hi) in
+    let i = Itab.find_idx m.unique key in
+    if i >= 0 then Itab.value m.unique i
+    else begin
+      if m.next_uid >= uid_limit then
+        failwith "Bdd: node limit (2^26) exceeded";
+      let n = Node { v; lo; hi; uid = m.next_uid } in
+      m.next_uid <- m.next_uid + 1;
+      Itab.add m.unique key n;
+      n
+    end
+  end
 
 let var m v =
   assert (v >= 0 && v < m.nvars);
@@ -96,12 +285,13 @@ let rec bnot m t =
   | False -> True
   | True -> False
   | Node n -> (
-      match Hashtbl.find_opt m.not_cache n.uid with
-      | Some r -> r
-      | None ->
-          let r = mk m n.v (bnot m n.lo) (bnot m n.hi) in
-          Hashtbl.add m.not_cache n.uid r;
-          r)
+      let i = Itab.find_idx m.not_cache n.uid in
+      if i >= 0 then Itab.value m.not_cache i
+      else begin
+        let r = mk m n.v (bnot m n.lo) (bnot m n.hi) in
+        Itab.add m.not_cache n.uid r;
+        r
+      end)
 
 let rec band m a b =
   match (a, b) with
@@ -109,18 +299,44 @@ let rec band m a b =
   | True, x | x, True -> x
   | Node na, Node nb ->
       if a == b then a
-      else
-        let key = if na.uid <= nb.uid then (na.uid, nb.uid) else (nb.uid, na.uid) in
-        (match Hashtbl.find_opt m.and_cache key with
-        | Some r -> r
-        | None ->
-            let v = min na.v nb.v in
-            let alo, ahi = cof a v and blo, bhi = cof b v in
-            let r = mk m v (band m alo blo) (band m ahi bhi) in
-            Hashtbl.add m.and_cache key r;
-            r)
+      else begin
+        let key =
+          if na.uid <= nb.uid then pack2 na.uid nb.uid else pack2 nb.uid na.uid
+        in
+        let i = Itab.find_idx m.and_cache key in
+        if i >= 0 then Itab.value m.and_cache i
+        else begin
+          let v = min na.v nb.v in
+          let alo, ahi = cof a v and blo, bhi = cof b v in
+          let r = mk m v (band m alo blo) (band m ahi bhi) in
+          Itab.add m.and_cache key r;
+          r
+        end
+      end
 
-let bor m a b = bnot m (band m (bnot m a) (bnot m b))
+(* Direct recursive OR with its own cache — the original kernel
+   expanded a|b as ~(~a & ~b), paying three negation walks per
+   operation. *)
+let rec bor m a b =
+  match (a, b) with
+  | True, _ | _, True -> True
+  | False, x | x, False -> x
+  | Node na, Node nb ->
+      if a == b then a
+      else begin
+        let key =
+          if na.uid <= nb.uid then pack2 na.uid nb.uid else pack2 nb.uid na.uid
+        in
+        let i = Itab.find_idx m.or_cache key in
+        if i >= 0 then Itab.value m.or_cache i
+        else begin
+          let v = min na.v nb.v in
+          let alo, ahi = cof a v and blo, bhi = cof b v in
+          let r = mk m v (bor m alo blo) (bor m ahi bhi) in
+          Itab.add m.or_cache key r;
+          r
+        end
+      end
 
 let rec bxor m a b =
   match (a, b) with
@@ -128,16 +344,20 @@ let rec bxor m a b =
   | True, x | x, True -> bnot m x
   | Node na, Node nb ->
       if a == b then False
-      else
-        let key = if na.uid <= nb.uid then (na.uid, nb.uid) else (nb.uid, na.uid) in
-        (match Hashtbl.find_opt m.xor_cache key with
-        | Some r -> r
-        | None ->
-            let v = min na.v nb.v in
-            let alo, ahi = cof a v and blo, bhi = cof b v in
-            let r = mk m v (bxor m alo blo) (bxor m ahi bhi) in
-            Hashtbl.add m.xor_cache key r;
-            r)
+      else begin
+        let key =
+          if na.uid <= nb.uid then pack2 na.uid nb.uid else pack2 nb.uid na.uid
+        in
+        let i = Itab.find_idx m.xor_cache key in
+        if i >= 0 then Itab.value m.xor_cache i
+        else begin
+          let v = min na.v nb.v in
+          let alo, ahi = cof a v and blo, bhi = cof b v in
+          let r = mk m v (bxor m alo blo) (bxor m ahi bhi) in
+          Itab.add m.xor_cache key r;
+          r
+        end
+      end
 
 let bimp m a b = bor m (bnot m a) b
 let biff m a b = bnot m (bxor m a b)
@@ -149,18 +369,20 @@ let rec ite m c t e =
   | Node _ ->
       if t == e then t
       else if is_true t && is_false e then c
-      else
-        let key = (id c, id t, id e) in
-        (match Hashtbl.find_opt m.ite_cache key with
-        | Some r -> r
-        | None ->
-            let v = min (level c) (min (level t) (level e)) in
-            let clo, chi = cof c v
-            and tlo, thi = cof t v
-            and elo, ehi = cof e v in
-            let r = mk m v (ite m clo tlo elo) (ite m chi thi ehi) in
-            Hashtbl.add m.ite_cache key r;
-            r)
+      else begin
+        let ka = pack2 (id c) (id t) and kb = id e in
+        let i = Itab2.find_idx m.ite_cache ka kb in
+        if i >= 0 then Itab2.value m.ite_cache i
+        else begin
+          let v = min (level c) (min (level t) (level e)) in
+          let clo, chi = cof c v
+          and tlo, thi = cof t v
+          and elo, ehi = cof e v in
+          let r = mk m v (ite m clo tlo elo) (ite m chi thi ehi) in
+          Itab2.add m.ite_cache ka kb r;
+          r
+        end
+      end
 
 let conj m = List.fold_left (band m) True
 let disj m = List.fold_left (bor m) False
@@ -173,27 +395,38 @@ let rec cofactor m t v b =
       else if n.v = v then if b then n.hi else n.lo
       else mk m n.v (cofactor m n.lo v b) (cofactor m n.hi v b)
 
-(* Quantification: [vars] sorted ascending; membership probed with a
-   per-call cache keyed by node uid (valid because the var set is fixed
-   for the call). *)
+(* A quantified-variable set as a flat bool array, validated against
+   the manager's variable range. *)
+let var_set m vars =
+  let vset = Array.make m.nvars false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= m.nvars then invalid_arg "Bdd: variable out of range";
+      vset.(v) <- true)
+    vars;
+  vset
+
+(* Quantification: membership probed in a flat bool array; results
+   memoized per call keyed by node uid (valid because the var set is
+   fixed for the call). *)
 let quantify m ~disjunctive vars t =
-  let vset = Hashtbl.create 16 in
-  List.iter (fun v -> Hashtbl.replace vset v ()) vars;
-  let cache = Hashtbl.create 256 in
+  let vset = var_set m vars in
+  let cache = Itab.create 256 False in
   let combine a b = if disjunctive then bor m a b else band m a b in
   let rec go t =
     match t with
     | False | True -> t
     | Node n -> (
-        match Hashtbl.find_opt cache n.uid with
-        | Some r -> r
-        | None ->
-            let r =
-              if Hashtbl.mem vset n.v then combine (go n.lo) (go n.hi)
-              else mk m n.v (go n.lo) (go n.hi)
-            in
-            Hashtbl.add cache n.uid r;
-            r)
+        let i = Itab.find_idx cache n.uid in
+        if i >= 0 then Itab.value cache i
+        else begin
+          let r =
+            if vset.(n.v) then combine (go n.lo) (go n.hi)
+            else mk m n.v (go n.lo) (go n.hi)
+          in
+          Itab.add cache n.uid r;
+          r
+        end)
   in
   go t
 
@@ -202,81 +435,34 @@ let forall m vars t = quantify m ~disjunctive:false vars t
 
 (* Fused AND-EXISTS: quantifies while conjoining, pruning as soon as a
    branch reaches True under the quantifier. *)
-let and_exists m vars f g =
-  let vset = Hashtbl.create 16 in
-  List.iter (fun v -> Hashtbl.replace vset v ()) vars;
-  let cache = Hashtbl.create 1024 in
+let and_exists_set m vset f g =
+  let cache = Itab.create 1024 False in
   let rec go f g =
     match (f, g) with
     | False, _ | _, False -> False
     | True, True -> True
     | _ ->
         let fid = id f and gid = id g in
-        let key = if fid <= gid then (fid, gid) else (gid, fid) in
-        (match Hashtbl.find_opt cache key with
-        | Some r -> r
-        | None ->
-            let v = min (level f) (level g) in
-            let flo, fhi = cof f v and glo, ghi = cof g v in
-            let r =
-              if Hashtbl.mem vset v then
-                let lo = go flo glo in
-                if is_true lo then True else bor m lo (go fhi ghi)
-              else mk m v (go flo glo) (go fhi ghi)
-            in
-            Hashtbl.add cache key r;
-            r)
+        let key = if fid <= gid then pack2 fid gid else pack2 gid fid in
+        let i = Itab.find_idx cache key in
+        if i >= 0 then Itab.value cache i
+        else begin
+          let v = min (level f) (level g) in
+          let flo, fhi = cof f v and glo, ghi = cof g v in
+          let r =
+            if vset.(v) then begin
+              let lo = go flo glo in
+              if is_true lo then True else bor m lo (go fhi ghi)
+            end
+            else mk m v (go flo glo) (go fhi ghi)
+          in
+          Itab.add cache key r;
+          r
+        end
   in
   go f g
 
-let rename m subst t =
-  let cache = Hashtbl.create 256 in
-  let rec go t =
-    match t with
-    | False | True -> t
-    | Node n -> (
-        match Hashtbl.find_opt cache n.uid with
-        | Some r -> r
-        | None ->
-            let v' = subst n.v in
-            assert (v' >= 0 && v' < m.nvars);
-            let r = mk m v' (go n.lo) (go n.hi) in
-            Hashtbl.add cache n.uid r;
-            r)
-  in
-  go t
-
-let restrict_cube m assigns t =
-  List.fold_left (fun acc (v, b) -> cofactor m acc v b) t assigns
-
-let any_sat _m t =
-  let rec go t acc =
-    match t with
-    | True -> List.rev acc
-    | False -> raise Not_found
-    | Node n -> if is_false n.hi then go n.lo ((n.v, false) :: acc) else go n.hi ((n.v, true) :: acc)
-  in
-  go t []
-
-let sat_count _m ~nvars t =
-  let cache = Hashtbl.create 256 in
-  (* count over the subspace of variables >= from *)
-  let rec go t from =
-    match t with
-    | False -> 0.0
-    | True -> Float.of_int 1 *. Float.pow 2.0 (Float.of_int (nvars - from))
-    | Node n ->
-        let below =
-          match Hashtbl.find_opt cache n.uid with
-          | Some c -> c
-          | None ->
-              let c = go n.lo (n.v + 1) +. go n.hi (n.v + 1) in
-              Hashtbl.add cache n.uid c;
-              c
-        in
-        below *. Float.pow 2.0 (Float.of_int (n.v - from))
-  in
-  go t 0
+let and_exists m vars f g = and_exists_set m (var_set m vars) f g
 
 let support _m t =
   let seen = Hashtbl.create 64 in
@@ -294,6 +480,101 @@ let support _m t =
   in
   go t;
   Hashtbl.fold (fun v () acc -> v :: acc) vars [] |> List.sort Int.compare
+
+(* Multi-operand fused AND-EXISTS with early quantification: fold the
+   conjuncts left to right, and quantify each variable out with the
+   conjunct in which it occurs for the last time — at that point no
+   remaining conjunct mentions it, so
+     exists V (c0 & c1 & ... & cn)
+   = exists V_n (... (exists V_1 ((exists V_0 c0) & c1) ...) & cn)
+   where V_i is the set of variables whose last occurrence is c_i.
+   Intermediate results never carry variables that are already dead,
+   which is the whole point of a partitioned transition relation.
+   Conjunct order is the caller's ordering heuristic; correctness does
+   not depend on it. *)
+let and_exists_list m vars conjuncts =
+  match conjuncts with
+  | [] -> True
+  | [ f ] -> exists m vars f
+  | _ ->
+      let fs = Array.of_list conjuncts in
+      let n = Array.length fs in
+      let qset = var_set m vars in
+      (* last.(v) = index of the last conjunct whose support contains v *)
+      let last = Array.make m.nvars (-1) in
+      Array.iteri
+        (fun i f -> List.iter (fun v -> last.(v) <- i) (support m f))
+        fs;
+      let quantify_at = Array.make n [] in
+      Array.iteri
+        (fun v l -> if qset.(v) && l >= 0 then quantify_at.(l) <- v :: quantify_at.(l))
+        last;
+      let acc = ref True in
+      for i = 0 to n - 1 do
+        acc :=
+          (match quantify_at.(i) with
+          | [] -> band m !acc fs.(i)
+          | q -> and_exists_set m (var_set m q) !acc fs.(i))
+      done;
+      !acc
+
+let rename m subst t =
+  let cache = Itab.create 256 False in
+  let rec go t =
+    match t with
+    | False | True -> t
+    | Node n -> (
+        let i = Itab.find_idx cache n.uid in
+        if i >= 0 then Itab.value cache i
+        else begin
+          let v' = subst n.v in
+          assert (v' >= 0 && v' < m.nvars);
+          let r = mk m v' (go n.lo) (go n.hi) in
+          Itab.add cache n.uid r;
+          r
+        end)
+  in
+  go t
+
+let restrict_cube m assigns t =
+  List.fold_left (fun acc (v, b) -> cofactor m acc v b) t assigns
+
+let any_sat _m t =
+  let rec go t acc =
+    match t with
+    | True -> List.rev acc
+    | False -> raise Not_found
+    | Node n -> if is_false n.hi then go n.lo ((n.v, false) :: acc) else go n.hi ((n.v, true) :: acc)
+  in
+  go t []
+
+let sat_count _m ~nvars t =
+  if nvars < 0 then invalid_arg "Bdd.sat_count: negative nvars";
+  (* precomputed powers of two replace the Float.pow call that used to
+     run on every node and every leaf *)
+  let pow2 = Array.init (nvars + 1) (fun i -> Float.ldexp 1.0 i) in
+  let cache = Hashtbl.create 256 in
+  (* count over the subspace of variables >= from *)
+  let rec go t from =
+    match t with
+    | False -> 0.0
+    | True -> pow2.(nvars - from)
+    | Node n ->
+        if n.v >= nvars then
+          invalid_arg
+            (Printf.sprintf "Bdd.sat_count: nvars = %d but support contains variable %d"
+               nvars n.v);
+        let below =
+          match Hashtbl.find_opt cache n.uid with
+          | Some c -> c
+          | None ->
+              let c = go n.lo (n.v + 1) +. go n.hi (n.v + 1) in
+              Hashtbl.add cache n.uid c;
+              c
+        in
+        below *. pow2.(n.v - from)
+  in
+  go t 0
 
 let eval _m t assign =
   let rec go t =

@@ -80,6 +80,16 @@ val and_exists : man -> int list -> t -> t -> t
 (** Fused relational product: [exists vars (band f g)] without building
     the full conjunction — the workhorse of image computation. *)
 
+val and_exists_list : man -> int list -> t list -> t
+(** [and_exists_list m vars conjuncts] is
+    [exists m vars (conj m conjuncts)] computed with early
+    quantification: conjuncts are folded in the given order and each
+    variable of [vars] is quantified out together with the last
+    conjunct whose support mentions it, so intermediate products never
+    carry dead variables. The conjunct order is the caller's
+    clustering/ordering heuristic; the result does not depend on it.
+    [and_exists_list m vars []] is [btrue m]. *)
+
 val rename : man -> (int -> int) -> t -> t
 (** Variable renaming. The mapping must be injective on the support and
     must preserve the variable order on it (monotone), which holds for
@@ -96,7 +106,10 @@ val any_sat : man -> t -> (int * bool) list
 
 val sat_count : man -> nvars:int -> t -> float
 (** Number of satisfying assignments over a space of [nvars] variables
-    (as a float: the paper's models have up to 2^25 assignments). *)
+    (as a float: the paper's models have up to 2^25 assignments).
+    @raise Invalid_argument if [nvars] is negative or smaller than some
+    variable in the BDD's support (the count would silently be wrong
+    otherwise). *)
 
 val iter_sat : man -> vars:int array -> (bool array -> unit) -> t -> unit
 (** Enumerate all satisfying total assignments over exactly the

@@ -63,11 +63,12 @@ let check (a : Circuit.t) (b : Circuit.t) =
     let img = Bdd.and_exists man (cur_vars @ inp_vars) set trans in
     Bdd.rename man (fun v -> if v < 2 * n_state then v - 1 else v) img
   in
-  let rec fix set =
-    let next = Bdd.bor man set (image set) in
-    if Bdd.equal next set then set else fix next
+  (* frontier-based BFS: image only the newly discovered pairs *)
+  let rec fix reached front =
+    let fresh = Bdd.band man (image front) (Bdd.bnot man reached) in
+    if Bdd.is_false fresh then reached else fix (Bdd.bor man reached fresh) fresh
   in
-  let reach = fix init in
+  let reach = fix init init in
   (* the miter: some output pair differs under a valid input *)
   let diff_of k =
     Bdd.bxor man

@@ -1,5 +1,25 @@
 open Simcov_bdd
 
+type part = { rel : Bdd.t; supp : int list }
+
+type iter_stat = {
+  iteration : int;
+  frontier_states : float;
+  frontier_nodes : int;
+  reached_nodes : int;
+  live_nodes : int;
+  time_s : float;
+}
+
+type traversal = {
+  reached : Bdd.t;
+  iterations : int;
+  images : int;
+  peak_live_nodes : int;
+  total_time_s : float;
+  iter_stats : iter_stat list;
+}
+
 type t = {
   man : Bdd.man;
   n_state_vars : int;
@@ -7,10 +27,12 @@ type t = {
   cur : int array;
   nxt : int array;
   inp : int array;
-  trans : Bdd.t;
+  parts : part list;
   valid : Bdd.t;
   init : Bdd.t;
   outputs : Bdd.t array;
+  mutable mono : Bdd.t option;
+  mutable reach : traversal option;
 }
 
 (* Variable layout: cur_i = 2i, nxt_i = 2i + 1 (interleaved), inputs
@@ -24,6 +46,66 @@ let layout ~n_state ~n_input =
 let bits_needed n =
   let rec go k acc = if k <= 1 then max acc 1 else go ((k + 1) / 2) (acc + 1) in
   go n 0
+
+(* Conjunct ordering for early quantification, greedy over supports:
+   repeatedly pick the part that kills the most still-pending
+   quantifiable variables (variables of the image quantifier appearing
+   in no other unpicked part get quantified out right after this part
+   is folded in) while introducing the fewest variables not yet seen.
+   O(parts^2 * support) — negligible at build time, and the resulting
+   static order is reused by every image/preimage call. *)
+let order_parts nvars parts ~quantified =
+  let parts = Array.of_list parts in
+  let n = Array.length parts in
+  let chosen = Array.make n false in
+  let introduced = Array.make nvars false in
+  let occ = Array.make nvars 0 in
+  Array.iter (fun p -> List.iter (fun v -> occ.(v) <- occ.(v) + 1) p.supp) parts;
+  let result = ref [] in
+  for _ = 1 to n do
+    let best = ref (-1) and best_score = ref min_int in
+    for i = 0 to n - 1 do
+      if not chosen.(i) then begin
+        let kills = ref 0 and news = ref 0 in
+        List.iter
+          (fun v ->
+            if quantified.(v) && occ.(v) = 1 then incr kills;
+            if not introduced.(v) then incr news)
+          parts.(i).supp;
+        let score = (2 * !kills) - !news in
+        if score > !best_score then begin
+          best := i;
+          best_score := score
+        end
+      end
+    done;
+    let p = parts.(!best) in
+    chosen.(!best) <- true;
+    List.iter
+      (fun v ->
+        occ.(v) <- occ.(v) - 1;
+        introduced.(v) <- true)
+      p.supp;
+    result := p :: !result
+  done;
+  List.rev !result
+
+(* Build the partitioned relation from raw conjuncts: drop trivial
+   ones, attach supports, order for image computation (current-state
+   and input variables quantified). *)
+let mk_parts man ~n_state ~n_input rels =
+  let nvars = Bdd.num_vars man in
+  let quantified = Array.make nvars false in
+  for i = 0 to n_state - 1 do
+    quantified.(2 * i) <- true
+  done;
+  for j = 0 to n_input - 1 do
+    quantified.((2 * n_state) + j) <- true
+  done;
+  rels
+  |> List.filter_map (fun rel ->
+         if Bdd.is_true rel then None else Some { rel; supp = Bdd.support man rel })
+  |> order_parts nvars ~quantified
 
 let of_circuit (c : Simcov_netlist.Circuit.t) =
   let open Simcov_netlist in
@@ -42,13 +124,12 @@ let of_circuit (c : Simcov_netlist.Circuit.t) =
     | Expr.Mux (s, h, l) -> Bdd.ite man (expr_bdd s) (expr_bdd h) (expr_bdd l)
   in
   let valid = expr_bdd c.Circuit.input_constraint in
-  let trans =
+  let latch_rels =
     Array.to_list c.Circuit.regs
     |> List.mapi (fun i (r : Circuit.reg) ->
            Bdd.biff man (Bdd.var man nxt.(i)) (expr_bdd r.Circuit.next))
-    |> Bdd.conj man
-    |> Bdd.band man valid
   in
+  let parts = mk_parts man ~n_state ~n_input (valid :: latch_rels) in
   let init =
     Array.to_list c.Circuit.regs
     |> List.mapi (fun i (r : Circuit.reg) ->
@@ -58,7 +139,20 @@ let of_circuit (c : Simcov_netlist.Circuit.t) =
   let outputs =
     Array.map (fun (o : Circuit.port) -> expr_bdd o.Circuit.expr) c.Circuit.outputs
   in
-  { man; n_state_vars = n_state; n_input_vars = n_input; cur; nxt; inp; trans; valid; init; outputs }
+  {
+    man;
+    n_state_vars = n_state;
+    n_input_vars = n_input;
+    cur;
+    nxt;
+    inp;
+    parts;
+    valid;
+    init;
+    outputs;
+    mono = None;
+    reach = None;
+  }
 
 let of_fsm (m : Simcov_fsm.Fsm.t) =
   let open Simcov_fsm in
@@ -70,7 +164,11 @@ let of_fsm (m : Simcov_fsm.Fsm.t) =
       (List.init width (fun b ->
            if (v lsr b) land 1 = 1 then Bdd.var man vars.(b) else Bdd.nvar man vars.(b)))
   in
-  let trans = ref (Bdd.bfalse man) in
+  (* per-next-state-bit transition functions: delta.(b) collects the
+     (state, input) pairs whose successor has bit b set, so the
+     relation factors as V(s,x) & AND_b (nxt_b <-> delta_b(s,x)) —
+     one conjunct per latch instead of one monolithic disjunction *)
+  let delta = Array.make n_state (Bdd.bfalse man) in
   let valid = ref (Bdd.bfalse man) in
   let n_outputs = ref 1 in
   let transitions = Fsm.transitions m in
@@ -81,11 +179,17 @@ let of_fsm (m : Simcov_fsm.Fsm.t) =
     (fun (s, i, s', o) ->
       let si = Bdd.band man (cube cur n_state s) (cube inp n_input i) in
       valid := Bdd.bor man !valid si;
-      trans := Bdd.bor man !trans (Bdd.band man si (cube nxt n_state s'));
+      for b = 0 to n_state - 1 do
+        if (s' lsr b) land 1 = 1 then delta.(b) <- Bdd.bor man delta.(b) si
+      done;
       for b = 0 to out_bits - 1 do
         if (o lsr b) land 1 = 1 then outputs.(b) <- Bdd.bor man outputs.(b) si
       done)
     transitions;
+  let latch_rels =
+    List.init n_state (fun b -> Bdd.biff man (Bdd.var man nxt.(b)) delta.(b))
+  in
+  let parts = mk_parts man ~n_state ~n_input (!valid :: latch_rels) in
   {
     man;
     n_state_vars = n_state;
@@ -93,38 +197,127 @@ let of_fsm (m : Simcov_fsm.Fsm.t) =
     cur;
     nxt;
     inp;
-    trans = !trans;
+    parts;
     valid = !valid;
     init = cube cur n_state m.Fsm.reset;
     outputs;
+    mono = None;
+    reach = None;
   }
 
 let cur_and_inp t = Array.to_list t.cur @ Array.to_list t.inp
+let part_rels t = List.map (fun p -> p.rel) t.parts
+
+(* Monolithic transition relation — the fallback representation and
+   the oracle the partitioned path is tested against. Built on first
+   demand (it is the single most expensive BDD in the system) and
+   cached. *)
+let trans t =
+  match t.mono with
+  | Some r -> r
+  | None ->
+      let r = Bdd.conj t.man (part_rels t) in
+      t.mono <- Some r;
+      r
+
+let constrain_trans t pred =
+  List.fold_left (fun acc p -> Bdd.band t.man acc p.rel) pred t.parts
+
+let shift_down t v = if v < 2 * t.n_state_vars then v - 1 else v
+let shift_up t v = if v < 2 * t.n_state_vars then v + 1 else v
 
 let image t set =
-  let img = Bdd.and_exists t.man (cur_and_inp t) set t.trans in
+  let img = Bdd.and_exists_list t.man (cur_and_inp t) (set :: part_rels t) in
   (* img is over nxt vars; shift them down to cur *)
-  Bdd.rename t.man (fun v -> if v < 2 * t.n_state_vars then v - 1 else v) img
+  Bdd.rename t.man (shift_down t) img
+
+let image_mono t set =
+  let img = Bdd.and_exists t.man (cur_and_inp t) set (trans t) in
+  Bdd.rename t.man (shift_down t) img
 
 let preimage t set =
-  let set' = Bdd.rename t.man (fun v -> if v < 2 * t.n_state_vars then v + 1 else v) set in
-  Bdd.and_exists t.man (Array.to_list t.nxt @ Array.to_list t.inp) set' t.trans
+  let set' = Bdd.rename t.man (shift_up t) set in
+  Bdd.and_exists_list t.man
+    (Array.to_list t.nxt @ Array.to_list t.inp)
+    (set' :: part_rels t)
 
-let reachable t =
-  let rec go set n =
-    let next = Bdd.bor t.man set (image t set) in
-    if Bdd.equal next set then (set, n) else go next (n + 1)
-  in
-  go t.init 1
+let preimage_mono t set =
+  let set' = Bdd.rename t.man (shift_up t) set in
+  Bdd.and_exists t.man (Array.to_list t.nxt @ Array.to_list t.inp) set' (trans t)
 
 (* Count assignments of [f] over exactly [width] variables, given that
    support f is contained in those variables: total count divided by
    the free dimensions. *)
 let count_over t f ~width =
   let total_vars = Bdd.num_vars t.man in
-  Bdd.sat_count t.man ~nvars:total_vars f /. Float.pow 2.0 (Float.of_int (total_vars - width))
+  Bdd.sat_count t.man ~nvars:total_vars f /. Float.ldexp 1.0 (total_vars - width)
 
 let count_states t set = count_over t set ~width:t.n_state_vars
+
+let traverse ?(partitioned = true) ?(frontier = true) t =
+  let img = if partitioned then image t else image_mono t in
+  let t0 = Unix.gettimeofday () in
+  let stats = ref [] in
+  let images = ref 0 in
+  let record ~iteration ~front ~reached ~dt =
+    stats :=
+      {
+        iteration;
+        frontier_states = count_states t front;
+        frontier_nodes = Bdd.size front;
+        reached_nodes = Bdd.size reached;
+        live_nodes = Bdd.node_count t.man;
+        time_s = dt;
+      }
+      :: !stats
+  in
+  let finish reached iterations =
+    {
+      reached;
+      iterations;
+      images = !images;
+      peak_live_nodes = Bdd.node_count t.man;
+      total_time_s = Unix.gettimeofday () -. t0;
+      iter_stats = List.rev !stats;
+    }
+  in
+  if frontier then begin
+    (* BFS imaging only the new frontier: states discovered in the
+       previous iteration, not the whole reached set *)
+    let rec go reached front n =
+      let ti = Unix.gettimeofday () in
+      let im = img front in
+      incr images;
+      let fresh = Bdd.band t.man im (Bdd.bnot t.man reached) in
+      record ~iteration:n ~front ~reached ~dt:(Unix.gettimeofday () -. ti);
+      if Bdd.is_false fresh then finish reached n
+      else go (Bdd.bor t.man reached fresh) fresh (n + 1)
+    in
+    go t.init t.init 1
+  end
+  else begin
+    let rec go set n =
+      let ti = Unix.gettimeofday () in
+      let im = img set in
+      incr images;
+      let next = Bdd.bor t.man set im in
+      record ~iteration:n ~front:set ~reached:set ~dt:(Unix.gettimeofday () -. ti);
+      if Bdd.equal next set then finish set n else go next (n + 1)
+    in
+    go t.init 1
+  end
+
+let reachable_stats t =
+  match t.reach with
+  | Some tr -> tr
+  | None ->
+      let tr = traverse t in
+      t.reach <- Some tr;
+      tr
+
+let reachable t =
+  let tr = reachable_stats t in
+  (tr.reached, tr.iterations)
 
 let count_reachable t = count_states t (fst (reachable t))
 
@@ -137,8 +330,8 @@ let count_valid_inputs t =
   let v = Bdd.and_exists t.man (Array.to_list t.cur) r t.valid in
   count_over t v ~width:t.n_input_vars
 
-let state_space_size t = Float.pow 2.0 (Float.of_int t.n_state_vars)
-let input_space_size t = Float.pow 2.0 (Float.of_int t.n_input_vars)
+let state_space_size t = Float.ldexp 1.0 t.n_state_vars
+let input_space_size t = Float.ldexp 1.0 t.n_input_vars
 
 let pick_state t set =
   if Bdd.is_false set then None

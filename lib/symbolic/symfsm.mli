@@ -8,11 +8,42 @@
     next state variables are interleaved in the variable order, the
     standard heuristic for relation BDDs.
 
+    The relation is kept {e partitioned}: one conjunct per latch plus
+    the validity constraint, each with its support, ordered at build
+    time by a greedy clustering heuristic. Image and preimage fold the
+    conjuncts with early quantification (Burch–Clarke–Long style)
+    instead of ever building the monolithic product; the monolithic
+    relation remains available through {!trans} as a fallback and as
+    the test oracle for the partitioned path.
+
     Used to reproduce the paper's counts: reachable states (13,720 of
     2^22 there), valid input combinations (8228 of 2^25), and the
     number of distinct transitions (123 million). *)
 
 open Simcov_bdd
+
+type part = {
+  rel : Bdd.t;  (** one conjunct of the transition relation *)
+  supp : int list;  (** its support, ascending *)
+}
+
+type iter_stat = {
+  iteration : int;  (** 1-based breadth-first layer *)
+  frontier_states : float;  (** states imaged this iteration *)
+  frontier_nodes : int;  (** BDD nodes of the imaged set *)
+  reached_nodes : int;  (** BDD nodes of the reached set before the step *)
+  live_nodes : int;  (** manager unique-table size after the step *)
+  time_s : float;  (** wall time of this image step *)
+}
+
+type traversal = {
+  reached : Bdd.t;  (** the least fixpoint, over [cur] vars *)
+  iterations : int;  (** sequential depth + 1 *)
+  images : int;  (** image computations performed *)
+  peak_live_nodes : int;  (** manager unique-table size at the end *)
+  total_time_s : float;
+  iter_stats : iter_stat list;  (** per-iteration, in order *)
+}
 
 type t = {
   man : Bdd.man;
@@ -21,32 +52,69 @@ type t = {
   cur : int array;  (** current-state BDD variables *)
   nxt : int array;  (** next-state BDD variables *)
   inp : int array;  (** input BDD variables *)
-  trans : Bdd.t;  (** T(cur, inp, nxt), conjoined with validity *)
+  parts : part list;  (** partitioned T(cur, inp, nxt) · V, in fold order *)
   valid : Bdd.t;  (** V(cur, inp) *)
   init : Bdd.t;  (** I(cur) *)
   outputs : Bdd.t array;  (** O_k(cur, inp) per output bit *)
+  mutable mono : Bdd.t option;  (** cached monolithic relation *)
+  mutable reach : traversal option;  (** cached default traversal *)
 }
 
 val of_circuit : Simcov_netlist.Circuit.t -> t
 (** Compile a netlist: one state variable per register, one input
-    variable per primary input. *)
+    variable per primary input; one relation conjunct per register. *)
 
 val of_fsm : Simcov_fsm.Fsm.t -> t
 (** Encode an explicit machine in binary (states and inputs packed
-    little-endian; unreachable encodings excluded by validity). *)
+    little-endian; unreachable encodings excluded by validity); one
+    relation conjunct per state bit. *)
+
+(** {1 The transition relation} *)
+
+val trans : t -> Bdd.t
+(** The monolithic conjunction of all partition conjuncts — built on
+    first use and cached. This is the representation the partitioned
+    image/preimage path is validated against, and the fallback for
+    consumers that need the whole relation. *)
+
+val constrain_trans : t -> Bdd.t -> Bdd.t
+(** [constrain_trans t pred] is [pred ∧ T] computed by folding the
+    partition into [pred], without ever building the monolithic
+    relation — cheap when [pred] fixes most state variables. *)
 
 (** {1 Traversal} *)
 
 val image : t -> Bdd.t -> Bdd.t
 (** Forward image over valid transitions: the set (over [cur] vars) of
-    successors of the given set (over [cur] vars). *)
+    successors of the given set (over [cur] vars). Partitioned, with
+    early quantification. *)
 
 val preimage : t -> Bdd.t -> Bdd.t
-(** States with a valid transition into the given set. *)
+(** States with a valid transition into the given set. Partitioned. *)
+
+val image_mono : t -> Bdd.t -> Bdd.t
+(** [image] against the monolithic relation (forces {!trans}); kept as
+    the oracle and fallback. *)
+
+val preimage_mono : t -> Bdd.t -> Bdd.t
+
+val traverse : ?partitioned:bool -> ?frontier:bool -> t -> traversal
+(** Least fixpoint of the image from [init], with per-iteration
+    statistics. [partitioned] selects the partitioned vs. monolithic
+    image; [frontier] selects frontier-based BFS (image only the
+    states discovered in the previous iteration) vs. imaging the full
+    reached set each round. Both default to [true] — the fast path.
+    All four combinations compute the same fixpoint in the same number
+    of iterations; the flags exist for benchmarks and as oracles. *)
 
 val reachable : t -> Bdd.t * int
 (** Least fixpoint of [image] from [init]; also returns the number of
-    iterations (the sequential depth + 1). *)
+    iterations (the sequential depth + 1). Memoized: repeated calls
+    (e.g. from the counting helpers) reuse the first traversal. *)
+
+val reachable_stats : t -> traversal
+(** Like {!reachable} with the full per-iteration statistics (same
+    memoized traversal). *)
 
 (** {1 Counting} *)
 

@@ -84,8 +84,8 @@ let generate ?(max_steps = 100_000) (circuit : Circuit.t) =
                   layer
               in
               let choices =
-                Bdd.band man (Symfsm.state_cube sym !state)
-                  (Bdd.band man sym.Symfsm.trans layer')
+                Symfsm.constrain_trans sym
+                  (Bdd.band man (Symfsm.state_cube sym !state) layer')
               in
               (* trans includes validity; choices is nonempty by
                  construction of the layers *)

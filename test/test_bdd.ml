@@ -231,6 +231,84 @@ let qcheck_and_exists_fused =
       let f = random_fn () and g = random_fn () in
       Bdd.equal (Bdd.and_exists m [ qvar ] f g) (Bdd.exists m [ qvar ] (Bdd.band m f g)))
 
+let test_sat_count_guard () =
+  let m = Bdd.man 4 in
+  let f = Bdd.band m (Bdd.var m 0) (Bdd.var m 3) in
+  Alcotest.check_raises "nvars below topvar"
+    (Invalid_argument "Bdd.sat_count: nvars = 2 but support contains variable 3")
+    (fun () -> ignore (Bdd.sat_count m ~nvars:2 f));
+  Alcotest.check_raises "negative nvars"
+    (Invalid_argument "Bdd.sat_count: negative nvars") (fun () ->
+      ignore (Bdd.sat_count m ~nvars:(-1) f));
+  (* at exactly the support bound the count is still defined: x0 & x3
+     leaves two free variables *)
+  Alcotest.(check (float 1e-9)) "nvars = support max + 1" 4.0 (Bdd.sat_count m ~nvars:4 f)
+
+let test_man_var_limit () =
+  Alcotest.(check bool) "1024 vars allowed" true
+    (Bdd.num_vars (Bdd.man 1024) = 1024);
+  Alcotest.(check bool) "beyond packing limit rejected" true
+    (try
+       ignore (Bdd.man 1025);
+       false
+     with Invalid_argument _ -> true)
+
+(* stress the open-addressed tables through their resize path: a
+   function with a few thousand distinct nodes *)
+let test_table_resize () =
+  let n = 24 in
+  let m = Bdd.man ~cache_size:16 n in
+  let f = ref (Bdd.bfalse m) in
+  for i = 0 to n - 2 do
+    f := Bdd.bor m !f (Bdd.band m (Bdd.var m i) (Bdd.var m (i + 1)))
+  done;
+  (* count via both enumeration-free sat_count and semantics probes *)
+  let reference assign =
+    let ok = ref false in
+    for i = 0 to n - 2 do
+      if assign i && assign (i + 1) then ok := true
+    done;
+    !ok
+  in
+  let rng = Simcov_util.Rng.create 7 in
+  for _ = 1 to 500 do
+    let bits = Simcov_util.Rng.int rng (1 lsl n) in
+    let assign v = (bits lsr v) land 1 = 1 in
+    Alcotest.(check bool) "agrees" (reference assign) (Bdd.eval m !f assign)
+  done;
+  Alcotest.(check bool) "thousands of nodes" true (Bdd.node_count m > 100)
+
+let qcheck_and_exists_list =
+  (* the fused multi-conjunct relational product must equal the naive
+     exists-of-conjunction on random conjunct lists *)
+  QCheck.Test.make ~name:"bdd: and_exists_list equals exists of conj" ~count:150
+    QCheck.(pair (int_range 1 100_000) (int_range 0 4))
+    (fun (seed, n_extra) ->
+      let nv = 6 in
+      let m = Bdd.man nv in
+      let rng = Simcov_util.Rng.create seed in
+      let random_fn () =
+        let f = ref (Bdd.bfalse m) in
+        for assignment = 0 to (1 lsl nv) - 1 do
+          if Simcov_util.Rng.int rng 3 = 0 then begin
+            let cube =
+              Bdd.conj m
+                (List.init nv (fun v ->
+                     if (assignment lsr v) land 1 = 1 then Bdd.var m v else Bdd.nvar m v))
+            in
+            f := Bdd.bor m !f cube
+          end
+        done;
+        !f
+      in
+      let conjuncts = List.init (1 + n_extra) (fun _ -> random_fn ()) in
+      let vars =
+        List.filter (fun _ -> Simcov_util.Rng.bool rng) (List.init nv Fun.id)
+      in
+      Bdd.equal
+        (Bdd.and_exists_list m vars conjuncts)
+        (Bdd.exists m vars (Bdd.conj m conjuncts)))
+
 let qcheck_sat_count_matches_enumeration =
   QCheck.Test.make ~name:"bdd: sat_count equals iter_sat enumeration" ~count:100
     QCheck.(int_range 1 10_000)
@@ -270,8 +348,12 @@ let suite =
     Alcotest.test_case "restrict_cube" `Quick test_restrict_cube;
     Alcotest.test_case "size" `Quick test_size;
     Alcotest.test_case "parity chain" `Quick test_parity_chain;
+    Alcotest.test_case "sat_count guard" `Quick test_sat_count_guard;
+    Alcotest.test_case "manager var limit" `Quick test_man_var_limit;
+    Alcotest.test_case "table resize" `Quick test_table_resize;
     QCheck_alcotest.to_alcotest qcheck_random_exprs;
     QCheck_alcotest.to_alcotest qcheck_quantifier_duality;
     QCheck_alcotest.to_alcotest qcheck_and_exists_fused;
+    QCheck_alcotest.to_alcotest qcheck_and_exists_list;
     QCheck_alcotest.to_alcotest qcheck_sat_count_matches_enumeration;
   ]

@@ -127,6 +127,124 @@ let test_symbolic_vs_explicit_random () =
       (count_transitions t)
   done
 
+(* ------------------------------------------------------------------ *)
+(* Partitioned transition relation vs the monolithic oracle            *)
+(* ------------------------------------------------------------------ *)
+
+let check_partitioned_against_oracle t =
+  let open Simcov_bdd in
+  let eq = Bdd.equal in
+  (* traversals: all four strategies produce the same fixpoint in the
+     same number of iterations *)
+  let base = traverse ~partitioned:false ~frontier:false t in
+  let ok = ref true in
+  List.iter
+    (fun (p, f) ->
+      let tr = traverse ~partitioned:p ~frontier:f t in
+      if (not (eq tr.reached base.reached)) || tr.iterations <> base.iterations then
+        ok := false)
+    [ (false, true); (true, false); (true, true) ];
+  (* image/preimage agree on assorted sets over the cur vars *)
+  let sets = [ t.init; image_mono t t.init; base.reached ] in
+  List.iter
+    (fun s ->
+      if not (eq (image t s) (image_mono t s)) then ok := false;
+      if not (eq (preimage t s) (preimage_mono t s)) then ok := false)
+    sets;
+  !ok
+
+let qcheck_partitioned_fsm =
+  QCheck.Test.make
+    ~name:"symfsm: partitioned image/preimage/reachable = monolithic (random FSMs)"
+    ~count:100
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Simcov_util.Rng.create seed in
+      let n_states = 2 + Simcov_util.Rng.int rng 9 in
+      let n_inputs = 1 + Simcov_util.Rng.int rng 3 in
+      let m =
+        Simcov_fsm.Fsm.random_connected rng ~n_states ~n_inputs ~n_outputs:2
+      in
+      check_partitioned_against_oracle (of_fsm m))
+
+let random_circuit rng =
+  let open Simcov_util in
+  let open Circuit.Build in
+  let n_regs = 1 + Rng.int rng 4 in
+  let n_inputs = 1 + Rng.int rng 3 in
+  let ctx = create "rand" in
+  let inputs = Array.init n_inputs (fun i -> input ctx (Printf.sprintf "i%d" i)) in
+  let regs =
+    Array.init n_regs (fun i -> reg ctx ~init:(Rng.bool rng) (Printf.sprintf "r%d" i))
+  in
+  let leaves = Array.append inputs regs in
+  let rec rexpr depth =
+    if depth = 0 then Rng.pick rng leaves
+    else
+      match Rng.int rng 6 with
+      | 0 -> Expr.( !! ) (rexpr (depth - 1))
+      | 1 -> Expr.( &&& ) (rexpr (depth - 1)) (rexpr (depth - 1))
+      | 2 -> Expr.( ||| ) (rexpr (depth - 1)) (rexpr (depth - 1))
+      | 3 -> Expr.( ^^^ ) (rexpr (depth - 1)) (rexpr (depth - 1))
+      | 4 -> Expr.mux (rexpr (depth - 1)) (rexpr (depth - 1)) (rexpr (depth - 1))
+      | _ -> Rng.pick rng leaves
+  in
+  Array.iter (fun r -> assign ctx r (rexpr 3)) regs;
+  output ctx "o" (rexpr 2);
+  if Rng.int rng 3 = 0 then constrain ctx (Expr.( ||| ) inputs.(0) (rexpr 1));
+  finish ctx
+
+let qcheck_partitioned_circuit =
+  QCheck.Test.make
+    ~name:"symfsm: partitioned image/preimage/reachable = monolithic (random circuits)"
+    ~count:100
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Simcov_util.Rng.create seed in
+      check_partitioned_against_oracle (of_circuit (random_circuit rng)))
+
+(* regression on the DLX test model: frontier-based and full-set
+   traversal must produce the identical fixpoint in the identical
+   number of iterations, partitioned and monolithic alike *)
+let test_dlx_frontier_regression () =
+  let model =
+    Simcov_fsm.Fsm.tabulate (Simcov_dlx.Testmodel.build Simcov_dlx.Testmodel.default)
+  in
+  let t = of_fsm model in
+  let base = traverse ~partitioned:false ~frontier:false t in
+  List.iter
+    (fun (p, f) ->
+      let tr = traverse ~partitioned:p ~frontier:f t in
+      Alcotest.(check bool)
+        (Printf.sprintf "fixpoint agrees (partitioned=%b frontier=%b)" p f)
+        true
+        (Simcov_bdd.Bdd.equal tr.reached base.reached);
+      Alcotest.(check int)
+        (Printf.sprintf "iteration count agrees (partitioned=%b frontier=%b)" p f)
+        base.iterations tr.iterations)
+    [ (false, true); (true, false); (true, true) ];
+  Alcotest.(check (float 0.001))
+    "reachable count matches the explicit model"
+    (float_of_int (Simcov_fsm.Fsm.n_reachable model))
+    (count_states t base.reached);
+  Alcotest.(check bool) "partitioned image = oracle on the DLX model" true
+    (check_partitioned_against_oracle t)
+
+let test_traversal_stats () =
+  let t = of_circuit (counter_circuit ()) in
+  let tr = reachable_stats t in
+  Alcotest.(check int) "one stat per iteration" tr.iterations
+    (List.length tr.iter_stats);
+  Alcotest.(check int) "images counted" tr.iterations tr.images;
+  (* frontier sizes: 1 new state per layer on the counter, and the
+     first frontier is the initial state *)
+  (match tr.iter_stats with
+  | first :: _ ->
+      Alcotest.(check (float 0.001)) "first frontier is init" 1.0 first.frontier_states
+  | [] -> Alcotest.fail "no stats");
+  Alcotest.(check bool) "memoized traversal is reused" true
+    (reachable_stats t == tr)
+
 let suite =
   [
     Alcotest.test_case "of_circuit shapes" `Quick test_of_circuit_shapes;
@@ -140,4 +258,8 @@ let suite =
     Alcotest.test_case "of_fsm counts" `Quick test_of_fsm_counts;
     Alcotest.test_case "of_fsm validity" `Quick test_of_fsm_respects_validity;
     Alcotest.test_case "symbolic vs explicit" `Quick test_symbolic_vs_explicit_random;
+    Alcotest.test_case "DLX frontier regression" `Quick test_dlx_frontier_regression;
+    Alcotest.test_case "traversal stats" `Quick test_traversal_stats;
+    QCheck_alcotest.to_alcotest qcheck_partitioned_fsm;
+    QCheck_alcotest.to_alcotest qcheck_partitioned_circuit;
   ]
