@@ -7,9 +7,55 @@
      abstract       show the Figure 3(b) abstraction sequence
      stats          symbolic statistics of the derived control model
      fig2           the Figure 2 limitation demo
-     run            assemble and co-simulate a DLX program            *)
+     run            assemble and co-simulate a DLX program
+
+   Exit codes: 0 success; 1 validation failed (bugs missed /
+   certificate failed); 2 usage error; 3 resource limit exceeded;
+   4 malformed input file. *)
 
 open Cmdliner
+module Budget = Simcov_util.Budget
+
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success.";
+    Cmd.Exit.info 1 ~doc:"when validation fails (bugs missed or certificate failed).";
+    Cmd.Exit.info 2 ~doc:"on command-line parsing errors.";
+    Cmd.Exit.info 3 ~doc:"when a resource limit (--timeout, --max-nodes) is exceeded.";
+    Cmd.Exit.info 4 ~doc:"on malformed input files.";
+  ]
+
+let cmd_info name ~doc = Cmd.info name ~doc ~exits
+
+let budget_term =
+  let timeout =
+    let doc = "Abort (exit 3) if the run exceeds $(docv) seconds of wall time." in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SEC" ~doc)
+  in
+  let max_nodes =
+    let doc =
+      "Cap live BDD nodes at $(docv); symbolic phases garbage-collect, then \
+       degrade or stop when the cap is hit."
+    in
+    Arg.(value & opt (some int) None & info [ "max-nodes" ] ~docv:"N" ~doc)
+  in
+  let build timeout_s max_nodes =
+    match (timeout_s, max_nodes) with
+    | None, None -> Budget.unlimited
+    | _ -> Budget.create ?timeout_s ?max_nodes ()
+  in
+  Term.(const build $ timeout $ max_nodes)
+
+(* map resource exhaustion escaping a subcommand to exit 3 *)
+let guarded f =
+  try f () with
+  | Budget.Budget_exceeded r ->
+      Printf.eprintf "error: resource limit exceeded (out of %s)\n"
+        (Budget.resource_name r);
+      3
+  | Simcov_bdd.Bdd.Node_limit live ->
+      Printf.eprintf "error: BDD node ceiling reached (%d nodes live)\n" live;
+      3
 
 let config_term =
   let regs =
@@ -41,8 +87,9 @@ let seed_term =
 
 (* ---- validate-dlx ---- *)
 
-let validate_dlx config seed =
-  let report = Simcov_core.Methodology.validate_dlx ~config ~seed () in
+let validate_dlx config seed budget =
+  guarded @@ fun () ->
+  let report = Simcov_core.Methodology.validate_dlx ~config ~seed ~budget () in
   Format.printf "%a@." Simcov_core.Methodology.pp_run_report report;
   if
     report.Simcov_core.Methodology.n_bugs_detected
@@ -54,8 +101,8 @@ let validate_dlx config seed =
 let validate_cmd =
   let doc = "Run the full validation methodology on the pipelined DLX." in
   Cmd.v
-    (Cmd.info "validate-dlx" ~doc)
-    Term.(const validate_dlx $ config_term $ seed_term)
+    (cmd_info "validate-dlx" ~doc)
+    Term.(const validate_dlx $ config_term $ seed_term $ budget_term)
 
 (* ---- tour ---- *)
 
@@ -98,7 +145,7 @@ let tour_cmd =
       & opt (some string) None
       & info [ "emit-program" ] ~docv:"FILE" ~doc:"Write the program as assembly.")
   in
-  Cmd.v (Cmd.info "tour" ~doc) Term.(const tour $ config_term $ emit)
+  Cmd.v (cmd_info "tour" ~doc) Term.(const tour $ config_term $ emit)
 
 (* ---- abstract ---- *)
 
@@ -127,16 +174,17 @@ let abstract_cmd =
       & opt (some string) None
       & info [ "emit" ] ~docv:"FILE" ~doc:"Write the derived model (text netlist).")
   in
-  Cmd.v (Cmd.info "abstract" ~doc) Term.(const abstract $ emit)
+  Cmd.v (cmd_info "abstract" ~doc) Term.(const abstract $ emit)
 
 (* ---- stats ---- *)
 
-let stats () =
+let stats budget =
+  guarded @@ fun () ->
   let final, _ = Simcov_dlx.Control.derive_test_model () in
   Format.printf "%a@." Simcov_netlist.Circuit.pp_stats final;
-  let sym = Simcov_symbolic.Symfsm.of_circuit final in
+  let sym = Simcov_symbolic.Symfsm.of_circuit ~budget final in
   let open Simcov_symbolic.Symfsm in
-  let tr = reachable_stats sym in
+  let tr = reachable_stats ~budget sym in
   Printf.printf "reachable states: %.0f of %.0f (in %d iterations, %.2fs)\n"
     (count_states sym tr.reached) (state_space_size sym) tr.iterations
     tr.total_time_s;
@@ -147,14 +195,23 @@ let stats () =
         st.iteration st.frontier_states st.frontier_nodes st.reached_nodes
         st.live_nodes st.time_s)
     tr.iter_stats;
-  Printf.printf "valid input combinations: %.0f of %.0f\n" (count_valid_inputs sym)
-    (input_space_size sym);
-  Printf.printf "transitions to cover: %.0f\n" (count_transitions sym);
-  0
+  if tr.gc_runs > 0 then
+    Printf.printf "BDD garbage collections: %d (peak %d live nodes)\n" tr.gc_runs
+      tr.peak_live_nodes;
+  match tr.truncated with
+  | Some r ->
+      Printf.printf "traversal truncated: out of %s after %d iterations\n"
+        (Budget.resource_name r) tr.iterations;
+      3
+  | None ->
+      Printf.printf "valid input combinations: %.0f of %.0f\n" (count_valid_inputs sym)
+        (input_space_size sym);
+      Printf.printf "transitions to cover: %.0f\n" (count_transitions sym);
+      0
 
 let stats_cmd =
   let doc = "Symbolic (BDD) statistics of the derived control test model." in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const stats $ const ())
+  Cmd.v (cmd_info "stats" ~doc) Term.(const stats $ budget_term)
 
 (* ---- fig2 ---- *)
 
@@ -168,7 +225,7 @@ let fig2 () =
 
 let fig2_cmd =
   let doc = "Reproduce the Figure 2 transition-tour limitation demo." in
-  Cmd.v (Cmd.info "fig2" ~doc) Term.(const fig2 $ const ())
+  Cmd.v (cmd_info "fig2" ~doc) Term.(const fig2 $ const ())
 
 (* ---- run ---- *)
 
@@ -176,8 +233,8 @@ let run_file path bug_name do_trace =
   let text = In_channel.with_open_text path In_channel.input_all in
   match Simcov_dlx.Isa.parse_program text with
   | Error e ->
-      Printf.eprintf "parse error: %s\n" e;
-      1
+      Printf.eprintf "error: %s: %s\n" path e;
+      4
   | Ok program -> (
       let bugs =
         match bug_name with
@@ -190,7 +247,7 @@ let run_file path bug_name do_trace =
                 List.iter
                   (fun (n, _) -> Printf.eprintf "  %s\n" n)
                   Simcov_dlx.Pipeline.bug_catalog;
-                exit 1)
+                exit 2)
       in
       if do_trace then
         print_string (Simcov_dlx.Pipeline.trace (Simcov_dlx.Pipeline.create ~bugs program));
@@ -216,7 +273,7 @@ let run_cmd =
   let do_trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the per-cycle pipeline diagram.")
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run_file $ file $ bug $ do_trace)
+  Cmd.v (cmd_info "run" ~doc) Term.(const run_file $ file $ bug $ do_trace)
 
 (* ---- dsp ---- *)
 
@@ -245,18 +302,19 @@ let dsp () =
 
 let dsp_cmd =
   let doc = "Run the methodology on the fixed-program DSP (MAC ASIC) case study." in
-  Cmd.v (Cmd.info "dsp" ~doc) Term.(const dsp $ const ())
+  Cmd.v (cmd_info "dsp" ~doc) Term.(const dsp $ const ())
 
 (* ---- model: operate on a serialized circuit ---- *)
 
-let model_cmd_run path do_tour max_steps =
+let model_cmd_run path do_tour max_steps budget =
+  guarded @@ fun () ->
   match Simcov_netlist.Serialize.load path with
   | Error e ->
-      Printf.eprintf "error: %s\n" e;
-      1
+      Printf.eprintf "error: %s: %s\n" path (Simcov_netlist.Serialize.error_to_string e);
+      4
   | Ok c ->
       Format.printf "%a@." Simcov_netlist.Circuit.pp_stats c;
-      let sym = Simcov_symbolic.Symfsm.of_circuit c in
+      let sym = Simcov_symbolic.Symfsm.of_circuit ~budget c in
       let open Simcov_symbolic.Symfsm in
       let r, iters = reachable sym in
       Printf.printf "reachable states: %.0f of %.0f (in %d iterations)\n"
@@ -265,12 +323,16 @@ let model_cmd_run path do_tour max_steps =
         (input_space_size sym);
       Printf.printf "transitions to cover: %.0f\n" (count_transitions sym);
       if do_tour then begin
-        let res = Simcov_symbolic.Symtour.generate ~max_steps c in
+        let res = Simcov_symbolic.Symtour.generate ~max_steps ~budget c in
         Printf.printf "symbolic tour: %d steps, %.0f/%.0f transitions covered%s\n"
           res.Simcov_symbolic.Symtour.progress.Simcov_symbolic.Symtour.steps
           res.Simcov_symbolic.Symtour.progress.Simcov_symbolic.Symtour.covered
           res.Simcov_symbolic.Symtour.progress.Simcov_symbolic.Symtour.total
-          (if res.Simcov_symbolic.Symtour.complete then " (complete)" else " (truncated)")
+          (if res.Simcov_symbolic.Symtour.complete then " (complete)" else " (truncated)");
+        match res.Simcov_symbolic.Symtour.truncated_by with
+        | Some r ->
+            Printf.printf "tour cut short: out of %s\n" (Budget.resource_name r)
+        | None -> ()
       end;
       0
 
@@ -287,13 +349,15 @@ let model_cmd =
       value & opt int 100_000
       & info [ "max-steps" ] ~docv:"N" ~doc:"Symbolic tour step budget.")
   in
-  Cmd.v (Cmd.info "model" ~doc) Term.(const model_cmd_run $ file $ do_tour $ max_steps)
+  Cmd.v
+    (cmd_info "model" ~doc)
+    Term.(const model_cmd_run $ file $ do_tour $ max_steps $ budget_term)
 
 (* ---- main ---- *)
 
 let () =
   let doc = "validation methodology using simulation coverage (DAC 1997)" in
-  let info = Cmd.info "simcov" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "simcov" ~version:"1.0.0" ~doc ~exits in
   let group =
     Cmd.group info
       [
@@ -301,4 +365,4 @@ let () =
         model_cmd;
       ]
   in
-  exit (Cmd.eval' group)
+  exit (Cmd.eval' ~term_err:2 group)

@@ -8,8 +8,10 @@ type t = False | True | Node of { v : int; lo : t; hi : t; uid : int }
 (*   var:10 | lo:26 | hi:26                                            *)
 (* (62 bits, always non-negative), and a binary-operation cache entry  *)
 (* by (uid_a, uid_b) packed as a:26 | b:26. The limits — 1024          *)
-(* variables, 2^26 (~67M) nodes — are far beyond what fits in memory   *)
-(* here and are enforced explicitly.                                   *)
+(* variables, 2^26 (~67M) live nodes — are far beyond what fits in     *)
+(* memory here and are enforced explicitly. Uids of garbage-collected  *)
+(* nodes are recycled, so the 2^26 ceiling applies to peak live nodes, *)
+(* not to the total ever allocated.                                    *)
 (* ------------------------------------------------------------------ *)
 
 let uid_bits = 26
@@ -22,10 +24,8 @@ let pack2 a b = (a lsl uid_bits) lor b
 (* ------------------------------------------------------------------ *)
 (* Open-addressed int-keyed hash tables                                *)
 (*                                                                     *)
-(* Linear probing over power-of-two arrays, no deletion. Replaces the  *)
-(* polymorphic tuple-keyed Hashtbl of the original kernel: no tuple    *)
-(* allocation per lookup, no polymorphic hashing, and probes touch a   *)
-(* flat int array.                                                     *)
+(* Linear probing over power-of-two arrays, no deletion (the unique    *)
+(* table is compacted wholesale by the garbage collector instead).     *)
 (* ------------------------------------------------------------------ *)
 
 let empty_key = min_int
@@ -95,6 +95,13 @@ module Itab = struct
       else go ((i + 1) land m)
     in
     go (mix k land m)
+
+  let iter f t =
+    let keys = t.keys and data = t.data in
+    for i = 0 to Array.length keys - 1 do
+      let k = Array.unsafe_get keys i in
+      if k <> empty_key then f k (Array.unsafe_get data i)
+    done
 
   let length t = t.used
 end
@@ -179,42 +186,223 @@ end
 (* Manager                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type man = {
-  nvars : int;
-  unique : t Itab.tab;
-  mutable next_uid : int;
-  and_cache : t Itab.tab;
-  or_cache : t Itab.tab;
-  xor_cache : t Itab.tab;
-  not_cache : t Itab.tab;
-  ite_cache : t Itab2.tab;
+type gc_stats = {
+  runs : int;
+  reclaimed : int;
+  live : int;
+  peak_live : int;
 }
 
-let man ?(cache_size = 1 lsl 14) nvars =
+type man = {
+  nvars : int;
+  cache_size0 : int;
+  mutable unique : t Itab.tab;
+  mutable next_uid : int;
+  mutable free_uids : int list;  (* uids of swept nodes, ready for reuse *)
+  mutable and_cache : t Itab.tab;
+  mutable or_cache : t Itab.tab;
+  mutable xor_cache : t Itab.tab;
+  mutable not_cache : t Itab.tab;
+  mutable ite_cache : t Itab2.tab;
+  mutable max_nodes : int;  (* live-node ceiling; [uid_limit] = unbounded *)
+  roots : (int, t) Hashtbl.t;  (* registered external roots *)
+  mutable next_root : int;
+  mutable temp_roots : t list;  (* arguments of the op in flight *)
+  mutable op_depth : int;  (* public-operation nesting depth *)
+  mutable gc_runs : int;
+  mutable gc_reclaimed : int;
+  mutable peak_live : int;
+}
+
+exception Node_limit of int
+
+(* Internal: the unique table is full; the outermost public operation
+   catches this, garbage-collects, and retries. *)
+exception Gc_needed
+
+let man ?(cache_size = 1 lsl 14) ?max_nodes nvars =
   if nvars < 0 then invalid_arg "Bdd.man: negative variable count";
   if nvars > var_limit then
     invalid_arg
       (Printf.sprintf "Bdd.man: %d variables exceeds the packing limit of %d" nvars
          var_limit);
+  let max_nodes =
+    match max_nodes with
+    | None -> uid_limit
+    | Some n ->
+        if n <= 0 then invalid_arg "Bdd.man: non-positive max_nodes";
+        min n uid_limit
+  in
   {
     nvars;
+    cache_size0 = cache_size;
     unique = Itab.create cache_size False;
     next_uid = 2;
+    free_uids = [];
     and_cache = Itab.create cache_size False;
     or_cache = Itab.create cache_size False;
     xor_cache = Itab.create cache_size False;
     not_cache = Itab.create (cache_size / 4) False;
     ite_cache = Itab2.create (cache_size / 4) False;
+    max_nodes;
+    roots = Hashtbl.create 16;
+    next_root = 0;
+    temp_roots = [];
+    op_depth = 0;
+    gc_runs = 0;
+    gc_reclaimed = 0;
+    peak_live = 0;
   }
 
 let num_vars m = m.nvars
-let node_count m = Itab.length m.unique + 2
+let live_nodes m = Itab.length m.unique
+let node_count m = live_nodes m + 2
+let peak_node_count m = m.peak_live + 2
+let max_nodes m = if m.max_nodes >= uid_limit then None else Some m.max_nodes
+
+let set_max_nodes m limit =
+  match limit with
+  | None -> m.max_nodes <- uid_limit
+  | Some n ->
+      if n <= 0 then invalid_arg "Bdd.set_max_nodes: non-positive limit";
+      m.max_nodes <- min n uid_limit
+
+let gc_stats m =
+  {
+    runs = m.gc_runs;
+    reclaimed = m.gc_reclaimed;
+    live = live_nodes m;
+    peak_live = m.peak_live;
+  }
 
 let bfalse _ = False
 let btrue _ = True
 let of_bool _ b = if b then True else False
 
 let id = function False -> 0 | True -> 1 | Node n -> n.uid
+
+(* ------------------------------------------------------------------ *)
+(* Roots and garbage collection                                        *)
+(*                                                                     *)
+(* Nodes themselves are immutable OCaml values; collecting means       *)
+(* compacting the unique table down to the nodes reachable from the    *)
+(* registered roots (plus the arguments of the operation in flight)    *)
+(* and recycling the uids of everything else. Op caches may reference  *)
+(* swept nodes, so every sweep invalidates them wholesale.             *)
+(*                                                                     *)
+(* Contract: on a manager with a node limit (or under explicit [gc]    *)
+(* calls), any BDD held across public operations must be reachable     *)
+(* from a registered root — otherwise its nodes are swept and later    *)
+(* re-creation breaks hash-consing (physical [equal] on semantically   *)
+(* equal functions). The symbolic layer registers its relation         *)
+(* conjuncts, reached sets and frontiers accordingly.                  *)
+(* ------------------------------------------------------------------ *)
+
+type root = int
+
+let add_root m t =
+  let r = m.next_root in
+  m.next_root <- r + 1;
+  Hashtbl.replace m.roots r t;
+  r
+
+let set_root m r t = Hashtbl.replace m.roots r t
+let remove_root m r = Hashtbl.remove m.roots r
+
+let protect m t =
+  ignore (add_root m t);
+  t
+
+let gc m =
+  (* mark: recursion depth is bounded by the variable count (variables
+     strictly increase along lo/hi edges) *)
+  let marked = Bytes.make (max 2 m.next_uid) '\000' in
+  let rec mark t =
+    match t with
+    | False | True -> ()
+    | Node n ->
+        if Bytes.unsafe_get marked n.uid = '\000' then begin
+          Bytes.unsafe_set marked n.uid '\001';
+          mark n.lo;
+          mark n.hi
+        end
+  in
+  Hashtbl.iter (fun _ t -> mark t) m.roots;
+  List.iter mark m.temp_roots;
+  (* sweep: rebuild the unique table with only marked nodes (children
+     of a marked node are marked, so every rebuilt key is unchanged)
+     and recycle the uids of the rest *)
+  let before = Itab.length m.unique in
+  let survivors = ref [] in
+  let n_live = ref 0 in
+  Itab.iter
+    (fun key node ->
+      match node with
+      | Node n ->
+          if Bytes.unsafe_get marked n.uid = '\001' then begin
+            survivors := (key, node) :: !survivors;
+            incr n_live
+          end
+          else m.free_uids <- n.uid :: m.free_uids
+      | False | True -> ())
+    m.unique;
+  let fresh = Itab.create (max m.cache_size0 ((!n_live * 4 / 3) + 16)) False in
+  List.iter (fun (key, node) -> Itab.add fresh key node) !survivors;
+  m.unique <- fresh;
+  (* every op cache may point at swept nodes: invalidate them all *)
+  m.and_cache <- Itab.create m.cache_size0 False;
+  m.or_cache <- Itab.create m.cache_size0 False;
+  m.xor_cache <- Itab.create m.cache_size0 False;
+  m.not_cache <- Itab.create (m.cache_size0 / 4) False;
+  m.ite_cache <- Itab2.create (m.cache_size0 / 4) False;
+  let freed = before - !n_live in
+  m.gc_runs <- m.gc_runs + 1;
+  m.gc_reclaimed <- m.gc_reclaimed + freed;
+  freed
+
+(* Run a public operation: pin its BDD arguments, and at the outermost
+   nesting level turn [Gc_needed] into collect-and-retry (the retry
+   recomputes from the pinned arguments with cold caches, so a sweep
+   in the middle of a half-built result is safe). Collection is only
+   attempted when the caller opted into resource governance (a node
+   limit or registered roots); otherwise the limit is a hard error, as
+   an unrooted legacy caller would not survive a sweep. *)
+let run_op m args f =
+  if m.op_depth > 0 then begin
+    m.op_depth <- m.op_depth + 1;
+    Fun.protect ~finally:(fun () -> m.op_depth <- m.op_depth - 1) f
+  end
+  else begin
+    let saved = m.temp_roots in
+    m.op_depth <- 1;
+    m.temp_roots <- List.rev_append args saved;
+    Fun.protect
+      ~finally:(fun () ->
+        m.temp_roots <- saved;
+        m.op_depth <- 0)
+      (fun () ->
+        let governed = m.max_nodes < uid_limit || Hashtbl.length m.roots > 0 in
+        let rec attempt tries =
+          try f ()
+          with Gc_needed ->
+            if not governed then raise (Node_limit (live_nodes m));
+            let freed = gc m in
+            if freed = 0 || tries = 0 then raise (Node_limit (live_nodes m));
+            attempt (tries - 1)
+        in
+        attempt 2)
+  end
+
+let alloc_uid m =
+  match m.free_uids with
+  | u :: rest ->
+      m.free_uids <- rest;
+      u
+  | [] ->
+      if m.next_uid >= uid_limit then raise Gc_needed;
+      let u = m.next_uid in
+      m.next_uid <- u + 1;
+      u
 
 let mk m v lo hi =
   if lo == hi then lo
@@ -223,22 +411,22 @@ let mk m v lo hi =
     let i = Itab.find_idx m.unique key in
     if i >= 0 then Itab.value m.unique i
     else begin
-      if m.next_uid >= uid_limit then
-        failwith "Bdd: node limit (2^26) exceeded";
-      let n = Node { v; lo; hi; uid = m.next_uid } in
-      m.next_uid <- m.next_uid + 1;
+      if Itab.length m.unique >= m.max_nodes then raise Gc_needed;
+      let n = Node { v; lo; hi; uid = alloc_uid m } in
       Itab.add m.unique key n;
+      let live = Itab.length m.unique in
+      if live > m.peak_live then m.peak_live <- live;
       n
     end
   end
 
 let var m v =
   assert (v >= 0 && v < m.nvars);
-  mk m v False True
+  run_op m [] (fun () -> mk m v False True)
 
 let nvar m v =
   assert (v >= 0 && v < m.nvars);
-  mk m v True False
+  run_op m [] (fun () -> mk m v True False)
 
 let is_true t = t == True
 let is_false t = t == False
@@ -280,7 +468,7 @@ let cof t v =
   | Node n when n.v = v -> (n.lo, n.hi)
   | _ -> (t, t)
 
-let rec bnot m t =
+let rec bnot_rec m t =
   match t with
   | False -> True
   | True -> False
@@ -288,12 +476,14 @@ let rec bnot m t =
       let i = Itab.find_idx m.not_cache n.uid in
       if i >= 0 then Itab.value m.not_cache i
       else begin
-        let r = mk m n.v (bnot m n.lo) (bnot m n.hi) in
+        let r = mk m n.v (bnot_rec m n.lo) (bnot_rec m n.hi) in
         Itab.add m.not_cache n.uid r;
         r
       end)
 
-let rec band m a b =
+let bnot m t = run_op m [ t ] (fun () -> bnot_rec m t)
+
+let rec band_rec m a b =
   match (a, b) with
   | False, _ | _, False -> False
   | True, x | x, True -> x
@@ -308,16 +498,18 @@ let rec band m a b =
         else begin
           let v = min na.v nb.v in
           let alo, ahi = cof a v and blo, bhi = cof b v in
-          let r = mk m v (band m alo blo) (band m ahi bhi) in
+          let r = mk m v (band_rec m alo blo) (band_rec m ahi bhi) in
           Itab.add m.and_cache key r;
           r
         end
       end
 
+let band m a b = run_op m [ a; b ] (fun () -> band_rec m a b)
+
 (* Direct recursive OR with its own cache — the original kernel
    expanded a|b as ~(~a & ~b), paying three negation walks per
    operation. *)
-let rec bor m a b =
+let rec bor_rec m a b =
   match (a, b) with
   | True, _ | _, True -> True
   | False, x | x, False -> x
@@ -332,16 +524,18 @@ let rec bor m a b =
         else begin
           let v = min na.v nb.v in
           let alo, ahi = cof a v and blo, bhi = cof b v in
-          let r = mk m v (bor m alo blo) (bor m ahi bhi) in
+          let r = mk m v (bor_rec m alo blo) (bor_rec m ahi bhi) in
           Itab.add m.or_cache key r;
           r
         end
       end
 
-let rec bxor m a b =
+let bor m a b = run_op m [ a; b ] (fun () -> bor_rec m a b)
+
+let rec bxor_rec m a b =
   match (a, b) with
   | False, x | x, False -> x
-  | True, x | x, True -> bnot m x
+  | True, x | x, True -> bnot_rec m x
   | Node na, Node nb ->
       if a == b then False
       else begin
@@ -353,16 +547,17 @@ let rec bxor m a b =
         else begin
           let v = min na.v nb.v in
           let alo, ahi = cof a v and blo, bhi = cof b v in
-          let r = mk m v (bxor m alo blo) (bxor m ahi bhi) in
+          let r = mk m v (bxor_rec m alo blo) (bxor_rec m ahi bhi) in
           Itab.add m.xor_cache key r;
           r
         end
       end
 
+let bxor m a b = run_op m [ a; b ] (fun () -> bxor_rec m a b)
 let bimp m a b = bor m (bnot m a) b
 let biff m a b = bnot m (bxor m a b)
 
-let rec ite m c t e =
+let rec ite_rec m c t e =
   match c with
   | True -> t
   | False -> e
@@ -378,22 +573,25 @@ let rec ite m c t e =
           let clo, chi = cof c v
           and tlo, thi = cof t v
           and elo, ehi = cof e v in
-          let r = mk m v (ite m clo tlo elo) (ite m chi thi ehi) in
+          let r = mk m v (ite_rec m clo tlo elo) (ite_rec m chi thi ehi) in
           Itab2.add m.ite_cache ka kb r;
           r
         end
       end
 
+let ite m c t e = run_op m [ c; t; e ] (fun () -> ite_rec m c t e)
 let conj m = List.fold_left (band m) True
 let disj m = List.fold_left (bor m) False
 
-let rec cofactor m t v b =
+let rec cofactor_rec m t v b =
   match t with
   | False | True -> t
   | Node n ->
       if n.v > v then t
       else if n.v = v then if b then n.hi else n.lo
-      else mk m n.v (cofactor m n.lo v b) (cofactor m n.hi v b)
+      else mk m n.v (cofactor_rec m n.lo v b) (cofactor_rec m n.hi v b)
+
+let cofactor m t v b = run_op m [ t ] (fun () -> cofactor_rec m t v b)
 
 (* A quantified-variable set as a flat bool array, validated against
    the manager's variable range. *)
@@ -409,10 +607,9 @@ let var_set m vars =
 (* Quantification: membership probed in a flat bool array; results
    memoized per call keyed by node uid (valid because the var set is
    fixed for the call). *)
-let quantify m ~disjunctive vars t =
-  let vset = var_set m vars in
+let quantify_impl m ~disjunctive vset t =
   let cache = Itab.create 256 False in
-  let combine a b = if disjunctive then bor m a b else band m a b in
+  let combine a b = if disjunctive then bor_rec m a b else band_rec m a b in
   let rec go t =
     match t with
     | False | True -> t
@@ -430,12 +627,16 @@ let quantify m ~disjunctive vars t =
   in
   go t
 
+let quantify m ~disjunctive vars t =
+  let vset = var_set m vars in
+  run_op m [ t ] (fun () -> quantify_impl m ~disjunctive vset t)
+
 let exists m vars t = quantify m ~disjunctive:true vars t
 let forall m vars t = quantify m ~disjunctive:false vars t
 
 (* Fused AND-EXISTS: quantifies while conjoining, pruning as soon as a
    branch reaches True under the quantifier. *)
-let and_exists_set m vset f g =
+let and_exists_impl m vset f g =
   let cache = Itab.create 1024 False in
   let rec go f g =
     match (f, g) with
@@ -452,7 +653,7 @@ let and_exists_set m vset f g =
           let r =
             if vset.(v) then begin
               let lo = go flo glo in
-              if is_true lo then True else bor m lo (go fhi ghi)
+              if is_true lo then True else bor_rec m lo (go fhi ghi)
             end
             else mk m v (go flo glo) (go fhi ghi)
           in
@@ -462,7 +663,9 @@ let and_exists_set m vset f g =
   in
   go f g
 
-let and_exists m vars f g = and_exists_set m (var_set m vars) f g
+let and_exists m vars f g =
+  let vset = var_set m vars in
+  run_op m [ f; g ] (fun () -> and_exists_impl m vset f g)
 
 let support _m t =
   let seen = Hashtbl.create 64 in
@@ -509,32 +712,34 @@ let and_exists_list m vars conjuncts =
       Array.iteri
         (fun v l -> if qset.(v) && l >= 0 then quantify_at.(l) <- v :: quantify_at.(l))
         last;
-      let acc = ref True in
-      for i = 0 to n - 1 do
-        acc :=
-          (match quantify_at.(i) with
-          | [] -> band m !acc fs.(i)
-          | q -> and_exists_set m (var_set m q) !acc fs.(i))
-      done;
-      !acc
+      run_op m conjuncts (fun () ->
+          let acc = ref True in
+          for i = 0 to n - 1 do
+            acc :=
+              (match quantify_at.(i) with
+              | [] -> band_rec m !acc fs.(i)
+              | q -> and_exists_impl m (var_set m q) !acc fs.(i))
+          done;
+          !acc)
 
 let rename m subst t =
-  let cache = Itab.create 256 False in
-  let rec go t =
-    match t with
-    | False | True -> t
-    | Node n -> (
-        let i = Itab.find_idx cache n.uid in
-        if i >= 0 then Itab.value cache i
-        else begin
-          let v' = subst n.v in
-          assert (v' >= 0 && v' < m.nvars);
-          let r = mk m v' (go n.lo) (go n.hi) in
-          Itab.add cache n.uid r;
-          r
-        end)
-  in
-  go t
+  run_op m [ t ] (fun () ->
+      let cache = Itab.create 256 False in
+      let rec go t =
+        match t with
+        | False | True -> t
+        | Node n -> (
+            let i = Itab.find_idx cache n.uid in
+            if i >= 0 then Itab.value cache i
+            else begin
+              let v' = subst n.v in
+              assert (v' >= 0 && v' < m.nvars);
+              let r = mk m v' (go n.lo) (go n.hi) in
+              Itab.add cache n.uid r;
+              r
+            end)
+      in
+      go t)
 
 let restrict_cube m assigns t =
   List.fold_left (fun acc (v, b) -> cofactor m acc v b) t assigns

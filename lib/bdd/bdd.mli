@@ -18,12 +18,72 @@ type t
 (** A BDD node (hash-consed; structural equality is physical
     equality). *)
 
-val man : ?cache_size:int -> int -> man
-(** [man nvars] creates a manager for variables [0 .. nvars - 1]. *)
+exception Node_limit of int
+(** Raised (with the current live-node count) when an operation needs
+    a new node, the manager's node ceiling is reached, and garbage
+    collection cannot reclaim enough space. The operation's partial
+    work is discarded; the manager remains usable. *)
+
+val man : ?cache_size:int -> ?max_nodes:int -> int -> man
+(** [man nvars] creates a manager for variables [0 .. nvars - 1].
+    [max_nodes] bounds the number of {e live} nodes (default: the
+    2^26 packing limit); when the bound is hit the manager
+    garbage-collects from the registered roots and retries before
+    raising {!Node_limit}. *)
 
 val num_vars : man -> int
 val node_count : man -> int
-(** Number of live nodes ever created (unique-table size). *)
+(** Number of currently live nodes (unique-table size); decreases
+    after a {!gc}. *)
+
+val peak_node_count : man -> int
+(** High-water mark of {!node_count} over the manager's lifetime. *)
+
+val max_nodes : man -> int option
+val set_max_nodes : man -> int option -> unit
+(** Adjust the live-node ceiling; [None] removes it. *)
+
+(** {1 Roots and garbage collection}
+
+    The manager's garbage collector is mark-and-sweep over the unique
+    table: nodes reachable from registered roots (and from the
+    arguments of the operation in flight) survive, all other table
+    entries are dropped and their uids recycled, and every operation
+    cache is invalidated. It runs when {!gc} is called explicitly, or
+    automatically when the node ceiling is reached mid-operation (the
+    operation is then retried from its pinned arguments).
+
+    {b Contract}: on a manager with a node ceiling, or when calling
+    {!gc} directly, every BDD held across public operations must be
+    reachable from a registered root. An unrooted BDD survives as an
+    OCaml value but loses hash-consing: rebuilding the same function
+    later yields a physically distinct node, so {!equal} would report
+    [false] on semantically equal functions. *)
+
+type root
+(** A registration handle; updatable, so a traversal can keep exactly
+    its current frontier pinned. *)
+
+val add_root : man -> t -> root
+val set_root : man -> root -> t -> unit
+val remove_root : man -> root -> unit
+
+val protect : man -> t -> t
+(** [protect m t] registers [t] as a root for the manager's lifetime
+    and returns it — for long-lived structures (transition-relation
+    conjuncts, initial states) that are never unpinned. *)
+
+val gc : man -> int
+(** Collect now; returns the number of nodes reclaimed. *)
+
+type gc_stats = {
+  runs : int;  (** collections performed *)
+  reclaimed : int;  (** total nodes reclaimed across all runs *)
+  live : int;  (** current live nodes *)
+  peak_live : int;  (** lifetime high-water mark *)
+}
+
+val gc_stats : man -> gc_stats
 
 (** {1 Constants and literals} *)
 

@@ -1,9 +1,79 @@
 open Simcov_dlx
+module Budget = Simcov_util.Budget
+
+type tier = Partitioned_symbolic | Monolithic_symbolic | Explicit
+
+let tier_name = function
+  | Partitioned_symbolic -> "partitioned symbolic"
+  | Monolithic_symbolic -> "monolithic symbolic"
+  | Explicit -> "explicit enumeration"
+
+type symbolic_figures = {
+  sym_states : float;
+  sym_transitions : float;
+  tier : tier;
+  degradations : string list;
+}
+
+(* The state/transition counts of the test model, computed at the
+   richest representation the resource budget admits: partitioned
+   symbolic reachability, then the monolithic relation, then plain
+   enumeration of the already-tabulated machine (which needs no BDDs
+   at all and cannot fail). Each abandoned tier leaves a note. *)
+let symbolic_figures ~budget model =
+  let module Symfsm = Simcov_symbolic.Symfsm in
+  let module Bdd = Simcov_bdd.Bdd in
+  let attempt tier =
+    let partitioned = tier = Partitioned_symbolic in
+    try
+      let sf = Symfsm.of_fsm ~budget model in
+      let tr = Symfsm.traverse ~partitioned ~budget sf in
+      match tr.Symfsm.truncated with
+      | Some r ->
+          Error
+            (Printf.sprintf "%s reachability truncated (out of %s)"
+               (tier_name tier) (Budget.resource_name r))
+      | None ->
+          sf.Symfsm.reach <- Some tr;
+          ignore (Bdd.protect sf.Symfsm.man tr.Symfsm.reached);
+          Ok
+            {
+              sym_states = Symfsm.count_reachable sf;
+              sym_transitions = Symfsm.count_transitions sf;
+              tier;
+              degradations = [];
+            }
+    with
+    | Bdd.Node_limit live ->
+        Error
+          (Printf.sprintf "%s out of BDD nodes (%d live at the ceiling)"
+             (tier_name tier) live)
+    | Budget.Budget_exceeded r ->
+        Error
+          (Printf.sprintf "%s abandoned (out of %s)" (tier_name tier)
+             (Budget.resource_name r))
+  in
+  let explicit notes =
+    let open Simcov_fsm in
+    {
+      sym_states = float_of_int (Fsm.n_reachable model);
+      sym_transitions = float_of_int (Fsm.n_transitions model);
+      tier = Explicit;
+      degradations = List.rev notes;
+    }
+  in
+  match attempt Partitioned_symbolic with
+  | Ok f -> f
+  | Error note1 -> (
+      match attempt Monolithic_symbolic with
+      | Ok f -> { f with degradations = [ note1 ] }
+      | Error note2 -> explicit [ note2; note1 ])
 
 type run_report = {
   config : Testmodel.config;
   model_states : int;
   model_transitions : int;
+  symbolic : symbolic_figures;
   requirements : Requirements.report;
   certificate : (Completeness.certificate, Completeness.failure) result;
   tour_length : int;
@@ -14,12 +84,18 @@ type run_report = {
   fsm_fault_coverage : Simcov_coverage.Detect.report;
 }
 
-let validate_dlx ?(config = Testmodel.default) ?(seed = 2026) () =
+let validate_dlx ?(config = Testmodel.default) ?(seed = 2026)
+    ?(budget = Budget.unlimited) () =
   let open Simcov_fsm in
   let rng = Simcov_util.Rng.create seed in
   let model = Fsm.tabulate (Testmodel.build config) in
+  Budget.check budget;
+  let symbolic = symbolic_figures ~budget model in
+  Budget.check budget;
   let requirements = Requirements.check ~rng:(Simcov_util.Rng.split rng) model in
+  Budget.check budget;
   let certificate = Completeness.certify model in
+  Budget.check budget;
   (* the tour itself: fall back to the greedy cover if the optimal
      solver is unavailable (cannot happen for these models, which are
      strongly connected) *)
@@ -31,6 +107,7 @@ let validate_dlx ?(config = Testmodel.default) ?(seed = 2026) () =
         | Some t -> t.Simcov_testgen.Tour.word
         | None -> (Simcov_testgen.Tour.transition_cover model).Simcov_testgen.Tour.word)
   in
+  Budget.check budget;
   let conc = Testmodel.concretize config word in
   let bug_results =
     List.map
@@ -42,6 +119,7 @@ let validate_dlx ?(config = Testmodel.default) ?(seed = 2026) () =
         (name, match outcome with Validate.Fail _ -> true | Validate.Pass _ -> false))
       Pipeline.bug_catalog
   in
+  Budget.check budget;
   let fsm_fault_coverage =
     let n_outputs =
       List.fold_left (fun acc (_, _, _, o) -> max acc (o + 1)) 1 (Fsm.transitions model)
@@ -56,6 +134,7 @@ let validate_dlx ?(config = Testmodel.default) ?(seed = 2026) () =
     config;
     model_states = Fsm.n_reachable model;
     model_transitions = Fsm.n_transitions model;
+    symbolic;
     requirements;
     certificate;
     tour_length = List.length word;
@@ -133,6 +212,11 @@ let pp_ablation_report ppf r =
 let pp_run_report ppf r =
   Format.fprintf ppf "@[<v>test model: %d states, %d transitions@," r.model_states
     r.model_transitions;
+  Format.fprintf ppf "state-space figures (%s): %.0f states, %.0f transitions@,"
+    (tier_name r.symbolic.tier) r.symbolic.sym_states r.symbolic.sym_transitions;
+  List.iter
+    (fun note -> Format.fprintf ppf "  degraded: %s@," note)
+    r.symbolic.degradations;
   Format.fprintf ppf "%a@," Requirements.pp_report r.requirements;
   (match r.certificate with
   | Ok c ->

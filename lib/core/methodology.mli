@@ -6,10 +6,31 @@
     simulate specification and implementation, and compare at the
     instruction-commit checkpoints. *)
 
+module Budget = Simcov_util.Budget
+
+type tier =
+  | Partitioned_symbolic  (** conjunct-per-latch relation, early quantification *)
+  | Monolithic_symbolic  (** single-BDD transition relation *)
+  | Explicit  (** plain enumeration of the tabulated machine; never fails *)
+
+val tier_name : tier -> string
+
+type symbolic_figures = {
+  sym_states : float;  (** reachable states *)
+  sym_transitions : float;  (** (reachable state, valid input) pairs *)
+  tier : tier;  (** representation that actually produced the figures *)
+  degradations : string list;
+      (** one note per abandoned richer tier, in the order tried;
+          empty when the first tier succeeded *)
+}
+
 type run_report = {
   config : Simcov_dlx.Testmodel.config;
   model_states : int;
   model_transitions : int;
+  symbolic : symbolic_figures;
+      (** the same counts recomputed symbolically — or at whatever
+          point on the degradation ladder the budget allowed *)
   requirements : Requirements.report;
   certificate : (Completeness.certificate, Completeness.failure) result;
   tour_length : int;
@@ -22,12 +43,26 @@ type run_report = {
 }
 
 val validate_dlx :
-  ?config:Simcov_dlx.Testmodel.config -> ?seed:int -> unit -> run_report
+  ?config:Simcov_dlx.Testmodel.config ->
+  ?seed:int ->
+  ?budget:Budget.t ->
+  unit ->
+  run_report
 (** Run the full methodology. With the default configuration the
     certificate holds, FSM fault coverage is 100% and all seeded
     pipeline bugs are detected; with [track_dest = false] or
     [observable_dest = false] the corresponding requirement fails and
-    coverage drops — the paper's Section 6.3 ablation. *)
+    coverage drops — the paper's Section 6.3 ablation.
+
+    [budget] governs resources. Its node allowance caps the BDD
+    managers of the symbolic phase, which degrades gracefully down the
+    {!tier} ladder (partitioned → monolithic → explicit) rather than
+    failing — a run under an arbitrarily small node budget still
+    returns a complete report, with [symbolic.degradations] recording
+    what was given up. The deadline/step budget, by contrast, bounds
+    the whole pipeline: it is checked between phases and
+    @raise Budget.Budget_exceeded when it runs out, since a report
+    without the later phases would not be a validation. *)
 
 val pp_run_report : Format.formatter -> run_report -> unit
 

@@ -149,6 +149,24 @@ let to_fsm ?(max_state_bits = 20) c =
     ()
 
 module Build = struct
+  type build_error = {
+    circuit : string;
+    doubly_assigned : string list;
+    never_assigned : string list;
+  }
+
+  exception Build_error of build_error
+
+  let build_error_to_string e =
+    let clause label = function
+      | [] -> []
+      | names -> [ Printf.sprintf "%s: %s" label (String.concat ", " names) ]
+    in
+    Printf.sprintf "Circuit.Build \"%s\": %s" e.circuit
+      (String.concat "; "
+         (clause "assigned twice" e.doubly_assigned
+         @ clause "never assigned" e.never_assigned))
+
   type pending_reg = {
     p_name : string;
     p_group : string;
@@ -164,10 +182,20 @@ module Build = struct
     mutable n_reg : int;
     mutable outs : port list; (* reversed *)
     mutable constr : Expr.t;
+    mutable dups : string list; (* doubly-assigned register names, reversed *)
   }
 
   let create c_name =
-    { c_name; inputs = []; n_in = 0; pregs = []; n_reg = 0; outs = []; constr = Expr.tru }
+    {
+      c_name;
+      inputs = [];
+      n_in = 0;
+      pregs = [];
+      n_reg = 0;
+      outs = [];
+      constr = Expr.tru;
+      dups = [];
+    }
 
   let input ctx name =
     let i = ctx.n_in in
@@ -192,12 +220,14 @@ module Build = struct
     (* pregs is reversed: register k lives at position n_reg - 1 - k *)
     List.nth ctx.pregs (ctx.n_reg - 1 - idx)
 
+  (* a double assignment is recorded (keeping the first) rather than
+     raised, so finish can report every offender at once *)
   let assign ctx r next =
     match r with
     | Expr.Reg idx ->
         let p = find_pending ctx idx in
         (match p.p_next with
-        | Some _ -> failwith (Printf.sprintf "Circuit.Build: register %s assigned twice" p.p_name)
+        | Some _ -> ctx.dups <- p.p_name :: ctx.dups
         | None -> p.p_next <- Some next)
     | _ -> invalid_arg "Circuit.Build.assign: not a register expression"
 
@@ -213,11 +243,25 @@ module Build = struct
   let constrain ctx e = ctx.constr <- Expr.( &&& ) ctx.constr e
 
   let finish ctx =
+    let missing =
+      List.rev
+        (List.filter_map
+           (fun p -> if p.p_next = None then Some p.p_name else None)
+           ctx.pregs)
+    in
+    if missing <> [] || ctx.dups <> [] then
+      raise
+        (Build_error
+           {
+             circuit = ctx.c_name;
+             doubly_assigned = List.rev ctx.dups;
+             never_assigned = missing;
+           });
     let regs =
       List.rev_map
         (fun p ->
           match p.p_next with
-          | None -> failwith (Printf.sprintf "Circuit.Build: register %s never assigned" p.p_name)
+          | None -> assert false
           | Some next -> { name = p.p_name; group = p.p_group; init = p.p_init; next })
         ctx.pregs
       |> Array.of_list

@@ -76,6 +76,18 @@ val to_fsm : ?max_state_bits:int -> t -> Simcov_fsm.Fsm.t
 (** {1 Construction DSL} *)
 
 module Build : sig
+  type build_error = {
+    circuit : string;  (** name passed to {!create} *)
+    doubly_assigned : string list;
+        (** registers assigned more than once, in offense order *)
+    never_assigned : string list;
+        (** registers with no next-state function, in declaration order *)
+  }
+
+  exception Build_error of build_error
+
+  val build_error_to_string : build_error -> string
+
   type ctx
 
   val create : string -> ctx
@@ -92,7 +104,9 @@ module Build : sig
   val assign : ctx -> Expr.t -> Expr.t -> unit
   (** [assign ctx r next] sets the next-state function of the register
       whose current-value expression is [r] (must be a [Reg] leaf
-      returned by {!reg}/{!reg_vec}). *)
+      returned by {!reg}/{!reg_vec}). Assigning a register twice is
+      recorded (the first assignment stands) and reported by
+      {!finish}, so one pass surfaces every offender. *)
 
   val assign_vec : ctx -> Expr.Vec.t -> Expr.Vec.t -> unit
 
@@ -103,7 +117,8 @@ module Build : sig
   (** Conjoin a clause onto the input-validity constraint. *)
 
   val finish : ctx -> t
-  (** @raise Failure if some register was never assigned. *)
+  (** @raise Build_error listing {e all} doubly-assigned and
+      never-assigned registers at once. *)
 end
 
 val pp_stats : Format.formatter -> t -> unit

@@ -19,11 +19,24 @@
 
 val to_string : Circuit.t -> string
 
-val of_string : string -> (Circuit.t, string) result
-(** Inverse of {!to_string} (also accepts hand-written files). Errors
-    carry a line number and description. *)
+type error = {
+  line : int;  (** 1-based; 0 when no position applies (I/O, internal) *)
+  col : int;  (** 1-based column in the raw line; 0 when [line] is 0 *)
+  msg : string;
+}
+
+val error_to_string : error -> string
+(** ["line L, column C: msg"], or just the message for positionless
+    errors. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val of_string : string -> (Circuit.t, error) result
+(** Inverse of {!to_string} (also accepts hand-written files). Total:
+    malformed input of any kind — including bytes this parser never
+    anticipated — yields [Error], never an exception. *)
 
 val save : Circuit.t -> string -> unit
 (** Write to a file path. *)
 
-val load : string -> (Circuit.t, string) result
+val load : string -> (Circuit.t, error) result

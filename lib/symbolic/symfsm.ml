@@ -1,4 +1,5 @@
 open Simcov_bdd
+module Budget = Simcov_util.Budget
 
 type part = { rel : Bdd.t; supp : int list }
 
@@ -18,6 +19,8 @@ type traversal = {
   peak_live_nodes : int;
   total_time_s : float;
   iter_stats : iter_stat list;
+  truncated : Budget.resource option;
+  gc_runs : int;
 }
 
 type t = {
@@ -107,11 +110,25 @@ let mk_parts man ~n_state ~n_input rels =
          if Bdd.is_true rel then None else Some { rel; supp = Bdd.support man rel })
   |> order_parts nvars ~quantified
 
-let of_circuit (c : Simcov_netlist.Circuit.t) =
+(* Pin the long-lived structure of a symbolic FSM — relation
+   conjuncts, validity, initial state, outputs — so the manager's
+   garbage collector can never sweep it out from under a traversal. *)
+let register_roots t =
+  let p = Bdd.protect t.man in
+  List.iter (fun part -> ignore (p part.rel)) t.parts;
+  ignore (p t.valid);
+  ignore (p t.init);
+  Array.iter (fun o -> ignore (p o)) t.outputs;
+  t
+
+let man_for ~budget n =
+  Bdd.man ?max_nodes:(Budget.max_nodes budget) n
+
+let of_circuit ?(budget = Budget.unlimited) (c : Simcov_netlist.Circuit.t) =
   let open Simcov_netlist in
   let n_state = Circuit.n_regs c and n_input = Circuit.n_inputs c in
   let cur, nxt, inp = layout ~n_state ~n_input in
-  let man = Bdd.man ((2 * n_state) + n_input) in
+  let man = man_for ~budget ((2 * n_state) + n_input) in
   let rec expr_bdd (e : Expr.t) =
     match e with
     | Expr.Const b -> Bdd.of_bool man b
@@ -123,11 +140,12 @@ let of_circuit (c : Simcov_netlist.Circuit.t) =
     | Expr.Xor (a, b) -> Bdd.bxor man (expr_bdd a) (expr_bdd b)
     | Expr.Mux (s, h, l) -> Bdd.ite man (expr_bdd s) (expr_bdd h) (expr_bdd l)
   in
-  let valid = expr_bdd c.Circuit.input_constraint in
+  let valid = Bdd.protect man (expr_bdd c.Circuit.input_constraint) in
   let latch_rels =
     Array.to_list c.Circuit.regs
     |> List.mapi (fun i (r : Circuit.reg) ->
-           Bdd.biff man (Bdd.var man nxt.(i)) (expr_bdd r.Circuit.next))
+           Budget.check budget;
+           Bdd.protect man (Bdd.biff man (Bdd.var man nxt.(i)) (expr_bdd r.Circuit.next)))
   in
   let parts = mk_parts man ~n_state ~n_input (valid :: latch_rels) in
   let init =
@@ -139,26 +157,27 @@ let of_circuit (c : Simcov_netlist.Circuit.t) =
   let outputs =
     Array.map (fun (o : Circuit.port) -> expr_bdd o.Circuit.expr) c.Circuit.outputs
   in
-  {
-    man;
-    n_state_vars = n_state;
-    n_input_vars = n_input;
-    cur;
-    nxt;
-    inp;
-    parts;
-    valid;
-    init;
-    outputs;
-    mono = None;
-    reach = None;
-  }
+  register_roots
+    {
+      man;
+      n_state_vars = n_state;
+      n_input_vars = n_input;
+      cur;
+      nxt;
+      inp;
+      parts;
+      valid;
+      init;
+      outputs;
+      mono = None;
+      reach = None;
+    }
 
-let of_fsm (m : Simcov_fsm.Fsm.t) =
+let of_fsm ?(budget = Budget.unlimited) (m : Simcov_fsm.Fsm.t) =
   let open Simcov_fsm in
   let n_state = bits_needed m.Fsm.n_states and n_input = bits_needed m.Fsm.n_inputs in
   let cur, nxt, inp = layout ~n_state ~n_input in
-  let man = Bdd.man ((2 * n_state) + n_input) in
+  let man = man_for ~budget ((2 * n_state) + n_input) in
   let cube vars width v =
     Bdd.conj man
       (List.init width (fun b ->
@@ -175,35 +194,53 @@ let of_fsm (m : Simcov_fsm.Fsm.t) =
   List.iter (fun (_, _, _, o) -> n_outputs := max !n_outputs (o + 1)) transitions;
   let out_bits = bits_needed !n_outputs in
   let outputs = Array.make out_bits (Bdd.bfalse man) in
+  (* accumulators are rebuilt per transition: keep the current value of
+     each pinned so a mid-build collection cannot sweep them *)
+  let r_valid = Bdd.add_root man !valid in
+  let r_delta = Array.map (Bdd.add_root man) delta in
+  let r_out = Array.map (Bdd.add_root man) outputs in
   List.iter
     (fun (s, i, s', o) ->
+      Budget.check budget;
       let si = Bdd.band man (cube cur n_state s) (cube inp n_input i) in
       valid := Bdd.bor man !valid si;
+      Bdd.set_root man r_valid !valid;
       for b = 0 to n_state - 1 do
-        if (s' lsr b) land 1 = 1 then delta.(b) <- Bdd.bor man delta.(b) si
+        if (s' lsr b) land 1 = 1 then begin
+          delta.(b) <- Bdd.bor man delta.(b) si;
+          Bdd.set_root man r_delta.(b) delta.(b)
+        end
       done;
       for b = 0 to out_bits - 1 do
-        if (o lsr b) land 1 = 1 then outputs.(b) <- Bdd.bor man outputs.(b) si
+        if (o lsr b) land 1 = 1 then begin
+          outputs.(b) <- Bdd.bor man outputs.(b) si;
+          Bdd.set_root man r_out.(b) outputs.(b)
+        end
       done)
     transitions;
   let latch_rels =
-    List.init n_state (fun b -> Bdd.biff man (Bdd.var man nxt.(b)) delta.(b))
+    List.init n_state (fun b ->
+        Bdd.protect man (Bdd.biff man (Bdd.var man nxt.(b)) delta.(b)))
   in
   let parts = mk_parts man ~n_state ~n_input (!valid :: latch_rels) in
-  {
-    man;
-    n_state_vars = n_state;
-    n_input_vars = n_input;
-    cur;
-    nxt;
-    inp;
-    parts;
-    valid = !valid;
-    init = cube cur n_state m.Fsm.reset;
-    outputs;
-    mono = None;
-    reach = None;
-  }
+  Array.iter (Bdd.remove_root man) r_delta;
+  Array.iter (Bdd.remove_root man) r_out;
+  Bdd.remove_root man r_valid;
+  register_roots
+    {
+      man;
+      n_state_vars = n_state;
+      n_input_vars = n_input;
+      cur;
+      nxt;
+      inp;
+      parts;
+      valid = !valid;
+      init = cube cur n_state m.Fsm.reset;
+      outputs;
+      mono = None;
+      reach = None;
+    }
 
 let cur_and_inp t = Array.to_list t.cur @ Array.to_list t.inp
 let part_rels t = List.map (fun p -> p.rel) t.parts
@@ -216,7 +253,7 @@ let trans t =
   match t.mono with
   | Some r -> r
   | None ->
-      let r = Bdd.conj t.man (part_rels t) in
+      let r = Bdd.protect t.man (Bdd.conj t.man (part_rels t)) in
       t.mono <- Some r;
       r
 
@@ -226,22 +263,26 @@ let constrain_trans t pred =
 let shift_down t v = if v < 2 * t.n_state_vars then v - 1 else v
 let shift_up t v = if v < 2 * t.n_state_vars then v + 1 else v
 
-let image t set =
+let image ?(budget = Budget.unlimited) t set =
+  Budget.check budget;
   let img = Bdd.and_exists_list t.man (cur_and_inp t) (set :: part_rels t) in
   (* img is over nxt vars; shift them down to cur *)
   Bdd.rename t.man (shift_down t) img
 
-let image_mono t set =
+let image_mono ?(budget = Budget.unlimited) t set =
+  Budget.check budget;
   let img = Bdd.and_exists t.man (cur_and_inp t) set (trans t) in
   Bdd.rename t.man (shift_down t) img
 
-let preimage t set =
+let preimage ?(budget = Budget.unlimited) t set =
+  Budget.check budget;
   let set' = Bdd.rename t.man (shift_up t) set in
   Bdd.and_exists_list t.man
     (Array.to_list t.nxt @ Array.to_list t.inp)
     (set' :: part_rels t)
 
-let preimage_mono t set =
+let preimage_mono ?(budget = Budget.unlimited) t set =
+  Budget.check budget;
   let set' = Bdd.rename t.man (shift_up t) set in
   Bdd.and_exists t.man (Array.to_list t.nxt @ Array.to_list t.inp) set' (trans t)
 
@@ -254,9 +295,11 @@ let count_over t f ~width =
 
 let count_states t set = count_over t set ~width:t.n_state_vars
 
-let traverse ?(partitioned = true) ?(frontier = true) t =
-  let img = if partitioned then image t else image_mono t in
+let traverse ?(partitioned = true) ?(frontier = true) ?(budget = Budget.unlimited) t
+    =
+  let img set = if partitioned then image t set else image_mono t set in
   let t0 = Unix.gettimeofday () in
+  let gc0 = (Bdd.gc_stats t.man).Bdd.runs in
   let stats = ref [] in
   let images = ref 0 in
   let record ~iteration ~front ~reached ~dt =
@@ -271,48 +314,84 @@ let traverse ?(partitioned = true) ?(frontier = true) t =
       }
       :: !stats
   in
-  let finish reached iterations =
+  let finish ?truncated reached iterations =
     {
       reached;
       iterations;
       images = !images;
-      peak_live_nodes = Bdd.node_count t.man;
+      peak_live_nodes = Bdd.peak_node_count t.man;
       total_time_s = Unix.gettimeofday () -. t0;
       iter_stats = List.rev !stats;
+      truncated;
+      gc_runs = (Bdd.gc_stats t.man).Bdd.runs - gc0;
     }
   in
-  if frontier then begin
-    (* BFS imaging only the new frontier: states discovered in the
-       previous iteration, not the whole reached set *)
-    let rec go reached front n =
-      let ti = Unix.gettimeofday () in
-      let im = img front in
-      incr images;
-      let fresh = Bdd.band t.man im (Bdd.bnot t.man reached) in
-      record ~iteration:n ~front ~reached ~dt:(Unix.gettimeofday () -. ti);
-      if Bdd.is_false fresh then finish reached n
-      else go (Bdd.bor t.man reached fresh) fresh (n + 1)
-    in
-    go t.init t.init 1
-  end
-  else begin
-    let rec go set n =
-      let ti = Unix.gettimeofday () in
-      let im = img set in
-      incr images;
-      let next = Bdd.bor t.man set im in
-      record ~iteration:n ~front:set ~reached:set ~dt:(Unix.gettimeofday () -. ti);
-      if Bdd.equal next set then finish set n else go next (n + 1)
-    in
-    go t.init 1
-  end
+  (* the reached set and frontier must survive a mid-traversal sweep *)
+  let r_reached = Bdd.add_root t.man t.init in
+  let r_front = Bdd.add_root t.man t.init in
+  Fun.protect
+    ~finally:(fun () ->
+      Bdd.remove_root t.man r_reached;
+      Bdd.remove_root t.man r_front)
+    (fun () ->
+      if frontier then begin
+        (* BFS imaging only the new frontier: states discovered in the
+           previous iteration, not the whole reached set *)
+        let rec go reached front n =
+          match Budget.step budget with
+          | exception Budget.Budget_exceeded r -> finish ~truncated:r reached (n - 1)
+          | () -> (
+              let ti = Unix.gettimeofday () in
+              match img front with
+              | exception Bdd.Node_limit _ -> finish ~truncated:Budget.Nodes reached (n - 1)
+              | im ->
+                  incr images;
+                  let fresh = Bdd.band t.man im (Bdd.bnot t.man reached) in
+                  record ~iteration:n ~front ~reached ~dt:(Unix.gettimeofday () -. ti);
+                  if Bdd.is_false fresh then finish reached n
+                  else begin
+                    let reached' = Bdd.bor t.man reached fresh in
+                    Bdd.set_root t.man r_reached reached';
+                    Bdd.set_root t.man r_front fresh;
+                    go reached' fresh (n + 1)
+                  end)
+        in
+        go t.init t.init 1
+      end
+      else begin
+        let rec go set n =
+          match Budget.step budget with
+          | exception Budget.Budget_exceeded r -> finish ~truncated:r set (n - 1)
+          | () -> (
+              let ti = Unix.gettimeofday () in
+              match img set with
+              | exception Bdd.Node_limit _ -> finish ~truncated:Budget.Nodes set (n - 1)
+              | im ->
+                  incr images;
+                  let next = Bdd.bor t.man set im in
+                  record ~iteration:n ~front:set ~reached:set
+                    ~dt:(Unix.gettimeofday () -. ti);
+                  if Bdd.equal next set then finish set n
+                  else begin
+                    Bdd.set_root t.man r_reached next;
+                    Bdd.set_root t.man r_front next;
+                    go next (n + 1)
+                  end)
+        in
+        go t.init 1
+      end)
 
-let reachable_stats t =
+let reachable_stats ?budget t =
   match t.reach with
   | Some tr -> tr
   | None ->
-      let tr = traverse t in
-      t.reach <- Some tr;
+      let tr = traverse ?budget t in
+      (* only a complete fixpoint is worth memoizing: a later call with
+         a fresh budget can still reach it *)
+      if tr.truncated = None then begin
+        ignore (Bdd.protect t.man tr.reached);
+        t.reach <- Some tr
+      end;
       tr
 
 let reachable t =

@@ -21,6 +21,7 @@
     number of distinct transitions (123 million). *)
 
 open Simcov_bdd
+module Budget = Simcov_util.Budget
 
 type part = {
   rel : Bdd.t;  (** one conjunct of the transition relation *)
@@ -37,12 +38,19 @@ type iter_stat = {
 }
 
 type traversal = {
-  reached : Bdd.t;  (** the least fixpoint, over [cur] vars *)
-  iterations : int;  (** sequential depth + 1 *)
+  reached : Bdd.t;
+      (** the least fixpoint — or, when [truncated] is set, the sound
+          under-approximation reached before resources ran out — over
+          [cur] vars *)
+  iterations : int;  (** sequential depth + 1 (completed iterations) *)
   images : int;  (** image computations performed *)
-  peak_live_nodes : int;  (** manager unique-table size at the end *)
+  peak_live_nodes : int;  (** manager live-node high-water mark *)
   total_time_s : float;
   iter_stats : iter_stat list;  (** per-iteration, in order *)
+  truncated : Budget.resource option;
+      (** [None] = exact fixpoint; [Some r] = traversal stopped early
+          because resource [r] (time, steps, or BDD nodes) ran out *)
+  gc_runs : int;  (** BDD garbage collections during this traversal *)
 }
 
 type t = {
@@ -60,14 +68,20 @@ type t = {
   mutable reach : traversal option;  (** cached default traversal *)
 }
 
-val of_circuit : Simcov_netlist.Circuit.t -> t
+val of_circuit : ?budget:Budget.t -> Simcov_netlist.Circuit.t -> t
 (** Compile a netlist: one state variable per register, one input
-    variable per primary input; one relation conjunct per register. *)
+    variable per primary input; one relation conjunct per register.
+    [budget] caps the build: its node allowance becomes the manager's
+    live-node ceiling and its deadline is checked between conjuncts
+    (@raise Budget.Budget_exceeded / @raise Bdd.Node_limit when the
+    relation itself does not fit). The long-lived structure (relation
+    conjuncts, validity, init, outputs) is registered as GC roots. *)
 
-val of_fsm : Simcov_fsm.Fsm.t -> t
+val of_fsm : ?budget:Budget.t -> Simcov_fsm.Fsm.t -> t
 (** Encode an explicit machine in binary (states and inputs packed
     little-endian; unreachable encodings excluded by validity); one
-    relation conjunct per state bit. *)
+    relation conjunct per state bit. Budget semantics as in
+    {!of_circuit}, checked per transition. *)
 
 (** {1 The transition relation} *)
 
@@ -84,37 +98,48 @@ val constrain_trans : t -> Bdd.t -> Bdd.t
 
 (** {1 Traversal} *)
 
-val image : t -> Bdd.t -> Bdd.t
+val image : ?budget:Budget.t -> t -> Bdd.t -> Bdd.t
 (** Forward image over valid transitions: the set (over [cur] vars) of
     successors of the given set (over [cur] vars). Partitioned, with
-    early quantification. *)
+    early quantification. [budget]'s deadline is checked on entry
+    (@raise Budget.Budget_exceeded). *)
 
-val preimage : t -> Bdd.t -> Bdd.t
+val preimage : ?budget:Budget.t -> t -> Bdd.t -> Bdd.t
 (** States with a valid transition into the given set. Partitioned. *)
 
-val image_mono : t -> Bdd.t -> Bdd.t
+val image_mono : ?budget:Budget.t -> t -> Bdd.t -> Bdd.t
 (** [image] against the monolithic relation (forces {!trans}); kept as
     the oracle and fallback. *)
 
-val preimage_mono : t -> Bdd.t -> Bdd.t
+val preimage_mono : ?budget:Budget.t -> t -> Bdd.t -> Bdd.t
 
-val traverse : ?partitioned:bool -> ?frontier:bool -> t -> traversal
+val traverse :
+  ?partitioned:bool -> ?frontier:bool -> ?budget:Budget.t -> t -> traversal
 (** Least fixpoint of the image from [init], with per-iteration
     statistics. [partitioned] selects the partitioned vs. monolithic
     image; [frontier] selects frontier-based BFS (image only the
     states discovered in the previous iteration) vs. imaging the full
     reached set each round. Both default to [true] — the fast path.
     All four combinations compute the same fixpoint in the same number
-    of iterations; the flags exist for benchmarks and as oracles. *)
+    of iterations; the flags exist for benchmarks and as oracles.
+
+    Never raises on exhaustion: one budget step is consumed per
+    iteration, and when the deadline, the step budget, or the
+    manager's node ceiling runs out the traversal returns the reached
+    set so far with [truncated = Some resource] — a sound
+    under-approximation of the fixpoint. The reached set and frontier
+    are pinned as GC roots for the duration. *)
 
 val reachable : t -> Bdd.t * int
 (** Least fixpoint of [image] from [init]; also returns the number of
     iterations (the sequential depth + 1). Memoized: repeated calls
     (e.g. from the counting helpers) reuse the first traversal. *)
 
-val reachable_stats : t -> traversal
-(** Like {!reachable} with the full per-iteration statistics (same
-    memoized traversal). *)
+val reachable_stats : ?budget:Budget.t -> t -> traversal
+(** Like {!reachable} with the full per-iteration statistics. Only an
+    exact (non-truncated) traversal is memoized — a truncated one is
+    returned as-is so a later call under a fresh budget can still
+    complete the fixpoint. *)
 
 (** {1 Counting} *)
 

@@ -1,8 +1,15 @@
 open Simcov_bdd
 open Simcov_netlist
+module Budget = Simcov_util.Budget
 
 type progress = { steps : int; covered : float; total : float }
-type result = { word : bool array list; complete : bool; progress : progress }
+
+type result = {
+  word : bool array list;
+  complete : bool;
+  progress : progress;
+  truncated_by : Budget.resource option;
+}
 
 let count_pairs (sym : Symfsm.t) f =
   let total_vars = Bdd.num_vars sym.Symfsm.man in
@@ -30,19 +37,24 @@ let member (sym : Symfsm.t) set state =
   Bdd.eval sym.Symfsm.man set (fun v ->
       if v < 2 * sym.Symfsm.n_state_vars && v mod 2 = 0 then state.(v / 2) else false)
 
-let generate ?(max_steps = 100_000) (circuit : Circuit.t) =
-  let sym = Symfsm.of_circuit circuit in
+let generate ?(max_steps = 100_000) ?(budget = Budget.unlimited) (circuit : Circuit.t) =
+  let sym = Symfsm.of_circuit ~budget circuit in
   let man = sym.Symfsm.man in
-  let reach, _ = Symfsm.reachable sym in
-  let target = Bdd.band man reach sym.Symfsm.valid in
+  let tr = Symfsm.reachable_stats ~budget sym in
+  let truncated = ref tr.Symfsm.truncated in
+  let target =
+    Bdd.protect man (Bdd.band man tr.Symfsm.reached sym.Symfsm.valid)
+  in
   let total = count_pairs sym target in
   let covered = ref (Bdd.bfalse man) in
+  let r_covered = Bdd.add_root man !covered in
   let state = ref (Circuit.initial_state circuit) in
   let word = ref [] in
   let steps = ref 0 in
   let apply iv =
     covered :=
       Bdd.bor man !covered (Bdd.band man (Symfsm.state_cube sym !state) (input_cube sym iv));
+    Bdd.set_root man r_covered !covered;
     let state', _ = Circuit.step circuit !state iv in
     state := state';
     word := iv :: !word;
@@ -55,21 +67,34 @@ let generate ?(max_steps = 100_000) (circuit : Circuit.t) =
     if Bdd.is_false u then None else Some (inputs_of_assigns sym (Bdd.any_sat man u))
   in
   (* walk to the nearest state owning an uncovered transition via
-     backward BFS layers *)
+     backward BFS layers; everything held across the layer-building
+     preimages is pinned so a mid-walk GC cannot unshare it *)
   let walk_to_goal () =
     let goal =
       Bdd.and_exists man (Array.to_list sym.Symfsm.inp) (uncovered ()) (Bdd.btrue man)
     in
     if Bdd.is_false goal then false
     else begin
+      let pins = ref [] in
+      let pin b =
+        pins := Bdd.add_root man b :: !pins;
+        b
+      in
+      Fun.protect
+        ~finally:(fun () -> List.iter (Bdd.remove_root man) !pins)
+      @@ fun () ->
+      ignore (pin goal);
       (* build layers until the current state is included *)
       let rec build layers frontier union =
         if member sym frontier !state then Some (frontier :: layers)
         else begin
-          let pre = Symfsm.preimage sym frontier in
-          let union' = Bdd.bor man union pre in
+          let pre = pin (Symfsm.preimage sym frontier) in
+          let union' = pin (Bdd.bor man union pre) in
           if Bdd.equal union' union then None (* unreachable from here *)
-          else build (frontier :: layers) (Bdd.band man pre (Bdd.bnot man union)) union'
+          else
+            build (frontier :: layers)
+              (pin (Bdd.band man pre (Bdd.bnot man union)))
+              union'
         end
       in
       match build [] goal goal with
@@ -96,31 +121,47 @@ let generate ?(max_steps = 100_000) (circuit : Circuit.t) =
     end
   in
   let running = ref true in
-  while !running && !steps < max_steps do
-    match local_input () with
-    | Some iv -> apply iv
-    | None -> if not (walk_to_goal ()) then running := false
-  done;
+  (try
+     while !running && !steps < max_steps do
+       Budget.check budget;
+       match local_input () with
+       | Some iv -> apply iv
+       | None -> if not (walk_to_goal ()) then running := false
+     done
+   with
+  | Budget.Budget_exceeded r -> truncated := Some r
+  | Bdd.Node_limit _ -> truncated := Some Budget.Nodes);
+  let complete =
+    !truncated = None
+    && (try Bdd.is_false (uncovered ()) with Bdd.Node_limit _ -> false)
+  in
   let covered_n = count_pairs sym !covered in
+  Bdd.remove_root man r_covered;
   {
     word = List.rev !word;
-    complete = Bdd.is_false (uncovered ());
+    complete;
     progress = { steps = !steps; covered = covered_n; total };
+    truncated_by = !truncated;
   }
 
-let coverage_of_word (circuit : Circuit.t) word =
-  let sym = Symfsm.of_circuit circuit in
+let coverage_of_word ?(budget = Budget.unlimited) (circuit : Circuit.t) word =
+  let sym = Symfsm.of_circuit ~budget circuit in
   let man = sym.Symfsm.man in
   let reach, _ = Symfsm.reachable sym in
-  let target = Bdd.band man reach sym.Symfsm.valid in
+  let target = Bdd.protect man (Bdd.band man reach sym.Symfsm.valid) in
   let covered = ref (Bdd.bfalse man) in
+  let r_covered = Bdd.add_root man !covered in
   let state = ref (Circuit.initial_state circuit) in
   List.iter
     (fun iv ->
+      Budget.check budget;
       covered :=
         Bdd.bor man !covered
           (Bdd.band man (Symfsm.state_cube sym !state) (input_cube sym iv));
+      Bdd.set_root man r_covered !covered;
       let state', _ = Circuit.step circuit !state iv in
       state := state')
     word;
-  (count_pairs sym !covered, count_pairs sym target)
+  let result = (count_pairs sym !covered, count_pairs sym target) in
+  Bdd.remove_root man r_covered;
+  result

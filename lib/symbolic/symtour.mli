@@ -14,6 +14,7 @@
     {!Simcov_testgen.Tour} when the model fits in arrays. *)
 
 open Simcov_netlist
+module Budget = Simcov_util.Budget
 
 type progress = {
   steps : int;  (** inputs applied so far *)
@@ -25,13 +26,25 @@ type result = {
   word : bool array list;  (** input vectors, in order, from the initial state *)
   complete : bool;  (** all reachable valid transitions covered *)
   progress : progress;
+  truncated_by : Budget.resource option;
+      (** [Some r] when the tour (or the reachability pass feeding it)
+          was cut short by resource [r]; the word and coverage figures
+          then describe a sound partial tour. [None] otherwise. *)
 }
 
-val generate : ?max_steps:int -> Circuit.t -> result
-(** Greedy symbolic tour from the initial state. Stops when complete
-    or after [max_steps] (default 100_000) inputs. The word is
-    replayable with {!Simcov_netlist.Circuit.simulate}. *)
+val generate : ?max_steps:int -> ?budget:Budget.t -> Circuit.t -> result
+(** Greedy symbolic tour from the initial state. Stops when complete,
+    after [max_steps] (default 100_000) inputs, or when [budget] runs
+    out — budget exhaustion (deadline, steps, or the manager node
+    ceiling) never raises; it yields the partial word generated so far
+    with [truncated_by] set and [complete = false]. If the budgeted
+    reachability pass is itself truncated, the tour targets the
+    under-approximate reached set and is likewise marked truncated.
+    The word is replayable with
+    {!Simcov_netlist.Circuit.simulate}. *)
 
-val coverage_of_word : Circuit.t -> bool array list -> float * float
+val coverage_of_word :
+  ?budget:Budget.t -> Circuit.t -> bool array list -> float * float
 (** [(covered, total)] transitions for an arbitrary input word (each
-    vector must be valid when applied). *)
+    vector must be valid when applied).
+    @raise Budget.Budget_exceeded when the deadline passes mid-replay. *)

@@ -1,0 +1,71 @@
+type resource = Time | Steps | Nodes
+
+exception Budget_exceeded of resource
+
+type 'a bounded = Exact of 'a | Truncated of 'a * resource
+
+type t = {
+  deadline : float option;  (* absolute, Unix.gettimeofday timebase *)
+  max_steps : int option;
+  max_nodes : int option;
+  mutable steps : int;
+}
+
+let unlimited = { deadline = None; max_steps = None; max_nodes = None; steps = 0 }
+
+let create ?timeout_s ?max_steps ?max_nodes () =
+  let deadline =
+    match timeout_s with
+    | None -> None
+    | Some s ->
+        if s < 0.0 then invalid_arg "Budget.create: negative timeout";
+        Some (Unix.gettimeofday () +. s)
+  in
+  (match max_steps with
+  | Some n when n < 0 -> invalid_arg "Budget.create: negative step budget"
+  | _ -> ());
+  (match max_nodes with
+  | Some n when n <= 0 -> invalid_arg "Budget.create: non-positive node budget"
+  | _ -> ());
+  { deadline; max_steps; max_nodes; steps = 0 }
+
+let is_unlimited t = t.deadline = None && t.max_steps = None && t.max_nodes = None
+let max_nodes t = t.max_nodes
+let steps_used t = t.steps
+
+let exceeded t =
+  match t.deadline with
+  | Some d when Unix.gettimeofday () >= d -> Some Time
+  | _ -> (
+      match t.max_steps with Some m when t.steps >= m -> Some Steps | _ -> None)
+
+let check t =
+  match exceeded t with None -> () | Some r -> raise (Budget_exceeded r)
+
+let step t =
+  t.steps <- t.steps + 1;
+  check t
+
+let remaining_s t =
+  match t.deadline with
+  | None -> None
+  | Some d -> Some (Float.max 0.0 (d -. Unix.gettimeofday ()))
+
+let resource_name = function
+  | Time -> "time"
+  | Steps -> "steps"
+  | Nodes -> "nodes"
+
+let pp_resource ppf r = Format.pp_print_string ppf (resource_name r)
+
+let value = function Exact v | Truncated (v, _) -> v
+let truncation = function Exact _ -> None | Truncated (_, r) -> Some r
+
+let map f = function
+  | Exact v -> Exact (f v)
+  | Truncated (v, r) -> Truncated (f v, r)
+
+let pp_bounded pp_v ppf = function
+  | Exact v -> pp_v ppf v
+  | Truncated (v, r) ->
+      Format.fprintf ppf "%a (truncated: %a)" pp_v v pp_resource r

@@ -1,0 +1,67 @@
+(** Resource budgets for long-running symbolic computations.
+
+    A budget bundles the three resources a symbolic traversal can
+    exhaust — wall-clock time, iteration/step count, and BDD nodes —
+    into one mutable accounting object that is threaded through the
+    pipeline (bdd → symbolic → core → bin). Exhaustion is reported
+    either as the {!Budget_exceeded} exception (for callers that want
+    non-local exit) or as a {!bounded} outcome tag (for callers that
+    return partial results — the honest-status style of
+    coverage-under-resource-pressure work).
+
+    Deadlines are measured against a monotonically sampled wall clock:
+    the deadline is stored as an absolute instant computed once at
+    {!create} time, so repeated checks never extend it. *)
+
+type resource = Time | Steps | Nodes
+
+exception Budget_exceeded of resource
+(** Raised by {!check} / {!step} when the corresponding limit is hit. *)
+
+type 'a bounded =
+  | Exact of 'a  (** the computation ran to completion *)
+  | Truncated of 'a * resource
+      (** a partial result, with the resource that cut it short *)
+
+type t
+
+val unlimited : t
+(** The no-op budget: never exhausted, shared freely. *)
+
+val create : ?timeout_s:float -> ?max_steps:int -> ?max_nodes:int -> unit -> t
+(** [create ()] with no limits behaves like {!unlimited} but owns its
+    own step counter. [timeout_s] is a relative wall-clock allowance
+    converted to an absolute deadline immediately. *)
+
+val is_unlimited : t -> bool
+
+val max_nodes : t -> int option
+(** The node allowance, for wiring into a BDD manager. *)
+
+val steps_used : t -> int
+
+val check : t -> unit
+(** @raise Budget_exceeded if the deadline has passed or the step
+    budget is already spent. Cheap enough to call per iteration. *)
+
+val step : t -> unit
+(** Consume one step, then {!check}. *)
+
+val exceeded : t -> resource option
+(** [Some r] if a limit is currently hit, without raising. *)
+
+val remaining_s : t -> float option
+(** Seconds until the deadline ([None] if no deadline); never
+    negative. *)
+
+val resource_name : resource -> string
+val pp_resource : Format.formatter -> resource -> unit
+
+val value : 'a bounded -> 'a
+val truncation : 'a bounded -> resource option
+val map : ('a -> 'b) -> 'a bounded -> 'b bounded
+
+val pp_bounded :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a bounded -> unit
+(** Prints the value followed by [" (truncated: <resource>)"] when
+    partial. *)

@@ -24,4 +24,5 @@ let () =
       ("dual", Test_dual.suite);
       ("programs", Test_programs.suite);
       ("fig2", Test_fig2.suite);
+      ("robustness", Test_robustness.suite);
     ]

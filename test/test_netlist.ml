@@ -113,11 +113,39 @@ let test_unassigned_register_fails () =
   let open Circuit.Build in
   let ctx = create "bad" in
   let _ = reg ctx "r" in
-  Alcotest.(check bool) "finish fails" true
-    (try
-       ignore (finish ctx);
-       false
-     with Failure _ -> true)
+  match finish ctx with
+  | _ -> Alcotest.fail "finish should fail"
+  | exception Build_error e ->
+      Alcotest.(check (list string)) "never assigned" [ "r" ] e.never_assigned;
+      Alcotest.(check (list string)) "no dups" [] e.doubly_assigned
+
+let test_build_errors_collected () =
+  (* every offender reported in one error, not just the first *)
+  let open Circuit.Build in
+  let ctx = create "bad" in
+  let a = reg ctx "a" in
+  let _ = reg ctx "b" in
+  let c = reg ctx "c" in
+  let _ = reg ctx "d" in
+  assign ctx a Expr.tru;
+  assign ctx a Expr.fls;
+  assign ctx c Expr.tru;
+  assign ctx c Expr.fls;
+  assign ctx c Expr.tru;
+  match finish ctx with
+  | _ -> Alcotest.fail "finish should fail"
+  | exception Build_error e ->
+      Alcotest.(check string) "circuit" "bad" e.circuit;
+      Alcotest.(check (list string)) "dups" [ "a"; "c"; "c" ] e.doubly_assigned;
+      Alcotest.(check (list string)) "missing" [ "b"; "d" ] e.never_assigned;
+      Alcotest.(check bool) "message mentions both" true
+        (let s = build_error_to_string e in
+         let has sub =
+           let n = String.length s and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+           go 0
+         in
+         has "assigned twice" && has "never assigned")
 
 let test_cone_analysis () =
   let open Circuit.Build in
@@ -207,6 +235,7 @@ let suite =
     Alcotest.test_case "reg index/groups" `Quick test_reg_index_groups;
     Alcotest.test_case "constraint blocks input" `Quick test_constraint_blocks_input;
     Alcotest.test_case "unassigned register" `Quick test_unassigned_register_fails;
+    Alcotest.test_case "build errors collected" `Quick test_build_errors_collected;
     Alcotest.test_case "cone analysis" `Quick test_cone_analysis;
     Alcotest.test_case "to_fsm matches simulation" `Quick test_to_fsm_matches_simulation;
     Alcotest.test_case "to_fsm respects constraint" `Quick test_to_fsm_respects_constraint;

@@ -1,0 +1,342 @@
+(* Chaos tests for the resource-governance layer: BDD garbage
+   collection against a GC-free oracle, budgeted traversals and tours,
+   the validate-dlx degradation ladder, and parser fuzzing. *)
+
+open Simcov_bdd
+open Simcov_netlist
+module Budget = Simcov_util.Budget
+module Rng = Simcov_util.Rng
+
+(* structural equality across managers (hash-consing only holds within
+   one manager) *)
+let rec same_shape a b =
+  if Bdd.is_false a then Bdd.is_false b
+  else if Bdd.is_true a then Bdd.is_true b
+  else
+    (not (Bdd.is_false b || Bdd.is_true b))
+    && Bdd.topvar a = Bdd.topvar b
+    && same_shape (Bdd.low a) (Bdd.low b)
+    && same_shape (Bdd.high a) (Bdd.high b)
+
+(* --- GC vs. oracle: random op sequences with forced sweeps --- *)
+
+(* Run the same random 500-op sequence in a collected manager (sweep
+   forced every [sweep_every] ops, every live value rooted) and in an
+   untouched oracle manager; the value pools must stay node-for-node
+   identical. *)
+let gc_oracle_run ~seed ~sweep_every =
+  let nvars = 10 in
+  let m = Bdd.man nvars in
+  let o = Bdd.man nvars in
+  let rng = Rng.create seed in
+  (* parallel pools; pool_m entries are rooted in m *)
+  let pool_m = ref [| Bdd.btrue m |] in
+  let pool_o = ref [| Bdd.btrue o |] in
+  let roots = Hashtbl.create 64 in
+  let push a b =
+    Hashtbl.replace roots (Bdd.id a) (Bdd.add_root m a);
+    pool_m := Array.append !pool_m [| a |];
+    pool_o := Array.append !pool_o [| b |]
+  in
+  let pick_pair () =
+    let i = Rng.int rng (Array.length !pool_m) in
+    ((!pool_m).(i), (!pool_o).(i))
+  in
+  for step = 1 to 500 do
+    (match Rng.int rng 7 with
+    | 0 ->
+        let v = Rng.int rng nvars in
+        push (Bdd.var m v) (Bdd.var o v)
+    | 1 ->
+        let a, a' = pick_pair () in
+        let b, b' = pick_pair () in
+        push (Bdd.band m a b) (Bdd.band o a' b')
+    | 2 ->
+        let a, a' = pick_pair () in
+        let b, b' = pick_pair () in
+        push (Bdd.bor m a b) (Bdd.bor o a' b')
+    | 3 ->
+        let a, a' = pick_pair () in
+        let b, b' = pick_pair () in
+        push (Bdd.bxor m a b) (Bdd.bxor o a' b')
+    | 4 ->
+        let a, a' = pick_pair () in
+        push (Bdd.bnot m a) (Bdd.bnot o a')
+    | 5 ->
+        let a, a' = pick_pair () in
+        let b, b' = pick_pair () in
+        let c, c' = pick_pair () in
+        push (Bdd.ite m a b c) (Bdd.ite o a' b' c')
+    | _ ->
+        let a, a' = pick_pair () in
+        let vs = [ Rng.int rng nvars; Rng.int rng nvars ] in
+        push (Bdd.exists m vs a) (Bdd.exists o vs a'));
+    if step mod sweep_every = 0 then ignore (Bdd.gc m)
+  done;
+  Array.iteri
+    (fun i a ->
+      if not (same_shape a (!pool_o).(i)) then
+        Alcotest.failf "pool entry %d diverged after GC (seed %d)" i seed)
+    !pool_m;
+  (* hash-consing must survive: recomputing an old value physically
+     rediscovers the rooted node *)
+  let n = Array.length !pool_m in
+  for i = 0 to n - 1 do
+    for j = i + 1 to min (i + 5) (n - 1) do
+      let fresh = Bdd.band m (!pool_m).(i) (!pool_m).(j) in
+      let fresh' = Bdd.band m (!pool_m).(i) (!pool_m).(j) in
+      Alcotest.(check bool) "recomputation is hash-consed" true
+        (Bdd.equal fresh fresh')
+    done
+  done
+
+let test_gc_oracle () =
+  List.iter
+    (fun (seed, k) -> gc_oracle_run ~seed ~sweep_every:k)
+    [ (1, 25); (2, 50); (3, 100); (4, 7) ]
+
+let test_gc_preserves_counts () =
+  (* sat_count and size of a rooted BDD are identical before and after
+     a sweep that reclaims garbage around it *)
+  let m = Bdd.man 12 in
+  let f =
+    Bdd.protect m
+      (Bdd.conj m
+         (List.init 6 (fun i ->
+              Bdd.bor m (Bdd.var m (2 * i)) (Bdd.nvar m ((2 * i) + 1)))))
+  in
+  (* garbage: a pile of unrooted intermediates *)
+  for i = 0 to 10 do
+    ignore (Bdd.bxor m f (Bdd.var m (i mod 12)))
+  done;
+  let count0 = Bdd.sat_count m ~nvars:12 f in
+  let size0 = Bdd.size f in
+  let live_before = Bdd.node_count m in
+  let freed = Bdd.gc m in
+  Alcotest.(check bool) "something was reclaimed" true (freed > 0);
+  Alcotest.(check bool) "live count dropped" true (Bdd.node_count m < live_before);
+  Alcotest.(check (float 0.0)) "sat_count stable" count0 (Bdd.sat_count m ~nvars:12 f);
+  Alcotest.(check int) "size stable" size0 (Bdd.size f);
+  let stats = Bdd.gc_stats m in
+  Alcotest.(check bool) "stats recorded" true
+    (stats.Bdd.runs >= 1 && stats.Bdd.reclaimed >= freed)
+
+let test_auto_gc_retry () =
+  (* a node ceiling forces automatic collect-and-retry mid-operation;
+     results must match an unlimited manager *)
+  let nvars = 14 in
+  let m = Bdd.man ~max_nodes:80 nvars in
+  let o = Bdd.man nvars in
+  let acc_m = ref (Bdd.btrue m) in
+  let acc_o = ref (Bdd.btrue o) in
+  let root = Bdd.add_root m !acc_m in
+  for i = 0 to nvars - 2 do
+    acc_m := Bdd.band m !acc_m (Bdd.bxor m (Bdd.var m i) (Bdd.var m (i + 1)));
+    Bdd.set_root m root !acc_m;
+    acc_o := Bdd.band o !acc_o (Bdd.bxor o (Bdd.var o i) (Bdd.var o (i + 1)))
+  done;
+  Alcotest.(check bool) "ceiling respected" true (Bdd.node_count m <= 80);
+  Alcotest.(check bool) "collections happened" true ((Bdd.gc_stats m).Bdd.runs > 0);
+  Alcotest.(check bool) "same function as oracle" true (same_shape !acc_m !acc_o)
+
+let test_node_limit_raises_when_hopeless () =
+  (* when even a sweep cannot fit the operands, Node_limit escapes and
+     the manager stays usable *)
+  let m = Bdd.man ~max_nodes:8 16 in
+  let acc = ref (Bdd.btrue m) in
+  let root = Bdd.add_root m !acc in
+  (match
+     for i = 0 to 15 do
+       acc := Bdd.band m !acc (Bdd.bxor m (Bdd.var m i) (Bdd.var m ((i + 7) mod 16)));
+       Bdd.set_root m root !acc
+     done
+   with
+  | () -> Alcotest.fail "expected Node_limit"
+  | exception Bdd.Node_limit _ -> ());
+  (* still usable afterwards *)
+  Alcotest.(check bool) "manager alive" true
+    (Bdd.is_true (Bdd.bor m !acc (Bdd.bnot m !acc)))
+
+(* --- budgeted traversal and tour --- *)
+
+let toggle_circuit () =
+  let open Circuit.Build in
+  let ctx = create "toggle3" in
+  let en = input ctx "en" in
+  let b = reg_vec ctx "b" 3 in
+  (* 3-bit binary counter, gated by [en] *)
+  let next =
+    [|
+      Expr.( !! ) b.(0);
+      Expr.( ^^^ ) b.(1) b.(0);
+      Expr.( ^^^ ) b.(2) (Expr.( &&& ) b.(1) b.(0));
+    |]
+  in
+  Array.iteri (fun i r -> assign ctx r (Expr.mux en next.(i) r)) b;
+  output ctx "msb" b.(2);
+  finish ctx
+
+let test_traverse_truncation_is_sound () =
+  let c = toggle_circuit () in
+  let sym = Simcov_symbolic.Symfsm.of_circuit c in
+  let exact = Simcov_symbolic.Symfsm.traverse sym in
+  Alcotest.(check bool) "exact is exact" true
+    (exact.Simcov_symbolic.Symfsm.truncated = None);
+  let man = sym.Simcov_symbolic.Symfsm.man in
+  for max_steps = 1 to 4 do
+    let budget = Budget.create ~max_steps () in
+    let tr = Simcov_symbolic.Symfsm.traverse ~budget sym in
+    Alcotest.(check bool)
+      (Printf.sprintf "truncated at %d steps" max_steps)
+      true
+      (tr.Simcov_symbolic.Symfsm.truncated = Some Budget.Steps);
+    (* the partial reached set under-approximates the fixpoint *)
+    let outside =
+      Bdd.band man tr.Simcov_symbolic.Symfsm.reached
+        (Bdd.bnot man exact.Simcov_symbolic.Symfsm.reached)
+    in
+    Alcotest.(check bool) "subset of the fixpoint" true (Bdd.is_false outside);
+    Alcotest.(check bool) "iterations bounded" true
+      (tr.Simcov_symbolic.Symfsm.iterations <= max_steps)
+  done
+
+let test_symtour_chaos_budgets () =
+  let c = toggle_circuit () in
+  let exact = Simcov_symbolic.Symtour.generate c in
+  Alcotest.(check bool) "unbudgeted tour completes" true
+    exact.Simcov_symbolic.Symtour.complete;
+  let rng = Rng.create 77 in
+  for trial = 1 to 12 do
+    let budget =
+      match Rng.int rng 3 with
+      | 0 -> Budget.create ~max_steps:(1 + Rng.int rng 5) ()
+      | 1 -> Budget.create ~max_nodes:(30 + Rng.int rng 200) ()
+      | _ ->
+          Budget.create
+            ~max_steps:(1 + Rng.int rng 5)
+            ~max_nodes:(30 + Rng.int rng 200) ()
+    in
+    match Simcov_symbolic.Symtour.generate ~budget c with
+    | r ->
+        (* a well-formed partial result: progress never exceeds the
+           total and completeness implies no truncation *)
+        let p = r.Simcov_symbolic.Symtour.progress in
+        Alcotest.(check bool) "covered <= total" true
+          (p.Simcov_symbolic.Symtour.covered <= p.Simcov_symbolic.Symtour.total +. 0.5);
+        Alcotest.(check int) "word matches steps"
+          p.Simcov_symbolic.Symtour.steps
+          (List.length r.Simcov_symbolic.Symtour.word);
+        if r.Simcov_symbolic.Symtour.complete then
+          Alcotest.(check bool) "complete implies not truncated" true
+            (r.Simcov_symbolic.Symtour.truncated_by = None)
+    | exception e ->
+        Alcotest.failf "tour raised %s (trial %d)" (Printexc.to_string e) trial
+  done
+
+(* --- the validate-dlx degradation ladder --- *)
+
+let test_ladder_tiny_node_budget () =
+  let budget = Budget.create ~max_nodes:64 () in
+  let r = Simcov_core.Methodology.validate_dlx ~budget () in
+  let open Simcov_core.Methodology in
+  Alcotest.(check bool) "explicit tier" true (r.symbolic.tier = Explicit);
+  Alcotest.(check int) "both symbolic tiers noted" 2
+    (List.length r.symbolic.degradations);
+  (* the explicit figures agree with the tabulated model *)
+  Alcotest.(check (float 0.0)) "states" (float_of_int r.model_states)
+    r.symbolic.sym_states;
+  Alcotest.(check (float 0.0)) "transitions"
+    (float_of_int r.model_transitions)
+    r.symbolic.sym_transitions;
+  (* and the rest of the pipeline was untouched by the degradation *)
+  Alcotest.(check bool) "certificate still holds" true (Result.is_ok r.certificate);
+  Alcotest.(check int) "all bugs still found" (List.length r.bug_results)
+    r.n_bugs_detected
+
+let test_ladder_unlimited_symbolic_agrees () =
+  let r = Simcov_core.Methodology.validate_dlx () in
+  let open Simcov_core.Methodology in
+  Alcotest.(check bool) "top tier" true (r.symbolic.tier = Partitioned_symbolic);
+  Alcotest.(check (list string)) "no degradation" [] r.symbolic.degradations;
+  Alcotest.(check (float 0.0)) "symbolic states agree"
+    (float_of_int r.model_states) r.symbolic.sym_states;
+  Alcotest.(check (float 0.0)) "symbolic transitions agree"
+    (float_of_int r.model_transitions)
+    r.symbolic.sym_transitions
+
+let test_validate_chaos_budgets () =
+  (* random tightened budgets: the pipeline either returns a
+     well-formed report or signals Budget_exceeded — never anything
+     else *)
+  let rng = Rng.create 4242 in
+  for trial = 1 to 8 do
+    let budget =
+      match Rng.int rng 3 with
+      | 0 -> Budget.create ~max_nodes:(32 + Rng.int rng 5000) ()
+      | 1 -> Budget.create ~timeout_s:(Rng.float rng 0.05) ()
+      | _ ->
+          Budget.create
+            ~timeout_s:(0.01 +. Rng.float rng 0.1)
+            ~max_nodes:(32 + Rng.int rng 5000) ()
+    in
+    match Simcov_core.Methodology.validate_dlx ~budget () with
+    | r ->
+        let open Simcov_core.Methodology in
+        Alcotest.(check bool) "figures populated" true
+          (r.symbolic.sym_states > 0.0 && r.symbolic.sym_transitions > 0.0);
+        Alcotest.(check bool) "degradations explain the tier" true
+          (match r.symbolic.tier with
+          | Partitioned_symbolic -> r.symbolic.degradations = []
+          | Monolithic_symbolic -> List.length r.symbolic.degradations = 1
+          | Explicit -> List.length r.symbolic.degradations = 2)
+    | exception Budget.Budget_exceeded _ -> ()
+    | exception e ->
+        Alcotest.failf "validate_dlx raised %s (trial %d)" (Printexc.to_string e)
+          trial
+  done
+
+(* --- serializer fuzzing --- *)
+
+let test_serialize_fuzz () =
+  let c = toggle_circuit () in
+  let dump = Serialize.to_string c in
+  let n = String.length dump in
+  let rng = Rng.create 99 in
+  for _ = 1 to 2000 do
+    let b = Bytes.of_string dump in
+    (* corrupt 1-3 random bytes with arbitrary values *)
+    for _ = 0 to Rng.int rng 3 do
+      Bytes.set b (Rng.int rng n) (Char.chr (Rng.int rng 256))
+    done;
+    let text = Bytes.to_string b in
+    match Serialize.of_string text with
+    | Ok _ -> ()
+    | Error e ->
+        (* positioned errors point into the input *)
+        let open Serialize in
+        if e.line < 0 || e.col < 0 then
+          Alcotest.failf "negative error position for %S" text
+    | exception e ->
+        Alcotest.failf "of_string raised %s on corrupted dump" (Printexc.to_string e)
+  done;
+  (* truncation at every byte boundary is also harmless *)
+  for k = 0 to n - 1 do
+    match Serialize.of_string (String.sub dump 0 k) with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "of_string raised %s on truncated dump" (Printexc.to_string e)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "gc vs oracle (random ops)" `Quick test_gc_oracle;
+    Alcotest.test_case "gc preserves counts" `Quick test_gc_preserves_counts;
+    Alcotest.test_case "auto gc-retry under ceiling" `Quick test_auto_gc_retry;
+    Alcotest.test_case "node limit when hopeless" `Quick test_node_limit_raises_when_hopeless;
+    Alcotest.test_case "traverse truncation sound" `Quick test_traverse_truncation_is_sound;
+    Alcotest.test_case "symtour chaos budgets" `Quick test_symtour_chaos_budgets;
+    Alcotest.test_case "ladder: tiny node budget" `Quick test_ladder_tiny_node_budget;
+    Alcotest.test_case "ladder: unlimited agrees" `Quick test_ladder_unlimited_symbolic_agrees;
+    Alcotest.test_case "validate chaos budgets" `Quick test_validate_chaos_budgets;
+    Alcotest.test_case "serialize fuzz" `Quick test_serialize_fuzz;
+  ]

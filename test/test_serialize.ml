@@ -20,7 +20,7 @@ let counter () =
 let roundtrip c =
   match Serialize.of_string (Serialize.to_string c) with
   | Ok c' -> c'
-  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" (Serialize.error_to_string e)
 
 let check_same_behavior c c' =
   Alcotest.(check int) "inputs" (Circuit.n_inputs c) (Circuit.n_inputs c');
@@ -68,7 +68,7 @@ let test_parse_handwritten () =
      output o = (reg 0)\n"
   in
   match Serialize.of_string text with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Serialize.error_to_string e)
   | Ok c ->
       let outs = Circuit.simulate c [ [| true |]; [| false |]; [| true |] ] in
       Alcotest.(check (list bool)) "toggles" [ false; true; true ]
@@ -92,7 +92,7 @@ let test_save_load () =
   Serialize.save c path;
   (match Serialize.load path with
   | Ok c' -> check_same_behavior c c'
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Serialize.error_to_string e));
   Sys.remove path
 
 let qcheck_roundtrip_random_exprs =
