@@ -205,6 +205,8 @@ type man = {
   mutable not_cache : t Itab.tab;
   mutable ite_cache : t Itab2.tab;
   mutable max_nodes : int;  (* live-node ceiling; [uid_limit] = unbounded *)
+  pos_lits : t array;  (* literal nodes, created on first use, never swept *)
+  neg_lits : t array;
   roots : (int, t) Hashtbl.t;  (* registered external roots *)
   mutable next_root : int;
   mutable temp_roots : t list;  (* arguments of the op in flight *)
@@ -245,6 +247,8 @@ let man ?(cache_size = 1 lsl 14) ?max_nodes nvars =
     not_cache = Itab.create (cache_size / 4) False;
     ite_cache = Itab2.create (cache_size / 4) False;
     max_nodes;
+    pos_lits = Array.make nvars False;
+    neg_lits = Array.make nvars False;
     roots = Hashtbl.create 16;
     next_root = 0;
     temp_roots = [];
@@ -313,6 +317,13 @@ let protect m t =
   ignore (add_root m t);
   t
 
+(* Scoped pin: keep [t] rooted for the duration of [f] — for an
+   intermediate that must stay live across further operations but not
+   beyond. *)
+let pinned m t f =
+  let r = add_root m t in
+  Fun.protect ~finally:(fun () -> remove_root m r) f
+
 let gc m =
   (* mark: recursion depth is bounded by the variable count (variables
      strictly increase along lo/hi edges) *)
@@ -329,6 +340,10 @@ let gc m =
   in
   Hashtbl.iter (fun _ t -> mark t) m.roots;
   List.iter mark m.temp_roots;
+  (* literal nodes are pinned for the manager's lifetime: a bare
+     literal held by a caller across operations must never be swept *)
+  Array.iter mark m.pos_lits;
+  Array.iter mark m.neg_lits;
   (* sweep: rebuild the unique table with only marked nodes (children
      of a marked node are marked, so every rebuilt key is unchanged)
      and recycle the uids of the rest *)
@@ -368,14 +383,21 @@ let gc m =
    limit or registered roots); otherwise the limit is a hard error, as
    an unrooted legacy caller would not survive a sweep. *)
 let run_op m args f =
+  (* arguments are pinned at every nesting depth, so a public op called
+     internally on an unrooted intermediate is protected even when the
+     collection fires deeper in the nesting *)
+  let saved = m.temp_roots in
+  m.temp_roots <- List.rev_append args saved;
   if m.op_depth > 0 then begin
     m.op_depth <- m.op_depth + 1;
-    Fun.protect ~finally:(fun () -> m.op_depth <- m.op_depth - 1) f
+    Fun.protect
+      ~finally:(fun () ->
+        m.temp_roots <- saved;
+        m.op_depth <- m.op_depth - 1)
+      f
   end
   else begin
-    let saved = m.temp_roots in
     m.op_depth <- 1;
-    m.temp_roots <- List.rev_append args saved;
     Fun.protect
       ~finally:(fun () ->
         m.temp_roots <- saved;
@@ -420,13 +442,26 @@ let mk m v lo hi =
     end
   end
 
+(* Literals are created on first use and cached for the manager's
+   lifetime; the GC marks the cache, so a literal can never be swept
+   out from under a caller holding it across other operations. *)
 let var m v =
-  assert (v >= 0 && v < m.nvars);
-  run_op m [] (fun () -> mk m v False True)
+  if v < 0 || v >= m.nvars then invalid_arg "Bdd.var: variable out of range";
+  match m.pos_lits.(v) with
+  | False ->
+      let n = run_op m [] (fun () -> mk m v False True) in
+      m.pos_lits.(v) <- n;
+      n
+  | n -> n
 
 let nvar m v =
-  assert (v >= 0 && v < m.nvars);
-  run_op m [] (fun () -> mk m v True False)
+  if v < 0 || v >= m.nvars then invalid_arg "Bdd.nvar: variable out of range";
+  match m.neg_lits.(v) with
+  | False ->
+      let n = run_op m [] (fun () -> mk m v True False) in
+      m.neg_lits.(v) <- n;
+      n
+  | n -> n
 
 let is_true t = t == True
 let is_false t = t == False
@@ -554,8 +589,12 @@ let rec bxor_rec m a b =
       end
 
 let bxor m a b = run_op m [ a; b ] (fun () -> bxor_rec m a b)
-let bimp m a b = bor m (bnot m a) b
-let biff m a b = bnot m (bxor m a b)
+
+(* Compound connectives run as ONE public operation: on a mid-op
+   collection the retry restarts the whole body from the pinned
+   arguments, so the inner intermediate needs no root of its own. *)
+let bimp m a b = run_op m [ a; b ] (fun () -> bor_rec m (bnot_rec m a) b)
+let biff m a b = run_op m [ a; b ] (fun () -> bnot_rec m (bxor_rec m a b))
 
 let rec ite_rec m c t e =
   match c with
@@ -580,8 +619,11 @@ let rec ite_rec m c t e =
       end
 
 let ite m c t e = run_op m [ c; t; e ] (fun () -> ite_rec m c t e)
-let conj m = List.fold_left (band m) True
-let disj m = List.fold_left (bor m) False
+
+(* n-ary folds pin the whole operand list up front — the not-yet-folded
+   tail must survive any collection triggered while folding the head *)
+let conj m ts = run_op m ts (fun () -> List.fold_left (band_rec m) True ts)
+let disj m ts = run_op m ts (fun () -> List.fold_left (bor_rec m) False ts)
 
 let rec cofactor_rec m t v b =
   match t with
@@ -802,10 +844,13 @@ let iter_sat m ~vars f t =
     end
     else if not (is_false t) then begin
       let v = vars.(i) in
-      buf.(i) <- false;
-      go (i + 1) (cofactor m t v false);
-      buf.(i) <- true;
-      go (i + 1) (cofactor m t v true)
+      (* [t] stays live across the whole low-branch enumeration, which
+         runs further cofactor operations: pin it *)
+      pinned m t (fun () ->
+          buf.(i) <- false;
+          go (i + 1) (cofactor m t v false);
+          buf.(i) <- true;
+          go (i + 1) (cofactor m t v true))
     end
   in
   if not (is_false t) then go 0 t

@@ -58,7 +58,11 @@ val set_max_nodes : man -> int option -> unit
     reachable from a registered root. An unrooted BDD survives as an
     OCaml value but loses hash-consing: rebuilding the same function
     later yields a physically distinct node, so {!equal} would report
-    [false] on semantically equal functions. *)
+    [false] on semantically equal functions. Two cases are pinned
+    automatically: the arguments of every operation in flight (at any
+    nesting depth), and literal nodes ({!var} / {!nvar}), which live
+    for the manager's lifetime. Everything else held across an
+    operation needs {!add_root} / {!protect} / {!pinned}. *)
 
 type root
 (** A registration handle; updatable, so a traversal can keep exactly
@@ -72,6 +76,12 @@ val protect : man -> t -> t
 (** [protect m t] registers [t] as a root for the manager's lifetime
     and returns it — for long-lived structures (transition-relation
     conjuncts, initial states) that are never unpinned. *)
+
+val pinned : man -> t -> (unit -> 'a) -> 'a
+(** [pinned m t f] runs [f] with [t] registered as a root and
+    unregisters it on the way out (normal return or exception) — the
+    scoped pin for an intermediate that must stay live across the
+    operations [f] performs. *)
 
 val gc : man -> int
 (** Collect now; returns the number of nodes reclaimed. *)
@@ -90,10 +100,12 @@ val gc_stats : man -> gc_stats
 val bfalse : man -> t
 val btrue : man -> t
 val var : man -> int -> t
-(** Positive literal. *)
+(** Positive literal. Created on first use and pinned for the
+    manager's lifetime, so a bare literal is always safe to hold
+    across other operations. @raise Invalid_argument out of range. *)
 
 val nvar : man -> int -> t
-(** Negative literal. *)
+(** Negative literal; same lifetime guarantee as {!var}. *)
 
 val of_bool : man -> bool -> t
 

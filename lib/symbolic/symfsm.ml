@@ -129,33 +129,49 @@ let of_circuit ?(budget = Budget.unlimited) (c : Simcov_netlist.Circuit.t) =
   let n_state = Circuit.n_regs c and n_input = Circuit.n_inputs c in
   let cur, nxt, inp = layout ~n_state ~n_input in
   let man = man_for ~budget ((2 * n_state) + n_input) in
+  (* a finished subterm is pinned while its sibling is built: a
+     collection triggered mid-build must not sweep the half we hold
+     (the rooting contract in bdd.mli) *)
   let rec expr_bdd (e : Expr.t) =
     match e with
     | Expr.Const b -> Bdd.of_bool man b
     | Expr.Input i -> Bdd.var man inp.(i)
     | Expr.Reg r -> Bdd.var man cur.(r)
     | Expr.Not a -> Bdd.bnot man (expr_bdd a)
-    | Expr.And (a, b) -> Bdd.band man (expr_bdd a) (expr_bdd b)
-    | Expr.Or (a, b) -> Bdd.bor man (expr_bdd a) (expr_bdd b)
-    | Expr.Xor (a, b) -> Bdd.bxor man (expr_bdd a) (expr_bdd b)
-    | Expr.Mux (s, h, l) -> Bdd.ite man (expr_bdd s) (expr_bdd h) (expr_bdd l)
+    | Expr.And (a, b) -> expr_bin Bdd.band a b
+    | Expr.Or (a, b) -> expr_bin Bdd.bor a b
+    | Expr.Xor (a, b) -> expr_bin Bdd.bxor a b
+    | Expr.Mux (s, h, l) ->
+        let bs = expr_bdd s in
+        Bdd.pinned man bs (fun () ->
+            let bh = expr_bdd h in
+            Bdd.pinned man bh (fun () -> Bdd.ite man bs bh (expr_bdd l)))
+  and expr_bin op a b =
+    let ba = expr_bdd a in
+    Bdd.pinned man ba (fun () -> op man ba (expr_bdd b))
   in
   let valid = Bdd.protect man (expr_bdd c.Circuit.input_constraint) in
   let latch_rels =
     Array.to_list c.Circuit.regs
     |> List.mapi (fun i (r : Circuit.reg) ->
            Budget.check budget;
-           Bdd.protect man (Bdd.biff man (Bdd.var man nxt.(i)) (expr_bdd r.Circuit.next)))
+           let nx = Bdd.var man nxt.(i) in
+           let f = expr_bdd r.Circuit.next in
+           Bdd.protect man (Bdd.biff man nx f))
   in
   let parts = mk_parts man ~n_state ~n_input (valid :: latch_rels) in
+  (* init and each finished output are protected as soon as they are
+     built: they stay live across the remaining expr_bdd operations *)
   let init =
     Array.to_list c.Circuit.regs
     |> List.mapi (fun i (r : Circuit.reg) ->
            if r.Circuit.init then Bdd.var man cur.(i) else Bdd.nvar man cur.(i))
-    |> Bdd.conj man
+    |> Bdd.conj man |> Bdd.protect man
   in
   let outputs =
-    Array.map (fun (o : Circuit.port) -> expr_bdd o.Circuit.expr) c.Circuit.outputs
+    Array.map
+      (fun (o : Circuit.port) -> Bdd.protect man (expr_bdd o.Circuit.expr))
+      c.Circuit.outputs
   in
   register_roots
     {
@@ -202,7 +218,9 @@ let of_fsm ?(budget = Budget.unlimited) (m : Simcov_fsm.Fsm.t) =
   List.iter
     (fun (s, i, s', o) ->
       Budget.check budget;
-      let si = Bdd.band man (cube cur n_state s) (cube inp n_input i) in
+      let sc = cube cur n_state s in
+      (* [sc] stays live across the input-cube build: pin it *)
+      let si = Bdd.pinned man sc (fun () -> Bdd.band man sc (cube inp n_input i)) in
       valid := Bdd.bor man !valid si;
       Bdd.set_root man r_valid !valid;
       for b = 0 to n_state - 1 do
@@ -223,6 +241,11 @@ let of_fsm ?(budget = Budget.unlimited) (m : Simcov_fsm.Fsm.t) =
         Bdd.protect man (Bdd.biff man (Bdd.var man nxt.(b)) delta.(b)))
   in
   let parts = mk_parts man ~n_state ~n_input (!valid :: latch_rels) in
+  (* the initial-state cube is built while valid/outputs are still
+     temp-rooted and protected immediately; after the temp roots are
+     dropped no operation runs until register_roots re-pins
+     everything *)
+  let init = Bdd.protect man (cube cur n_state m.Fsm.reset) in
   Array.iter (Bdd.remove_root man) r_delta;
   Array.iter (Bdd.remove_root man) r_out;
   Bdd.remove_root man r_valid;
@@ -236,7 +259,7 @@ let of_fsm ?(budget = Budget.unlimited) (m : Simcov_fsm.Fsm.t) =
       inp;
       parts;
       valid = !valid;
-      init = cube cur n_state m.Fsm.reset;
+      init;
       outputs;
       mono = None;
       reach = None;
@@ -336,25 +359,39 @@ let traverse ?(partitioned = true) ?(frontier = true) ?(budget = Budget.unlimite
     (fun () ->
       if frontier then begin
         (* BFS imaging only the new frontier: states discovered in the
-           previous iteration, not the whole reached set *)
+           previous iteration, not the whole reached set. The whole
+           iteration body — image plus the band/bnot/bor combining
+           steps — is guarded: a node-ceiling hit anywhere in it
+           finishes with the sound under-approximation reached so
+           far. *)
         let rec go reached front n =
           match Budget.step budget with
           | exception Budget.Budget_exceeded r -> finish ~truncated:r reached (n - 1)
           | () -> (
               let ti = Unix.gettimeofday () in
-              match img front with
-              | exception Bdd.Node_limit _ -> finish ~truncated:Budget.Nodes reached (n - 1)
-              | im ->
-                  incr images;
-                  let fresh = Bdd.band t.man im (Bdd.bnot t.man reached) in
+              match
+                let im = img front in
+                incr images;
+                (* [im] stays live across the bnot below: pin it *)
+                let fresh =
+                  Bdd.pinned t.man im (fun () ->
+                      Bdd.band t.man im (Bdd.bnot t.man reached))
+                in
+                if Bdd.is_false fresh then None
+                else begin
+                  Bdd.set_root t.man r_front fresh;
+                  let reached' = Bdd.bor t.man reached fresh in
+                  Bdd.set_root t.man r_reached reached';
+                  Some (reached', fresh)
+                end
+              with
+              | exception Bdd.Node_limit _ ->
+                  finish ~truncated:Budget.Nodes reached (n - 1)
+              | step ->
                   record ~iteration:n ~front ~reached ~dt:(Unix.gettimeofday () -. ti);
-                  if Bdd.is_false fresh then finish reached n
-                  else begin
-                    let reached' = Bdd.bor t.man reached fresh in
-                    Bdd.set_root t.man r_reached reached';
-                    Bdd.set_root t.man r_front fresh;
-                    go reached' fresh (n + 1)
-                  end)
+                  (match step with
+                  | None -> finish reached n
+                  | Some (reached', fresh) -> go reached' fresh (n + 1)))
         in
         go t.init t.init 1
       end
@@ -364,19 +401,20 @@ let traverse ?(partitioned = true) ?(frontier = true) ?(budget = Budget.unlimite
           | exception Budget.Budget_exceeded r -> finish ~truncated:r set (n - 1)
           | () -> (
               let ti = Unix.gettimeofday () in
-              match img set with
-              | exception Bdd.Node_limit _ -> finish ~truncated:Budget.Nodes set (n - 1)
-              | im ->
-                  incr images;
-                  let next = Bdd.bor t.man set im in
+              match
+                let im = img set in
+                incr images;
+                let next = Bdd.bor t.man set im in
+                Bdd.set_root t.man r_reached next;
+                Bdd.set_root t.man r_front next;
+                next
+              with
+              | exception Bdd.Node_limit _ ->
+                  finish ~truncated:Budget.Nodes set (n - 1)
+              | next ->
                   record ~iteration:n ~front:set ~reached:set
                     ~dt:(Unix.gettimeofday () -. ti);
-                  if Bdd.equal next set then finish set n
-                  else begin
-                    Bdd.set_root t.man r_reached next;
-                    Bdd.set_root t.man r_front next;
-                    go next (n + 1)
-                  end)
+                  if Bdd.equal next set then finish set n else go next (n + 1))
         in
         go t.init 1
       end)

@@ -52,8 +52,10 @@ let generate ?(max_steps = 100_000) ?(budget = Budget.unlimited) (circuit : Circ
   let word = ref [] in
   let steps = ref 0 in
   let apply iv =
-    covered :=
-      Bdd.bor man !covered (Bdd.band man (Symfsm.state_cube sym !state) (input_cube sym iv));
+    let sc = Symfsm.state_cube sym !state in
+    (* [sc] stays live across the input-cube build: pin it *)
+    let pair = Bdd.pinned man sc (fun () -> Bdd.band man sc (input_cube sym iv)) in
+    covered := Bdd.bor man !covered pair;
     Bdd.set_root man r_covered !covered;
     let state', _ = Circuit.step circuit !state iv in
     state := state';
@@ -63,7 +65,11 @@ let generate ?(max_steps = 100_000) ?(budget = Budget.unlimited) (circuit : Circ
   let uncovered () = Bdd.band man target (Bdd.bnot man !covered) in
   (* an uncovered transition out of the current state, if any *)
   let local_input () =
-    let u = Bdd.band man (uncovered ()) (Symfsm.state_cube sym !state) in
+    let u0 = uncovered () in
+    (* [u0] stays live across the state-cube build: pin it *)
+    let u =
+      Bdd.pinned man u0 (fun () -> Bdd.band man u0 (Symfsm.state_cube sym !state))
+    in
     if Bdd.is_false u then None else Some (inputs_of_assigns sym (Bdd.any_sat man u))
   in
   (* walk to the nearest state owning an uncovered transition via
@@ -108,9 +114,11 @@ let generate ?(max_steps = 100_000) ?(budget = Budget.unlimited) (circuit : Circ
                   (fun v -> if v < 2 * sym.Symfsm.n_state_vars then v + 1 else v)
                   layer
               in
+              (* [layer'] stays live across the state-cube build *)
               let choices =
-                Symfsm.constrain_trans sym
-                  (Bdd.band man (Symfsm.state_cube sym !state) layer')
+                Bdd.pinned man layer' (fun () ->
+                    Symfsm.constrain_trans sym
+                      (Bdd.band man (Symfsm.state_cube sym !state) layer'))
               in
               (* trans includes validity; choices is nonempty by
                  construction of the layers *)
@@ -155,9 +163,9 @@ let coverage_of_word ?(budget = Budget.unlimited) (circuit : Circuit.t) word =
   List.iter
     (fun iv ->
       Budget.check budget;
-      covered :=
-        Bdd.bor man !covered
-          (Bdd.band man (Symfsm.state_cube sym !state) (input_cube sym iv));
+      let sc = Symfsm.state_cube sym !state in
+      let pair = Bdd.pinned man sc (fun () -> Bdd.band man sc (input_cube sym iv)) in
+      covered := Bdd.bor man !covered pair;
       Bdd.set_root man r_covered !covered;
       let state', _ = Circuit.step circuit !state iv in
       state := state')

@@ -43,8 +43,12 @@ let check t =
   match exceeded t with None -> () | Some r -> raise (Budget_exceeded r)
 
 let step t =
-  t.steps <- t.steps + 1;
-  check t
+  (* the shared [unlimited] value must stay inert: counting steps on it
+     would leak accumulated state across unrelated computations *)
+  if t != unlimited then begin
+    t.steps <- t.steps + 1;
+    check t
+  end
 
 let remaining_s t =
   match t.deadline with

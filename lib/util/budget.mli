@@ -26,7 +26,9 @@ type 'a bounded =
 type t
 
 val unlimited : t
-(** The no-op budget: never exhausted, shared freely. *)
+(** The no-op budget: never exhausted, shared freely. It keeps no
+    state — {!step} on it is a no-op and {!steps_used} stays [0], so
+    sharing it cannot leak counts across computations. *)
 
 val create : ?timeout_s:float -> ?max_steps:int -> ?max_nodes:int -> unit -> t
 (** [create ()] with no limits behaves like {!unlimited} but owns its

@@ -157,6 +157,13 @@ let test_node_limit_raises_when_hopeless () =
   Alcotest.(check bool) "manager alive" true
     (Bdd.is_true (Bdd.bor m !acc (Bdd.bnot m !acc)))
 
+let test_unlimited_budget_is_stateless () =
+  (* the shared unlimited budget is a singleton: stepping it must not
+     accumulate state across unrelated computations *)
+  Budget.step Budget.unlimited;
+  Budget.step Budget.unlimited;
+  Alcotest.(check int) "no steps accumulate" 0 (Budget.steps_used Budget.unlimited)
+
 (* --- budgeted traversal and tour --- *)
 
 let toggle_circuit () =
@@ -199,6 +206,52 @@ let test_traverse_truncation_is_sound () =
     Alcotest.(check bool) "iterations bounded" true
       (tr.Simcov_symbolic.Symfsm.iterations <= max_steps)
   done
+
+let test_gc_interleaved_traversal_agrees () =
+  (* regression for the rooting contract: collections forced by a node
+     ceiling in the middle of of_circuit / traverse — sweeping while
+     expr_bdd siblings, image results and frontier sets are held as
+     intermediates — must leave the fixpoint identical to an unlimited
+     oracle, or truncate to a sound under-approximation; never raise *)
+  let c = toggle_circuit () in
+  let oracle = Simcov_symbolic.Symfsm.of_circuit c in
+  let exact = Simcov_symbolic.Symfsm.traverse oracle in
+  let exact_states =
+    Simcov_symbolic.Symfsm.count_states oracle exact.Simcov_symbolic.Symfsm.reached
+  in
+  let gc_complete_runs = ref 0 in
+  List.iter
+    (fun max_nodes ->
+      match
+        Simcov_symbolic.Symfsm.of_circuit ~budget:(Budget.create ~max_nodes ()) c
+      with
+      | exception Bdd.Node_limit _ -> () (* even the relation does not fit *)
+      | sym -> (
+          let tr = Simcov_symbolic.Symfsm.traverse sym in
+          let states =
+            Simcov_symbolic.Symfsm.count_states sym
+              tr.Simcov_symbolic.Symfsm.reached
+          in
+          match tr.Simcov_symbolic.Symfsm.truncated with
+          | Some Budget.Nodes ->
+              Alcotest.(check bool)
+                (Printf.sprintf "ceiling %d: truncation is sound" max_nodes)
+                true (states <= exact_states)
+          | Some r ->
+              Alcotest.failf "ceiling %d: unexpected truncation by %s" max_nodes
+                (Budget.resource_name r)
+          | None ->
+              Alcotest.(check (float 0.0))
+                (Printf.sprintf "ceiling %d: fixpoint agrees" max_nodes)
+                exact_states states;
+              if (Bdd.gc_stats sym.Simcov_symbolic.Symfsm.man).Bdd.runs > 0 then
+                incr gc_complete_runs))
+    [ 40; 50; 60; 70; 80; 100; 120 ];
+  (* the sweep must include runs that both garbage-collected and
+     completed exactly — otherwise the ceilings stopped exercising the
+     GC-interleaved path and need retuning *)
+  Alcotest.(check bool) "GC-interleaved exact runs observed" true
+    (!gc_complete_runs >= 2)
 
 let test_symtour_chaos_budgets () =
   let c = toggle_circuit () in
@@ -333,7 +386,10 @@ let suite =
     Alcotest.test_case "gc preserves counts" `Quick test_gc_preserves_counts;
     Alcotest.test_case "auto gc-retry under ceiling" `Quick test_auto_gc_retry;
     Alcotest.test_case "node limit when hopeless" `Quick test_node_limit_raises_when_hopeless;
+    Alcotest.test_case "unlimited budget stateless" `Quick test_unlimited_budget_is_stateless;
     Alcotest.test_case "traverse truncation sound" `Quick test_traverse_truncation_is_sound;
+    Alcotest.test_case "gc-interleaved traversal agrees" `Quick
+      test_gc_interleaved_traversal_agrees;
     Alcotest.test_case "symtour chaos budgets" `Quick test_symtour_chaos_budgets;
     Alcotest.test_case "ladder: tiny node budget" `Quick test_ladder_tiny_node_budget;
     Alcotest.test_case "ladder: unlimited agrees" `Quick test_ladder_unlimited_symbolic_agrees;
