@@ -92,8 +92,9 @@ let validate_dlx config seed budget =
   let report = Simcov_core.Methodology.validate_dlx ~config ~seed ~budget () in
   Format.printf "%a@." Simcov_core.Methodology.pp_run_report report;
   if
-    report.Simcov_core.Methodology.n_bugs_detected
-    = List.length report.Simcov_core.Methodology.bug_results
+    report.Simcov_core.Methodology.lint_errors = []
+    && report.Simcov_core.Methodology.n_bugs_detected
+       = List.length report.Simcov_core.Methodology.bug_results
     && Result.is_ok report.Simcov_core.Methodology.certificate
   then 0
   else 1
@@ -353,6 +354,93 @@ let model_cmd =
     (cmd_info "model" ~doc)
     Term.(const model_cmd_run $ file $ do_tour $ max_steps $ budget_term)
 
+(* ---- lint ---- *)
+
+(* a MODEL argument is a serialized-circuit path or a builtin name *)
+let load_model spec =
+  match spec with
+  | "dlx-control" -> Ok (Simcov_dlx.Control.build (), "dlx-control")
+  | "dlx-test" ->
+      Ok (fst (Simcov_dlx.Control.derive_test_model ()), "dlx-test")
+  | path -> (
+      match Simcov_netlist.Serialize.load path with
+      | Ok c -> Ok (c, Filename.basename path)
+      | Error e -> Error (Simcov_netlist.Serialize.error_to_string e))
+
+let lint model against json_out fail_on budget =
+  guarded @@ fun () ->
+  let open Simcov_analysis in
+  match load_model model with
+  | Error e ->
+      Printf.eprintf "error: %s: %s\n" model e;
+      4
+  | Ok (c, name) -> (
+      let against_c =
+        match against with
+        | None -> Ok None
+        | Some spec -> (
+            match load_model spec with
+            | Ok (conc, _) -> Ok (Some conc)
+            | Error e ->
+                Printf.eprintf "error: %s: %s\n" spec e;
+                Error 4)
+      in
+      match against_c with
+      | Error code -> code
+      | Ok against ->
+          let report = Lint.run ~budget ~name ?against c in
+          if json_out then
+            print_endline (Simcov_util.Json.to_string (Lint.to_json report))
+          else Format.printf "%a@." Lint.pp report;
+          if report.Lint.truncated <> None then 3
+          else if Lint.fails report ~threshold:fail_on then 1
+          else 0)
+
+let lint_cmd =
+  let doc =
+    "Statically analyze a model: structural lint, combinational cycles, \
+     ternary constants, dead logic, abstraction prechecks."
+  in
+  let model =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MODEL"
+          ~doc:
+            "Circuit file, or a builtin: $(b,dlx-control) (the pipelined DLX \
+             control implementation), $(b,dlx-test) (the derived test model).")
+  in
+  let against =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "against" ] ~docv:"MODEL"
+          ~doc:
+            "Concrete model $(i,MODEL) was abstracted from; enables the \
+             homomorphism cone-compatibility precheck.")
+  in
+  let json_out =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let fail_on =
+    let sev =
+      Arg.enum
+        [
+          ("error", Simcov_analysis.Diag.Error);
+          ("warning", Simcov_analysis.Diag.Warning);
+          ("info", Simcov_analysis.Diag.Info);
+        ]
+    in
+    Arg.(
+      value
+      & opt sev Simcov_analysis.Diag.Error
+      & info [ "fail-on" ] ~docv:"SEVERITY"
+          ~doc:"Exit 1 when a diagnostic of $(docv) (or higher) is reported.")
+  in
+  Cmd.v
+    (cmd_info "lint" ~doc)
+    Term.(const lint $ model $ against $ json_out $ fail_on $ budget_term)
+
 (* ---- main ---- *)
 
 let () =
@@ -362,7 +450,7 @@ let () =
     Cmd.group info
       [
         validate_cmd; tour_cmd; abstract_cmd; stats_cmd; fig2_cmd; run_cmd; dsp_cmd;
-        model_cmd;
+        model_cmd; lint_cmd;
       ]
   in
   exit (Cmd.eval' ~term_err:2 group)

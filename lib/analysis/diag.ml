@@ -1,0 +1,148 @@
+module Json = Simcov_util.Json
+
+type severity = Info | Warning | Error
+
+type location =
+  | Register of string
+  | Net of string
+  | Primary_input of string
+  | Output_port of string
+  | Whole_circuit
+
+type t = {
+  code : string;
+  severity : severity;
+  pass : string;
+  loc : location;
+  message : string;
+  related : string list;
+}
+
+let make ~code ~severity ~pass ~loc ?(related = []) message =
+  { code; severity; pass; loc; message; related }
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+let severity_name = function Info -> "info" | Warning -> "warning" | Error -> "error"
+
+let severity_of_name = function
+  | "info" -> Some Info
+  | "warning" -> Some Warning
+  | "error" -> Some Error
+  | _ -> None
+
+let loc_kind = function
+  | Register _ -> "register"
+  | Net _ -> "net"
+  | Primary_input _ -> "input"
+  | Output_port _ -> "output"
+  | Whole_circuit -> "circuit"
+
+let loc_name = function
+  | Register n | Net n | Primary_input n | Output_port n -> n
+  | Whole_circuit -> ""
+
+let compare a b =
+  let c = Int.compare (severity_rank b.severity) (severity_rank a.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c
+    else
+      let c = String.compare (loc_name a.loc) (loc_name b.loc) in
+      if c <> 0 then c else String.compare a.message b.message
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s] %s" (severity_name d.severity) d.code d.pass;
+  (match d.loc with
+  | Whole_circuit -> ()
+  | loc -> Format.fprintf ppf " @@ %s '%s'" (loc_kind loc) (loc_name loc));
+  Format.fprintf ppf ": %s" d.message;
+  if d.related <> [] then
+    Format.fprintf ppf " (via: %s)" (String.concat " -> " d.related)
+
+let to_json d =
+  Json.Obj
+    [
+      ("code", Json.String d.code);
+      ("severity", Json.String (severity_name d.severity));
+      ("pass", Json.String d.pass);
+      ( "location",
+        Json.Obj
+          [
+            ("kind", Json.String (loc_kind d.loc));
+            ("name", Json.String (loc_name d.loc));
+          ] );
+      ("message", Json.String d.message);
+      ("related", Json.List (List.map (fun s -> Json.String s) d.related));
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let str field =
+    match Option.bind (Json.member field j) Json.to_string_opt with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "diagnostic: missing string field %S" field)
+  in
+  let* code = str "code" in
+  let* sev_s = str "severity" in
+  let* severity =
+    match severity_of_name sev_s with
+    | Some s -> Ok s
+    | None -> Error ("diagnostic: bad severity " ^ sev_s)
+  in
+  let* pass = str "pass" in
+  let* message = str "message" in
+  let* loc =
+    match Json.member "location" j with
+    | None -> Error "diagnostic: missing location"
+    | Some l -> (
+        let kind = Option.bind (Json.member "kind" l) Json.to_string_opt in
+        let name = Option.bind (Json.member "name" l) Json.to_string_opt in
+        match (kind, name) with
+        | Some "register", Some n -> Ok (Register n)
+        | Some "net", Some n -> Ok (Net n)
+        | Some "input", Some n -> Ok (Primary_input n)
+        | Some "output", Some n -> Ok (Output_port n)
+        | Some "circuit", _ -> Ok Whole_circuit
+        | _ -> Error "diagnostic: bad location")
+  in
+  let* related =
+    match Json.member "related" j with
+    | None -> Ok []
+    | Some r -> (
+        match Json.to_list r with
+        | None -> Error "diagnostic: related is not a list"
+        | Some items ->
+            List.fold_left
+              (fun acc item ->
+                let* acc = acc in
+                match Json.to_string_opt item with
+                | Some s -> Ok (s :: acc)
+                | None -> Error "diagnostic: related entry is not a string")
+              (Ok []) items
+            |> Result.map List.rev)
+  in
+  Ok { code; severity; pass; loc; message; related }
+
+let catalog =
+  [
+    ("SA101", Error, "combinational cycle through gate-level nets");
+    ("SA201", Warning, "register stuck at a constant (never leaves its reset value)");
+    ("SA202", Warning, "output port is constant under ternary propagation");
+    ("SA203", Warning, "register update is never enabled (hold mux select is constant)");
+    ("SA204", Info, "register hold mux is degenerate (update always enabled)");
+    ("SA205", Error, "input constraint is constant false (no valid input ever)");
+    ("SA301", Warning, "latch outside every primary-output cone (abstraction candidate)");
+    ("SA302", Info, "gates outside every primary-output cone");
+    ("SA401", Error, "floating net (read or observed but never driven)");
+    ("SA402", Error, "multiply-driven net");
+    ("SA403", Warning, "unused primary input");
+    ("SA404", Error, "duplicate declaration name");
+    ("SA405", Error, "expression references an out-of-range input/register index");
+    ("SA406", Warning, "indexed net family has gaps or duplicate indices");
+    ("SA501", Error, "homomorphism map image out of range");
+    ("SA502", Warning, "state map is not surjective onto the abstract states");
+    ("SA503", Warning, "input map is not surjective onto the abstract inputs");
+    ("SA504", Error, "merged states disagree on an abstract output (quotient cannot exist)");
+    ("SA505", Warning, "abstract register depends on state its concrete counterpart does not");
+  ]

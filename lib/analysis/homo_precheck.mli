@@ -1,0 +1,39 @@
+(** Structural prechecks for homomorphic abstractions (pass
+    [homo-precheck], codes [SA501]–[SA505]).
+
+    {!Simcov_abstraction.Homomorphism.quotient} proves (or refutes)
+    transition preservation by exhaustive product traversal; when it
+    fails it can only say "these two concrete transitions disagree".
+    These prechecks are cheap necessary conditions that run first and
+    explain the failure in the model's own vocabulary:
+
+    - [SA501] (error) a map image falls outside the declared abstract
+      range — the mapping is not even well-formed.
+    - [SA502] (warning) some abstract state has no reachable concrete
+      preimage: the quotient would contain unreachable states (usually
+      an over-wide abstract alphabet, the §6.3 "abstracting too much"
+      smell in reverse).
+    - [SA503] (warning) likewise for abstract inputs.
+    - [SA504] (error) two reachable concrete states merged by the state
+      map disagree on the mapped output for some merged input — a
+      one-step witness that {e no} quotient machine can exist, reported
+      with the concrete state/input names.
+
+    {!check_circuits} covers the netlist side ("cone compatibility"):
+    registers are matched across an abstraction step {e by name}, and
+    - [SA505] (warning) fires when an abstract register's fanin cone
+      (restricted to matched registers) contains a register its
+      concrete counterpart's cone does not: the "abstraction" added a
+      dependency, so it cannot be a projection of the concrete model. *)
+
+open Simcov_fsm
+open Simcov_abstraction
+
+val check_mapping : Fsm.t -> Homomorphism.mapping -> Diag.t list
+(** Runs over reachable states and valid inputs only; linear in the
+    number of concrete transitions. *)
+
+val check_circuits :
+  concrete:Simcov_netlist.Circuit.t ->
+  abstract:Simcov_netlist.Circuit.t ->
+  Diag.t list

@@ -1,0 +1,195 @@
+open Simcov_netlist
+module Budget = Simcov_util.Budget
+module Json = Simcov_util.Json
+
+type report = {
+  name : string;
+  n_inputs : int;
+  n_regs : int;
+  n_outputs : int;
+  n_nets : int;
+  passes : string list;
+  diags : Diag.t list;
+  hints : Deadlogic.hint list;
+  truncated : Budget.resource option;
+}
+
+let run ?(budget = Budget.unlimited) ?(name = "circuit") ?against (c : Circuit.t) =
+  let diags = ref [] and passes = ref [] and hints = ref [] in
+  let n_nets = ref 0 in
+  let truncated = ref None in
+  let pass id f =
+    if !truncated = None then
+      try
+        Budget.step budget;
+        passes := id :: !passes;
+        diags := !diags @ f ()
+      with Budget.Budget_exceeded r -> truncated := Some r
+  in
+  pass "structural-lint" (fun () -> Structural.check_circuit c);
+  let malformed = List.exists (fun d -> d.Diag.code = "SA405") !diags in
+  if not malformed then begin
+    (* lower once; every graph-level pass shares it *)
+    let lowered = ref None in
+    let graph () =
+      match !lowered with
+      | Some gm -> gm
+      | None ->
+          let gm = Netgraph.of_circuit c in
+          n_nets := Netgraph.n_nets (fst gm);
+          lowered := Some gm;
+          gm
+    in
+    pass "structural-lint" (fun () -> Structural.check_graph (fst (graph ())));
+    pass "comb-cycle" (fun () -> Comb_cycle.check_graph (fst (graph ())));
+    pass "ternary-const" (fun () -> Ternary.check ~budget c);
+    pass "dead-logic" (fun () ->
+        let a = Deadlogic.analyze_graph (graph ()) in
+        hints := Deadlogic.hints_of c a;
+        Deadlogic.check_of c a)
+  end;
+  (match against with
+  | None -> ()
+  | Some concrete ->
+      pass "homo-precheck" (fun () ->
+          Homo_precheck.check_circuits ~concrete ~abstract:c));
+  (* structural-lint is stepped twice (circuit + graph level); list it once *)
+  let passes = List.sort_uniq compare (List.rev !passes) in
+  let order id =
+    match id with
+    | "structural-lint" -> 0
+    | "comb-cycle" -> 1
+    | "ternary-const" -> 2
+    | "dead-logic" -> 3
+    | _ -> 4
+  in
+  {
+    name;
+    n_inputs = Circuit.n_inputs c;
+    n_regs = Circuit.n_regs c;
+    n_outputs = Array.length c.Circuit.outputs;
+    n_nets = !n_nets;
+    passes = List.sort (fun a b -> Int.compare (order a) (order b)) passes;
+    diags = List.sort Diag.compare !diags;
+    hints = !hints;
+    truncated = !truncated;
+  }
+
+let count r sev = List.length (List.filter (fun d -> d.Diag.severity = sev) r.diags)
+
+let worst r =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | Some s when Diag.severity_rank s >= Diag.severity_rank d.Diag.severity -> acc
+      | _ -> Some d.Diag.severity)
+    None r.diags
+
+let fails r ~threshold =
+  match worst r with
+  | None -> false
+  | Some w -> Diag.severity_rank w >= Diag.severity_rank threshold
+
+let schema_id = "simcov-lint/1"
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema", Json.String schema_id);
+      ( "model",
+        Json.Obj
+          [
+            ("name", Json.String r.name);
+            ("inputs", Json.Int r.n_inputs);
+            ("registers", Json.Int r.n_regs);
+            ("outputs", Json.Int r.n_outputs);
+            ("nets", Json.Int r.n_nets);
+          ] );
+      ("passes", Json.List (List.map (fun p -> Json.String p) r.passes));
+      ("diagnostics", Json.List (List.map Diag.to_json r.diags));
+      ("hints", Json.List (List.map Deadlogic.hint_to_json r.hints));
+      ( "truncated",
+        match r.truncated with
+        | None -> Json.Null
+        | Some res -> Json.String (Budget.resource_name res) );
+    ]
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "lint report: missing or ill-typed '%s'" name)
+
+let hint_of_json j =
+  let* reg_name = field "register" Json.to_string_opt j in
+  let* reg_index = field "index" Json.to_int_opt j in
+  let* group = field "group" Json.to_string_opt j in
+  let* feeds_constraint = field "feeds_constraint" Json.to_bool_opt j in
+  let* next_gates = field "next_gates" Json.to_int_opt j in
+  Ok { Deadlogic.reg_name; reg_index; group; feeds_constraint; next_gates }
+
+let all_of parse js =
+  List.fold_left
+    (fun acc j ->
+      let* acc = acc in
+      let* v = parse j in
+      Ok (v :: acc))
+    (Ok []) js
+  |> Result.map List.rev
+
+let of_json j =
+  let* schema = field "schema" Json.to_string_opt j in
+  if schema <> schema_id then
+    Error (Printf.sprintf "lint report: unknown schema '%s'" schema)
+  else
+    let* model = field "model" Option.some j in
+    let* name = field "name" Json.to_string_opt model in
+    let* n_inputs = field "inputs" Json.to_int_opt model in
+    let* n_regs = field "registers" Json.to_int_opt model in
+    let* n_outputs = field "outputs" Json.to_int_opt model in
+    let* n_nets = field "nets" Json.to_int_opt model in
+    let* passes_js = field "passes" Json.to_list j in
+    let* passes =
+      all_of
+        (fun p ->
+          Option.to_result ~none:"lint report: pass must be a string"
+            (Json.to_string_opt p))
+        passes_js
+    in
+    let* diags_js = field "diagnostics" Json.to_list j in
+    let* diags = all_of Diag.of_json diags_js in
+    let* hints_js = field "hints" Json.to_list j in
+    let* hints = all_of hint_of_json hints_js in
+    let* truncated =
+      match Json.member "truncated" j with
+      | None | Some Json.Null -> Ok None
+      | Some (Json.String "time") -> Ok (Some Budget.Time)
+      | Some (Json.String "steps") -> Ok (Some Budget.Steps)
+      | Some (Json.String "nodes") -> Ok (Some Budget.Nodes)
+      | Some _ -> Error "lint report: ill-typed 'truncated'"
+    in
+    Ok { name; n_inputs; n_regs; n_outputs; n_nets; passes; diags; hints; truncated }
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>lint %s: %d inputs, %d registers, %d outputs%s@,"
+    r.name r.n_inputs r.n_regs r.n_outputs
+    (if r.n_nets > 0 then Printf.sprintf ", %d nets" r.n_nets else "");
+  List.iter (fun d -> Format.fprintf fmt "%a@," Diag.pp d) r.diags;
+  List.iter
+    (fun (h : Deadlogic.hint) ->
+      Format.fprintf fmt "hint: latch '%s' (index %d, group '%s') is abstraction candidate%s@,"
+        h.Deadlogic.reg_name h.Deadlogic.reg_index h.Deadlogic.group
+        (if h.Deadlogic.feeds_constraint then " [feeds constraint]" else ""))
+    r.hints;
+  (match r.truncated with
+  | Some res ->
+      Format.fprintf fmt "analysis truncated: %s budget exhausted@,"
+        (Budget.resource_name res)
+  | None -> ());
+  Format.fprintf fmt "%d error%s, %d warning%s, %d info@]"
+    (count r Diag.Error)
+    (if count r Diag.Error = 1 then "" else "s")
+    (count r Diag.Warning)
+    (if count r Diag.Warning = 1 then "" else "s")
+    (count r Diag.Info)

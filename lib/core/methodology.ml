@@ -71,6 +71,7 @@ let symbolic_figures ~budget model =
 
 type run_report = {
   config : Testmodel.config;
+  lint_errors : Simcov_analysis.Diag.t list;
   model_states : int;
   model_transitions : int;
   symbolic : symbolic_figures;
@@ -84,10 +85,22 @@ type run_report = {
   fsm_fault_coverage : Simcov_coverage.Detect.report;
 }
 
+(* static-analysis front gate: sweep the netlist models before any
+   symbolic effort is spent on them; only errors block a run *)
+let lint_gate ~budget =
+  let open Simcov_analysis in
+  let impl = Control.build () in
+  let test, _ = Control.derive_test_model () in
+  let errors r = List.filter (fun d -> d.Diag.severity = Diag.Error) r.Lint.diags in
+  errors (Lint.run ~budget ~name:"dlx-control" impl)
+  @ errors (Lint.run ~budget ~name:"dlx-test" ~against:impl test)
+
 let validate_dlx ?(config = Testmodel.default) ?(seed = 2026)
     ?(budget = Budget.unlimited) () =
   let open Simcov_fsm in
   let rng = Simcov_util.Rng.create seed in
+  let lint_errors = lint_gate ~budget in
+  Budget.check budget;
   let model = Fsm.tabulate (Testmodel.build config) in
   Budget.check budget;
   let symbolic = symbolic_figures ~budget model in
@@ -132,6 +145,7 @@ let validate_dlx ?(config = Testmodel.default) ?(seed = 2026)
   in
   {
     config;
+    lint_errors;
     model_states = Fsm.n_reachable model;
     model_transitions = Fsm.n_transitions model;
     symbolic;
@@ -210,7 +224,16 @@ let pp_ablation_report ppf r =
     Simcov_coverage.Detect.pp_report r.fault_coverage_refined_tour
 
 let pp_run_report ppf r =
-  Format.fprintf ppf "@[<v>test model: %d states, %d transitions@," r.model_states
+  Format.fprintf ppf "@[<v>";
+  (match r.lint_errors with
+  | [] -> Format.fprintf ppf "static analysis: no errors@,"
+  | errs ->
+      Format.fprintf ppf "static analysis: %d error%s@," (List.length errs)
+        (if List.length errs = 1 then "" else "s");
+      List.iter
+        (fun d -> Format.fprintf ppf "  %a@," Simcov_analysis.Diag.pp d)
+        errs);
+  Format.fprintf ppf "test model: %d states, %d transitions@," r.model_states
     r.model_transitions;
   Format.fprintf ppf "state-space figures (%s): %.0f states, %.0f transitions@,"
     (tier_name r.symbolic.tier) r.symbolic.sym_states r.symbolic.sym_transitions;

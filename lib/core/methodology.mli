@@ -26,6 +26,10 @@ type symbolic_figures = {
 
 type run_report = {
   config : Simcov_dlx.Testmodel.config;
+  lint_errors : Simcov_analysis.Diag.t list;
+      (** error-severity findings from the static-analysis front gate
+          over the control netlists (warnings are not collected here;
+          run [simcov lint] for the full report) *)
   model_states : int;
   model_transitions : int;
   symbolic : symbolic_figures;
@@ -48,7 +52,11 @@ val validate_dlx :
   ?budget:Budget.t ->
   unit ->
   run_report
-(** Run the full methodology. With the default configuration the
+(** Run the full methodology. Before any symbolic effort is spent, the
+    static-analysis passes ({!Simcov_analysis.Lint}) sweep the DLX
+    control netlists; error-severity findings land in
+    [lint_errors] (and fail the run at the CLI). With the default
+    configuration the
     certificate holds, FSM fault coverage is 100% and all seeded
     pipeline bugs are detected; with [track_dest = false] or
     [observable_dest = false] the corresponding requirement fails and

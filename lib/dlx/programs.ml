@@ -139,17 +139,30 @@ let all = [ fibonacci; memcpy; bubble; array_sum; gcd; popcount ]
 
 let find name = List.find_opt (fun k -> k.name = name) all
 
+type error = { kernel : string; detail : string }
+
+let error_to_string e =
+  Printf.sprintf "kernel '%s' does not assemble: %s" e.kernel e.detail
+
 let program k =
   match Isa.parse_program k.source with
-  | Ok p -> p
-  | Error e -> failwith (Printf.sprintf "Programs.%s: %s" k.name e)
+  | Ok p -> Ok p
+  | Error e -> Error { kernel = k.name; detail = e }
 
 let run_spec k =
-  let s = Spec.create (program k) in
-  let _ = Spec.run s in
-  s
+  Result.map
+    (fun p ->
+      let s = Spec.create p in
+      let _ = Spec.run s in
+      s)
+    (program k)
 
 let validate_all () =
-  List.map (fun k -> (k.name, Validate.run_program (program k))) all
+  List.map
+    (fun k -> (k.name, Result.map (fun p -> Validate.run_program p) (program k)))
+    all
 
-let validate_all_dual () = List.map (fun k -> (k.name, Dual.validate (program k))) all
+let validate_all_dual () =
+  List.map
+    (fun k -> (k.name, Result.map (fun p -> Dual.validate p) (program k)))
+    all

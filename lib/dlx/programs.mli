@@ -18,15 +18,21 @@ val all : kernel list
     popcount. *)
 
 val find : string -> kernel option
-val program : kernel -> Isa.t array
-(** Assembled; raises [Failure] on an internal parse error (checked by
-    the test suite). *)
+type error = { kernel : string; detail : string }
+(** A kernel whose embedded assembly fails to parse — a library bug,
+    surfaced as data rather than an exception so callers can report it
+    alongside their other results. *)
 
-val run_spec : kernel -> Spec.t
+val error_to_string : error -> string
+
+val program : kernel -> (Isa.t array, error) result
+(** Assembled. *)
+
+val run_spec : kernel -> (Spec.t, error) result
 (** Execute on the architectural model and return the final state. *)
 
-val validate_all : unit -> (string * Validate.outcome) list
+val validate_all : unit -> (string * (Validate.outcome, error) result) list
 (** Every kernel through the 5-stage pipeline comparison. *)
 
-val validate_all_dual : unit -> (string * Validate.outcome) list
+val validate_all_dual : unit -> (string * (Validate.outcome, error) result) list
 (** Every kernel through the dual-issue comparison. *)

@@ -5,7 +5,7 @@ type t = {
   mutable edges : edge array; (* dense prefix of length m *)
   mutable m : int;
   out : int list array; (* edge ids, most recent first *)
-  mutable indeg : int array;
+  indeg : int array;
 }
 
 let create n =

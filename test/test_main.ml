@@ -25,4 +25,5 @@ let () =
       ("programs", Test_programs.suite);
       ("fig2", Test_fig2.suite);
       ("robustness", Test_robustness.suite);
+      ("analysis", Test_analysis.suite);
     ]

@@ -1,16 +1,25 @@
 open Simcov_dlx
 
+let assemble k =
+  match Programs.program k with
+  | Ok p -> p
+  | Error e -> Alcotest.fail (Programs.error_to_string e)
+
 let test_kernels_assemble () =
   List.iter
     (fun k ->
-      let p = Programs.program k in
+      let p = assemble k in
       Alcotest.(check bool) (k.Programs.name ^ " nonempty") true (Array.length p > 0))
     Programs.all
 
 let test_kernels_compute_expected_values () =
   List.iter
     (fun k ->
-      let s = Programs.run_spec k in
+      let s =
+        match Programs.run_spec k with
+        | Ok s -> s
+        | Error e -> Alcotest.fail (Programs.error_to_string e)
+      in
       List.iter
         (fun (r, v) ->
           Alcotest.(check int32)
@@ -22,7 +31,7 @@ let test_kernels_compute_expected_values () =
 let test_kernels_halt () =
   List.iter
     (fun k ->
-      let s = Spec.create (Programs.program k) in
+      let s = Spec.create (assemble k) in
       let commits = Spec.run ~max_steps:5000 s in
       Alcotest.(check bool) (k.Programs.name ^ " halts") true (Spec.halted s);
       Alcotest.(check bool) (k.Programs.name ^ " does work") true (List.length commits > 5))
@@ -32,20 +41,22 @@ let test_kernels_through_pipeline () =
   List.iter
     (fun (name, outcome) ->
       match outcome with
-      | Validate.Pass _ -> ()
-      | Validate.Fail _ as f ->
+      | Ok (Validate.Pass _) -> ()
+      | Ok (Validate.Fail _ as f) ->
           Alcotest.failf "%s on the 5-stage pipeline: %s" name
-            (Format.asprintf "%a" Validate.pp_outcome f))
+            (Format.asprintf "%a" Validate.pp_outcome f)
+      | Error e -> Alcotest.fail (Programs.error_to_string e))
     (Programs.validate_all ())
 
 let test_kernels_through_dual_issue () =
   List.iter
     (fun (name, outcome) ->
       match outcome with
-      | Validate.Pass _ -> ()
-      | Validate.Fail _ as f ->
+      | Ok (Validate.Pass _) -> ()
+      | Ok (Validate.Fail _ as f) ->
           Alcotest.failf "%s on the dual-issue machine: %s" name
-            (Format.asprintf "%a" Validate.pp_outcome f))
+            (Format.asprintf "%a" Validate.pp_outcome f)
+      | Error e -> Alcotest.fail (Programs.error_to_string e))
     (Programs.validate_all_dual ())
 
 let test_kernels_expose_bugs () =
@@ -56,7 +67,7 @@ let test_kernels_expose_bugs () =
       (fun (_, bugs) ->
         List.exists
           (fun k ->
-            match Validate.run_program ~bugs (Programs.program k) with
+            match Validate.run_program ~bugs (assemble k) with
             | Validate.Fail _ -> true
             | Validate.Pass _ -> false)
           Programs.all)
