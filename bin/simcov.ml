@@ -91,7 +91,8 @@ let validate_dlx config seed budget =
   guarded @@ fun () ->
   let report = Simcov_core.Methodology.validate_dlx ~config ~seed ~budget () in
   Format.printf "%a@." Simcov_core.Methodology.pp_run_report report;
-  if
+  if Simcov_core.Methodology.campaigns_truncated report then 3
+  else if
     report.Simcov_core.Methodology.lint_errors = []
     && report.Simcov_core.Methodology.n_bugs_detected
        = List.length report.Simcov_core.Methodology.bug_results
@@ -441,6 +442,193 @@ let lint_cmd =
     (cmd_info "lint" ~doc)
     Term.(const lint $ model $ against $ json_out $ fail_on $ budget_term)
 
+(* ---- coverage: fault campaigns through the shared engine ---- *)
+
+let coverage_run model kind json_out seed count steps fail_under progress budget =
+  guarded @@ fun () ->
+  let module Campaign = Simcov_campaign.Campaign in
+  let module Detect = Simcov_coverage.Detect in
+  let module Stuckat = Simcov_coverage.Stuckat in
+  let module Fault = Simcov_coverage.Fault in
+  let module Fsm = Simcov_fsm.Fsm in
+  let module Circuit = Simcov_netlist.Circuit in
+  let rng = Simcov_util.Rng.create seed in
+  let on_batch =
+    if progress then
+      Some
+        (fun (p : Campaign.progress) ->
+          Printf.eprintf
+            "batch %d/%d: %d/%d faults, %d detected, %d sim steps, %.2fs\n%!"
+            (p.Campaign.batch + 1) p.Campaign.batches p.Campaign.faults_done
+            p.Campaign.faults_total p.Campaign.detected_so_far p.Campaign.sim_steps
+            p.Campaign.elapsed_s)
+    else None
+  in
+  let finish ~name ~word_length json pct truncated =
+    if json_out then
+      print_endline
+        (Simcov_util.Json.to_string
+           (json
+              [
+                ("model", Simcov_util.Json.String name);
+                ("word_length", Simcov_util.Json.Int word_length);
+              ]))
+    else ();
+    if truncated then 3
+    else match fail_under with Some t when pct < t -> 1 | _ -> 0
+  in
+  let fsm_faults m =
+    let n_outputs =
+      List.fold_left (fun acc (_, _, _, o) -> max acc (o + 1)) 1 (Fsm.transitions m)
+    in
+    Fault.sample_transfer_faults rng m ~count
+    @ Fault.sample_output_faults rng m ~n_outputs ~count
+  in
+  let run_fsm ~name m word =
+    let r = Detect.campaign ?on_batch ~budget m (fsm_faults m) word in
+    if not json_out then
+      Format.printf "%s: FSM fault coverage over %d inputs@.  %a@." name
+        (List.length word) Detect.pp_report r;
+    finish ~name ~word_length:(List.length word)
+      (fun extra -> Detect.to_json ~extra r)
+      (Detect.coverage_pct r)
+      (r.Detect.truncated <> None)
+  in
+  (* random constraint-respecting stimuli for a netlist: rejection
+     sampling per step, giving up on a step (and ending the word) after
+     too many invalid draws *)
+  let random_circuit_word c ~steps =
+    let ni = Circuit.n_inputs c in
+    let state = ref (Circuit.initial_state c) in
+    let acc = ref [] in
+    (try
+       for _ = 1 to steps do
+         let tries = ref 0 and found = ref None in
+         while !found = None && !tries < 1000 do
+           let iv = Array.init ni (fun _ -> Simcov_util.Rng.bool rng) in
+           if Circuit.input_valid c !state iv then found := Some iv;
+           incr tries
+         done;
+         match !found with
+         | None -> raise Exit
+         | Some iv ->
+             acc := iv :: !acc;
+             let s', _ = Circuit.step c !state iv in
+             state := s'
+       done
+     with Exit -> ());
+    List.rev !acc
+  in
+  match kind with
+  | `Fsm -> (
+      if model = "dlx" then begin
+        (* the DLX test model with its certified transition tour — the
+           same campaign validate-dlx embeds, standalone *)
+        let m = Fsm.tabulate (Simcov_dlx.Testmodel.build Simcov_dlx.Testmodel.default) in
+        let word =
+          match Simcov_core.Completeness.certify m with
+          | Ok cert -> Simcov_core.Completeness.padded_tour m cert
+          | Error _ -> (
+              match Simcov_testgen.Tour.greedy_transition_tour m with
+              | Some t -> t.Simcov_testgen.Tour.word
+              | None -> (Simcov_testgen.Tour.transition_cover m).Simcov_testgen.Tour.word)
+        in
+        run_fsm ~name:"dlx" m word
+      end
+      else
+        match load_model model with
+        | Error e ->
+            Printf.eprintf "error: %s: %s\n" model e;
+            4
+        | Ok (c, name) -> (
+            match Circuit.to_fsm c with
+            | exception Invalid_argument msg ->
+                Printf.eprintf "error: %s: cannot enumerate as an FSM (%s)\n" name msg;
+                4
+            | m ->
+                let m = Fsm.tabulate m in
+                let word =
+                  match Simcov_testgen.Tour.greedy_transition_tour m with
+                  | Some t -> t.Simcov_testgen.Tour.word
+                  | None ->
+                      (Simcov_testgen.Tour.transition_cover m).Simcov_testgen.Tour.word
+                in
+                run_fsm ~name m word))
+  | `Stuckat -> (
+      let spec = if model = "dlx" then "dlx-test" else model in
+      match load_model spec with
+      | Error e ->
+          Printf.eprintf "error: %s: %s\n" spec e;
+          4
+      | Ok (c, name) ->
+          let word = random_circuit_word c ~steps in
+          let r = Stuckat.campaign ?on_batch ~budget c (Stuckat.all_faults c) word in
+          if not json_out then
+            Format.printf "%s: stuck-at coverage over %d vectors@.  %a@." name
+              (List.length word) Stuckat.pp_report r;
+          finish ~name ~word_length:(List.length word)
+            (fun extra -> Stuckat.to_json ~extra r)
+            (Stuckat.coverage_pct r)
+            (r.Stuckat.truncated <> None))
+
+let coverage_cmd =
+  let doc =
+    "Run a fault campaign (FSM error-model or stuck-at) through the shared \
+     bit-parallel campaign engine."
+  in
+  let model =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MODEL"
+          ~doc:
+            "$(b,dlx) (the DLX test model / its derived control netlist), a \
+             builtin ($(b,dlx-control), $(b,dlx-test)) or a circuit file.")
+  in
+  let kind =
+    let k = Arg.enum [ ("fsm", `Fsm); ("stuckat", `Stuckat) ] in
+    Arg.(
+      value & opt k `Fsm
+      & info [ "faults" ] ~docv:"KIND"
+          ~doc:
+            "Fault model: $(b,fsm) (transfer + output error-model mutants on the \
+             enumerated machine) or $(b,stuckat) (netlist stuck-at faults under \
+             random constraint-respecting stimuli).")
+  in
+  let json_out =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the $(b,simcov-campaign/1) report as JSON.")
+  in
+  let count =
+    Arg.(
+      value & opt int 150
+      & info [ "count" ] ~docv:"N"
+          ~doc:"FSM faults sampled per kind (transfer, output).")
+  in
+  let steps =
+    Arg.(
+      value & opt int 256
+      & info [ "steps" ] ~docv:"N" ~doc:"Stimulus length for stuck-at campaigns.")
+  in
+  let fail_under =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fail-under" ] ~docv:"PCT"
+          ~doc:"Exit 1 when coverage falls below $(docv) percent.")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ] ~doc:"Print per-batch campaign progress to stderr.")
+  in
+  Cmd.v
+    (cmd_info "coverage" ~doc)
+    Term.(
+      const coverage_run $ model $ kind $ json_out $ seed_term $ count $ steps
+      $ fail_under $ progress $ budget_term)
+
 (* ---- main ---- *)
 
 let () =
@@ -450,7 +638,7 @@ let () =
     Cmd.group info
       [
         validate_cmd; tour_cmd; abstract_cmd; stats_cmd; fig2_cmd; run_cmd; dsp_cmd;
-        model_cmd; lint_cmd;
+        model_cmd; lint_cmd; coverage_cmd;
       ]
   in
   exit (Cmd.eval' ~term_err:2 group)

@@ -1,0 +1,195 @@
+module Budget = Simcov_util.Budget
+module Json = Simcov_util.Json
+
+type verdict = {
+  detected : bool;
+  excited : bool;
+  detect_step : int option;
+  excite_step : int option;
+}
+
+type event = { excited : int; detected : int; halt : bool }
+
+module type BACKEND = sig
+  type ctx
+  type fault
+  type stim
+
+  val name : string
+  val max_lanes : int
+  val effective : ctx -> fault -> bool
+
+  type batch
+
+  val start : ctx -> fault array -> batch
+  val step : batch -> active:int -> stim -> event
+end
+
+type 'f report = {
+  backend : string;
+  total : int;
+  effective : int;
+  excited : int;
+  detected : int;
+  missed : 'f list;
+  skipped : int;
+  truncated : Budget.resource option;
+}
+
+let coverage_pct r =
+  if r.effective = 0 then 100.0
+  else 100.0 *. float_of_int r.detected /. float_of_int r.effective
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "faults: %d total, %d effective, %d excited, %d detected (%.1f%%), %d missed"
+    r.total r.effective r.excited r.detected (coverage_pct r)
+    (List.length r.missed);
+  match r.truncated with
+  | None -> ()
+  | Some res ->
+      Format.fprintf ppf " [truncated: out of %s, %d skipped]"
+        (Budget.resource_name res) r.skipped
+
+let to_json ?fault ?(extra = []) r =
+  let base =
+    [
+      ("schema", Json.String "simcov-campaign/1");
+      ("backend", Json.String r.backend);
+      ("total", Json.Int r.total);
+      ("effective", Json.Int r.effective);
+      ("excited", Json.Int r.excited);
+      ("detected", Json.Int r.detected);
+      ("missed", Json.Int (List.length r.missed));
+      ("skipped", Json.Int r.skipped);
+      ("coverage_pct", Json.Float (coverage_pct r));
+      ( "truncated",
+        match r.truncated with
+        | None -> Json.Null
+        | Some res -> Json.String (Budget.resource_name res) );
+    ]
+  in
+  let missed_faults =
+    match fault with
+    | None -> []
+    | Some f -> [ ("missed_faults", Json.List (List.map f r.missed)) ]
+  in
+  Json.Obj (base @ missed_faults @ extra)
+
+type progress = {
+  batch : int;
+  batches : int;
+  faults_done : int;
+  faults_total : int;
+  detected_so_far : int;
+  sim_steps : int;
+  elapsed_s : float;
+}
+
+type 'f outcome = { report : 'f report; verdicts : ('f * verdict) list }
+
+let ones n = if n >= Sys.int_size then -1 else (1 lsl n) - 1
+
+let iter_bits m f =
+  let m = ref m and i = ref 0 in
+  while !m <> 0 do
+    if !m land 1 = 1 then f !i;
+    m := !m lsr 1;
+    incr i
+  done
+
+(* consume one budget step without letting exhaustion escape as an
+   exception: a campaign degrades, it does not throw *)
+let spend budget =
+  match Budget.exceeded budget with
+  | Some _ as r -> r
+  | None -> ( try Budget.step budget; None with Budget.Budget_exceeded r -> Some r)
+
+module Make (B : BACKEND) = struct
+  exception Stop_batch
+  exception Stop_run
+
+  let run ?(budget = Budget.unlimited) ?on_batch ctx faults word =
+    let t0 = Unix.gettimeofday () in
+    let total = List.length faults in
+    let eff = Array.of_list (List.filter (B.effective ctx) faults) in
+    let n = Array.length eff in
+    let width = max 1 (min B.max_lanes Sys.int_size) in
+    let batches = if n = 0 then 0 else ((n - 1) / width) + 1 in
+    let stims = Array.of_list word in
+    let excited = ref 0 and detected = ref 0 in
+    let missed = ref [] and verdicts = ref [] in
+    let sim_steps = ref 0 in
+    let truncated = ref None in
+    let evaluated = ref 0 in
+    (try
+       for bi = 0 to batches - 1 do
+         (match spend budget with
+         | Some res ->
+             truncated := Some res;
+             raise Stop_run
+         | None -> ());
+         let lo = bi * width in
+         let bw = min width (n - lo) in
+         let sub = Array.sub eff lo bw in
+         let batch = B.start ctx sub in
+         let exc_step = Array.make bw (-1) and det_step = Array.make bw (-1) in
+         let active = ref (ones bw) in
+         (try
+            Array.iteri
+              (fun step stim ->
+                if !active = 0 then raise Stop_batch;
+                let ev = B.step batch ~active:!active stim in
+                incr sim_steps;
+                iter_bits (ev.excited land !active) (fun l ->
+                    if exc_step.(l) < 0 then exc_step.(l) <- step);
+                let newly_det = ev.detected land !active in
+                iter_bits newly_det (fun l -> det_step.(l) <- step);
+                active := !active land lnot newly_det;
+                if ev.halt then raise Stop_batch)
+              stims
+          with Stop_batch -> ());
+         for l = 0 to bw - 1 do
+           let v =
+             {
+               detected = det_step.(l) >= 0;
+               excited = exc_step.(l) >= 0;
+               detect_step = (if det_step.(l) >= 0 then Some det_step.(l) else None);
+               excite_step = (if exc_step.(l) >= 0 then Some exc_step.(l) else None);
+             }
+           in
+           if v.excited then incr excited;
+           if v.detected then incr detected
+           else if v.excited then missed := sub.(l) :: !missed;
+           verdicts := (sub.(l), v) :: !verdicts
+         done;
+         evaluated := lo + bw;
+         match on_batch with
+         | None -> ()
+         | Some f ->
+             f
+               {
+                 batch = bi;
+                 batches;
+                 faults_done = !evaluated;
+                 faults_total = n;
+                 detected_so_far = !detected;
+                 sim_steps = !sim_steps;
+                 elapsed_s = Unix.gettimeofday () -. t0;
+               }
+       done
+     with Stop_run -> ());
+    let report =
+      {
+        backend = B.name;
+        total;
+        effective = !evaluated;
+        excited = !excited;
+        detected = !detected;
+        missed = List.rev !missed;
+        skipped = n - !evaluated;
+        truncated = !truncated;
+      }
+    in
+    { report; verdicts = List.rev !verdicts }
+end

@@ -1,0 +1,166 @@
+(** Engine-agnostic fault-simulation campaigns.
+
+    Every coverage number in the methodology is produced by the same
+    experiment: instantiate a population of faulty variants of a golden
+    model, replay a stimulus word against golden and variants in
+    lockstep, and classify each fault as effective / excited / detected
+    / missed. The three fault domains in this repository — FSM error
+    models (Definitions 1–4), netlist stuck-at faults, and the DLX
+    pipeline bug catalog — used to run this experiment through three
+    disjoint scalar loops. This module factors the experiment itself
+    out: a {!BACKEND} describes one fault domain (how to batch mutants
+    and what one lockstep step observes) and {!Make} provides the single
+    campaign driver, which is
+
+    - {e bit-parallel}: mutants are packed into the bit lanes of an
+      OCaml [int] (up to [Sys.int_size] per batch, backend-capped by
+      {!BACKEND.max_lanes}), so one golden pass over the word evaluates
+      a whole batch — the classic parallel-pattern fault-simulation
+      trick;
+    - {e budget-aware}: {!Simcov_util.Budget} is checkpointed between
+      batches and exhaustion yields a [truncated]-tagged partial report
+      (whole batches are evaluated or skipped, never split, so a
+      truncated report is prefix-consistent with the full run); the
+      driver never raises on exhaustion;
+    - {e observable}: a per-batch {!progress} callback carries
+      throughput counters for CLI and bench reporting.
+
+    Lane encoding: lane [l] of a batch is fault [l] of the fault array
+    passed to {!BACKEND.start}; an [int] used as a lane set has bit [l]
+    set when lane [l] is a member. Bit 62 (the sign bit of a 63-bit
+    OCaml [int]) is an ordinary lane — all lane-set operations are
+    bitwise. *)
+
+module Budget = Simcov_util.Budget
+
+(** {1 Verdicts and step events} *)
+
+type verdict = {
+  detected : bool;
+  excited : bool;
+  detect_step : int option;  (** first step (0-based) with an observable difference *)
+  excite_step : int option;  (** first step the golden run traverses the fault site *)
+}
+
+type event = {
+  excited : int;  (** lane set whose fault site the golden run traversed this step *)
+  detected : int;  (** lane set with an observable difference this step *)
+  halt : bool;
+      (** the golden run cannot continue (stimulus invalid for the
+          golden model); the batch stops after this event's lane sets
+          are folded in *)
+}
+
+(** {1 Backends} *)
+
+(** One fault domain: a golden model type, a fault type, a stimulus
+    type, and a batched lockstep simulator. *)
+module type BACKEND = sig
+  type ctx  (** the golden model, possibly pre-tabulated *)
+
+  type fault
+  type stim  (** one element of the stimulus word *)
+
+  val name : string
+  (** Backend tag recorded in reports (["fsm-fault"], ["stuck-at"], …). *)
+
+  val max_lanes : int
+  (** Upper bound on lanes per batch; the driver uses
+      [min max_lanes Sys.int_size]. A scalar backend declares [1]. *)
+
+  val effective : ctx -> fault -> bool
+  (** Faults that actually change behavior locally; ineffective faults
+      count toward [total] only and are never simulated. *)
+
+  type batch
+  (** Mutable lockstep state for one batch of faults (golden state plus
+      per-lane mutant state). *)
+
+  val start : ctx -> fault array -> batch
+  (** Begin a batch at reset. The array has at most
+      [min max_lanes Sys.int_size] entries, all effective. *)
+
+  val step : batch -> active:int -> stim -> event
+  (** Advance the batch by one stimulus element. [active] is the lane
+      set still undetected; lanes outside it need not be simulated
+      precisely (the driver masks the returned lane sets with
+      [active]). *)
+end
+
+(** {1 Reports} *)
+
+type 'f report = {
+  backend : string;
+  total : int;  (** faults submitted, including ineffective ones *)
+  effective : int;  (** effective faults actually evaluated *)
+  excited : int;
+  detected : int;
+  missed : 'f list;  (** effective, excited, yet undetected *)
+  skipped : int;  (** effective faults left unevaluated by truncation *)
+  truncated : Budget.resource option;
+      (** [Some r] when the budget ran out mid-campaign; the counters
+          then describe the evaluated prefix of the fault list *)
+}
+
+val coverage_pct : 'f report -> float
+(** [100 * detected / effective] (100.0 when no effective fault was
+    evaluated). *)
+
+val pp_report : Format.formatter -> 'f report -> unit
+
+val to_json :
+  ?fault:('f -> Simcov_util.Json.t) ->
+  ?extra:(string * Simcov_util.Json.t) list ->
+  'f report ->
+  Simcov_util.Json.t
+(** Render as the [simcov-campaign/1] schema: an object with [schema],
+    [backend], [total], [effective], [excited], [detected], [missed]
+    (count), [skipped], [coverage_pct] and [truncated]
+    ([null] or the resource name). When [fault] is given, the missed
+    faults themselves are listed under [missed_faults]; [extra] fields
+    are appended verbatim. *)
+
+type progress = {
+  batch : int;  (** 0-based index of the batch just finished *)
+  batches : int;
+  faults_done : int;  (** effective faults evaluated so far *)
+  faults_total : int;  (** effective faults in the campaign *)
+  detected_so_far : int;
+  sim_steps : int;  (** lockstep steps executed so far (all batches) *)
+  elapsed_s : float;
+}
+
+type 'f outcome = {
+  report : 'f report;
+  verdicts : ('f * verdict) list;
+      (** per-fault verdicts for the evaluated effective faults, in
+          fault-list order *)
+}
+
+(** {1 Lane-set helpers (for backends)} *)
+
+val ones : int -> int
+(** [ones n] has the low [n] bits set ([0 <= n <= Sys.int_size]). *)
+
+val iter_bits : int -> (int -> unit) -> unit
+(** Apply the function to each set bit's index, ascending. *)
+
+(** {1 The driver} *)
+
+module Make (B : BACKEND) : sig
+  val run :
+    ?budget:Budget.t ->
+    ?on_batch:(progress -> unit) ->
+    B.ctx ->
+    B.fault list ->
+    B.stim list ->
+    B.fault outcome
+  (** Run the campaign: filter effective faults, batch them
+      [min B.max_lanes Sys.int_size] to a word, and lockstep-simulate
+      each batch over the stimulus word, recording per-lane excitation
+      and detection (a lane's simulation stops at its first detection;
+      a batch stops when every lane is detected or the backend halts).
+      One budget step is consumed per batch; when the budget is
+      exhausted the remaining batches are skipped and the report is
+      tagged [truncated]. Never raises [Budget_exceeded]. *)
+end

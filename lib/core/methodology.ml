@@ -82,8 +82,13 @@ type run_report = {
   issued : int;
   bug_results : (string * bool) list;
   n_bugs_detected : int;
+  bug_coverage : (string * Pipeline.bugs) Simcov_campaign.Campaign.report;
   fsm_fault_coverage : Simcov_coverage.Detect.report;
 }
+
+let campaigns_truncated r =
+  r.fsm_fault_coverage.Simcov_coverage.Detect.truncated <> None
+  || r.bug_coverage.Simcov_campaign.Campaign.truncated <> None
 
 (* static-analysis front gate: sweep the netlist models before any
    symbolic effort is spent on them; only errors block a run *)
@@ -122,17 +127,16 @@ let validate_dlx ?(config = Testmodel.default) ?(seed = 2026)
   in
   Budget.check budget;
   let conc = Testmodel.concretize config word in
-  let bug_results =
-    List.map
-      (fun (name, bugs) ->
-        let outcome =
-          Validate.run_program ~bugs ~preload_regs:conc.Testmodel.preload_regs
-            ~preload_mem:conc.Testmodel.preload_mem conc.Testmodel.program
-        in
-        (name, match outcome with Validate.Fail _ -> true | Validate.Pass _ -> false))
-      Pipeline.bug_catalog
+  (* the two fault campaigns are budget-aware themselves: exhaustion
+     mid-campaign yields a truncated partial report instead of an
+     exception, so no Budget.check separates them *)
+  let bug_campaign =
+    Validate.bug_campaign_tests ~budget
+      [
+        Validate.test_program ~preload_regs:conc.Testmodel.preload_regs
+          ~preload_mem:conc.Testmodel.preload_mem conc.Testmodel.program;
+      ]
   in
-  Budget.check budget;
   let fsm_fault_coverage =
     let n_outputs =
       List.fold_left (fun acc (_, _, _, o) -> max acc (o + 1)) 1 (Fsm.transitions model)
@@ -141,7 +145,7 @@ let validate_dlx ?(config = Testmodel.default) ?(seed = 2026)
       Simcov_coverage.Fault.sample_transfer_faults rng model ~count:150
       @ Simcov_coverage.Fault.sample_output_faults rng model ~n_outputs ~count:150
     in
-    Simcov_coverage.Detect.campaign model faults word
+    Simcov_coverage.Detect.campaign ~budget model faults word
   in
   {
     config;
@@ -154,8 +158,9 @@ let validate_dlx ?(config = Testmodel.default) ?(seed = 2026)
     tour_length = List.length word;
     program_length = Array.length conc.Testmodel.program;
     issued = Array.length conc.Testmodel.issue_map;
-    bug_results;
-    n_bugs_detected = List.length (List.filter snd bug_results);
+    bug_results = bug_campaign.Validate.bug_results;
+    n_bugs_detected = bug_campaign.Validate.n_detected;
+    bug_coverage = bug_campaign.Validate.report;
     fsm_fault_coverage;
   }
 
@@ -253,8 +258,15 @@ let pp_run_report ppf r =
     r.tour_length r.program_length r.issued;
   Format.fprintf ppf "FSM fault coverage: %a@," Simcov_coverage.Detect.pp_report
     r.fsm_fault_coverage;
-  Format.fprintf ppf "pipeline bugs detected: %d/%d@," r.n_bugs_detected
+  Format.fprintf ppf "pipeline bugs detected: %d/%d" r.n_bugs_detected
     (List.length r.bug_results);
+  (match r.bug_coverage.Simcov_campaign.Campaign.truncated with
+  | None -> ()
+  | Some res ->
+      Format.fprintf ppf " [truncated: out of %s, %d bug%s not run]"
+        (Budget.resource_name res) r.bug_coverage.Simcov_campaign.Campaign.skipped
+        (if r.bug_coverage.Simcov_campaign.Campaign.skipped = 1 then "" else "s"));
+  Format.fprintf ppf "@,";
   List.iter
     (fun (name, det) ->
       Format.fprintf ppf "  %-24s %s@," name (if det then "DETECTED" else "missed"))

@@ -42,9 +42,16 @@ type run_report = {
   issued : int;  (** instructions the tour program issues *)
   bug_results : (string * bool) list;  (** seeded pipeline bug -> detected? *)
   n_bugs_detected : int;
+  bug_coverage : (string * Simcov_dlx.Pipeline.bugs) Simcov_campaign.Campaign.report;
+      (** the pipeline bug campaign's unified report (budget-aware:
+          [truncated] when the budget ran out mid-campaign) *)
   fsm_fault_coverage : Simcov_coverage.Detect.report;
       (** FSM-level fault injection on the test model itself *)
 }
+
+val campaigns_truncated : run_report -> bool
+(** Did either fault campaign run out of budget? Surfaced as the
+    resource-limit exit code by the CLI. *)
 
 val validate_dlx :
   ?config:Simcov_dlx.Testmodel.config ->
@@ -68,9 +75,12 @@ val validate_dlx :
     failing — a run under an arbitrarily small node budget still
     returns a complete report, with [symbolic.degradations] recording
     what was given up. The deadline/step budget, by contrast, bounds
-    the whole pipeline: it is checked between phases and
-    @raise Budget.Budget_exceeded when it runs out, since a report
-    without the later phases would not be a validation. *)
+    the whole pipeline: it is checked between the early phases and
+    @raise Budget.Budget_exceeded when it runs out there, since a
+    report without a tour would not be a validation. Once the tour
+    exists, the two fault campaigns degrade instead: exhausting the
+    budget mid-campaign yields [truncated]-tagged partial campaign
+    reports (see {!campaigns_truncated}), never an exception. *)
 
 val pp_run_report : Format.formatter -> run_report -> unit
 

@@ -1,6 +1,7 @@
 open Simcov_fsm
+module Campaign = Simcov_campaign.Campaign
 
-type verdict = {
+type verdict = Campaign.verdict = {
   detected : bool;
   excited : bool;
   detect_step : int option;
@@ -15,10 +16,15 @@ let run_verdict (golden : Fsm.t) fault word =
     | [] -> (excite, detect)
     | i :: rest -> (
         let vg = golden.Fsm.valid sg i and vm = mutant.Fsm.valid sm i in
+        (* excitation is a property of the golden path alone, so it must
+           be recorded even when this very step is the detecting
+           validity mismatch *)
+        let excite =
+          if vg && (sg, i) = fsite && excite = None then Some step else excite
+        in
         if vg <> vm then (excite, Some (Option.value detect ~default:step))
         else if not vg then (excite, detect) (* word invalid from here; stop *)
         else
-          let excite = if (sg, i) = fsite && excite = None then Some step else excite in
           let og = golden.Fsm.output sg i and om = mutant.Fsm.output sm i in
           if og <> om then (excite, Some step)
           else
@@ -40,18 +46,174 @@ let run_verdict (golden : Fsm.t) fault word =
 
 let detects golden fault word = (run_verdict golden fault word).detected
 
-type report = {
+type 'f campaign_report = 'f Campaign.report = {
+  backend : string;
   total : int;
   effective : int;
   excited : int;
   detected : int;
-  missed : Fault.t list;
+  missed : 'f list;
+  skipped : int;
+  truncated : Simcov_util.Budget.resource option;
 }
 
-let campaign golden faults word =
+type report = Fault.t campaign_report
+
+let backend_name = "fsm-fault"
+
+(* The bit-parallel FSM-fault backend. One golden pass per stimulus
+   word evaluates up to [Sys.int_size] mutants at once, one per int bit
+   lane. Mutant trajectories are tracked by difference from the golden
+   trajectory:
+
+   - output and conditional-output lanes never leave the golden
+     trajectory, so they need no per-lane state at all — they detect
+     the moment the golden run traverses their site (with the required
+     history, for conditional lanes);
+   - a transfer lane is "diverged" once its mutant's state differs from
+     the golden state; only diverged lanes pay for a per-lane scalar
+     step, and they rejoin the cheap converged set on silent
+     re-convergence (Definition 4's masking window closing). *)
+module Fsm_backend = struct
+  type ctx = { m : Fsm.t; tab : Fsm.tables }
+  type fault = Fault.t
+  type stim = int
+
+  let name = backend_name
+  let max_lanes = Sys.int_size
+  let effective ctx f = Fault.is_effective ctx.m f
+
+  type batch = {
+    tab : Fsm.tables;
+    site : int array;  (* lane -> faulted (state * k + input) *)
+    wrong : int array;  (* lane -> wrong next state / wrong output *)
+    cprev : int array;  (* conditional lanes: required previous transition *)
+    site_lanes : (int, int) Hashtbl.t;  (* transition -> lane set faulted there *)
+    out_mask : int;
+    tr_mask : int;
+    cond_mask : int;
+    mstate : int array;  (* per-lane mutant state, meaningful when diverged *)
+    mutable diverged : int;
+    mutable sg : int;  (* golden state *)
+    mutable gprev : int;  (* previous golden transition, -1 at reset *)
+  }
+
+  let start (ctx : ctx) faults =
+    let tab = ctx.tab in
+    let k = tab.Fsm.tab_inputs in
+    let n = Array.length faults in
+    let site = Array.make n 0 and wrong = Array.make n 0 in
+    let cprev = Array.make n (-1) in
+    let site_lanes = Hashtbl.create (2 * n) in
+    let out_mask = ref 0 and tr_mask = ref 0 and cond_mask = ref 0 in
+    Array.iteri
+      (fun l f ->
+        let s, i = Fault.site f in
+        let idx = (s * k) + i in
+        site.(l) <- idx;
+        (match Hashtbl.find_opt site_lanes idx with
+        | Some m -> Hashtbl.replace site_lanes idx (m lor (1 lsl l))
+        | None -> Hashtbl.add site_lanes idx (1 lsl l));
+        match f with
+        | Fault.Transfer { wrong_next; _ } ->
+            wrong.(l) <- wrong_next;
+            tr_mask := !tr_mask lor (1 lsl l)
+        | Fault.Output { wrong_output; _ } ->
+            wrong.(l) <- wrong_output;
+            out_mask := !out_mask lor (1 lsl l)
+        | Fault.Conditional_output { wrong_output; prev = ps, pi; _ } ->
+            wrong.(l) <- wrong_output;
+            cprev.(l) <- (ps * k) + pi;
+            cond_mask := !cond_mask lor (1 lsl l))
+      faults;
+    {
+      tab;
+      site;
+      wrong;
+      cprev;
+      site_lanes;
+      out_mask = !out_mask;
+      tr_mask = !tr_mask;
+      cond_mask = !cond_mask;
+      mstate = Array.make n 0;
+      diverged = 0;
+      sg = tab.Fsm.tab_reset;
+      gprev = -1;
+    }
+
+  let step b ~active i =
+    let k = b.tab.Fsm.tab_inputs in
+    let gi = (b.sg * k) + i in
+    let vg = b.tab.Fsm.tab_valid.(gi) in
+    let detected = ref 0 in
+    (* snapshot: lanes diverged at the START of this step — the redirect
+       below must only apply to lanes whose mutant sits on the golden
+       state, and re-convergence inside the loop must not re-qualify a
+       lane for it *)
+    let dv = b.diverged land active in
+    if not vg then begin
+      (* golden rejects the stimulus: diverged mutants that accept it
+         are exposed by the validity mismatch; everyone else stops *)
+      Campaign.iter_bits dv (fun l ->
+          if b.tab.Fsm.tab_valid.((b.mstate.(l) * k) + i) then
+            detected := !detected lor (1 lsl l));
+      { Campaign.excited = 0; detected = !detected; halt = true }
+    end
+    else begin
+      let sg' = b.tab.Fsm.tab_next.(gi) and og = b.tab.Fsm.tab_output.(gi) in
+      (* lanes already diverged run their own scalar lockstep step *)
+      Campaign.iter_bits dv (fun l ->
+          let mi = (b.mstate.(l) * k) + i in
+          if not b.tab.Fsm.tab_valid.(mi) then detected := !detected lor (1 lsl l)
+          else if b.tab.Fsm.tab_output.(mi) <> og then
+            detected := !detected lor (1 lsl l)
+          else begin
+            let ms' =
+              if mi = b.site.(l) then b.wrong.(l) else b.tab.Fsm.tab_next.(mi)
+            in
+            if ms' = sg' then b.diverged <- b.diverged land lnot (1 lsl l);
+            b.mstate.(l) <- ms'
+          end);
+      (* site events on the golden transition *)
+      let excited =
+        match Hashtbl.find_opt b.site_lanes gi with None -> 0 | Some m -> m
+      in
+      if excited <> 0 then begin
+        (* effectiveness guarantees wrong_output <> og … *)
+        detected := !detected lor (excited land b.out_mask);
+        Campaign.iter_bits (excited land b.cond_mask) (fun l ->
+            if b.cprev.(l) = b.gprev then detected := !detected lor (1 lsl l));
+        (* … and wrong_next <> sg', so converged transfer lanes branch
+           off the golden trajectory here *)
+        Campaign.iter_bits
+          (excited land b.tr_mask land lnot dv land active)
+          (fun l ->
+            b.mstate.(l) <- b.wrong.(l);
+            if b.wrong.(l) <> sg' then b.diverged <- b.diverged lor (1 lsl l));
+      end;
+      b.gprev <- gi;
+      b.sg <- sg';
+      { Campaign.excited; detected = !detected; halt = false }
+    end
+end
+
+module Driver = Campaign.Make (Fsm_backend)
+
+let campaign_outcome ?budget ?on_batch golden faults word =
+  Driver.run ?budget ?on_batch
+    { Fsm_backend.m = golden; tab = Fsm.tables golden }
+    faults word
+
+let campaign ?budget ?on_batch golden faults word =
+  (campaign_outcome ?budget ?on_batch golden faults word).Campaign.report
+
+(* the retained scalar reference: one full mutant rerun per fault,
+   through [run_verdict]; the QCheck suite pins the batched driver
+   against it, and the bench quantifies the speedup *)
+let campaign_scalar golden faults word =
   let total = List.length faults in
   let effective = ref 0 and excited = ref 0 and detected = ref 0 in
-  let missed = ref [] in
+  let missed = ref [] and verdicts = ref [] in
   List.iter
     (fun f ->
       if Fault.is_effective golden f then begin
@@ -59,23 +221,28 @@ let campaign golden faults word =
         let v = run_verdict golden f word in
         if v.excited then incr excited;
         if v.detected then incr detected
-        else if v.excited then missed := f :: !missed
+        else if v.excited then missed := f :: !missed;
+        verdicts := (f, v) :: !verdicts
       end)
     faults;
   {
-    total;
-    effective = !effective;
-    excited = !excited;
-    detected = !detected;
-    missed = List.rev !missed;
+    Campaign.report =
+      {
+        backend = backend_name;
+        total;
+        effective = !effective;
+        excited = !excited;
+        detected = !detected;
+        missed = List.rev !missed;
+        skipped = 0;
+        truncated = None;
+      };
+    verdicts = List.rev !verdicts;
   }
 
-let coverage_pct r =
-  if r.effective = 0 then 100.0 else 100.0 *. float_of_int r.detected /. float_of_int r.effective
-
-let pp_report ppf r =
-  Format.fprintf ppf "faults: %d total, %d effective, %d excited, %d detected (%.1f%%), %d missed"
-    r.total r.effective r.excited r.detected (coverage_pct r) (List.length r.missed)
+let coverage_pct = Campaign.coverage_pct
+let pp_report = Campaign.pp_report
+let to_json ?extra r = Campaign.to_json ~fault:Fault.to_json ?extra r
 
 (* Definition 4, operationally: windows where the two state
    trajectories diverge and silently re-converge. *)

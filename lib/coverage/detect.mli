@@ -4,11 +4,18 @@
     {e exposed} (detected) when the observed outputs of the mutant
     differ from the golden machine's — possibly several steps later,
     which is exactly the gap between excitation and exposure that
-    Section 4.2 illustrates with Figure 2. *)
+    Section 4.2 illustrates with Figure 2.
+
+    Campaigns route through the shared {!Simcov_campaign.Campaign}
+    driver: mutants are packed into int bit lanes and evaluated with
+    one golden pass per word instead of one full rerun per fault. The
+    scalar path ({!run_verdict}, {!campaign_scalar}) is retained as the
+    executable reference the batched engine is tested against. *)
 
 open Simcov_fsm
+module Campaign = Simcov_campaign.Campaign
 
-type verdict = {
+type verdict = Campaign.verdict = {
   detected : bool;
   excited : bool;
   detect_step : int option;  (** first step (0-based) with an observable difference *)
@@ -19,26 +26,63 @@ val run_verdict : Fsm.t -> Fault.t -> int list -> verdict
 (** Simulate golden and mutant in lockstep on the input word. An
     observable difference is a differing output or an input that is
     valid in one machine's current state and not the other's. The word
-    is truncated at the first input invalid in {e both} runs. *)
+    is truncated at the first input invalid in {e both} runs.
+    Excitation is recorded whenever the golden run traverses the fault
+    site — including on the step whose validity mismatch detects the
+    fault. *)
 
 val detects : Fsm.t -> Fault.t -> int list -> bool
 
 (** {1 Campaigns} *)
 
-type report = {
+type 'f campaign_report = 'f Campaign.report = {
+  backend : string;
   total : int;
   effective : int;  (** faults that actually change behavior locally *)
   excited : int;
   detected : int;
-  missed : Fault.t list;  (** effective, excited, yet undetected *)
+  missed : 'f list;  (** effective, excited, yet undetected *)
+  skipped : int;  (** effective faults left unevaluated by truncation *)
+  truncated : Simcov_util.Budget.resource option;
 }
+(** The shared campaign report, re-exported so existing field accesses
+    ([r.Detect.total], …) keep working. *)
 
-val campaign : Fsm.t -> Fault.t list -> int list -> report
+type report = Fault.t campaign_report
+
+val campaign :
+  ?budget:Simcov_util.Budget.t ->
+  ?on_batch:(Campaign.progress -> unit) ->
+  Fsm.t ->
+  Fault.t list ->
+  int list ->
+  report
+(** Bit-parallel batched campaign via the shared driver. Budget
+    exhaustion yields a [truncated] partial report, never an
+    exception. *)
+
+val campaign_outcome :
+  ?budget:Simcov_util.Budget.t ->
+  ?on_batch:(Campaign.progress -> unit) ->
+  Fsm.t ->
+  Fault.t list ->
+  int list ->
+  Fault.t Campaign.outcome
+(** As {!campaign}, additionally returning per-fault verdicts. *)
+
+val campaign_scalar : Fsm.t -> Fault.t list -> int list -> Fault.t Campaign.outcome
+(** The scalar reference: one {!run_verdict} rerun per effective fault.
+    Same verdicts and report as {!campaign} under an unlimited budget. *)
+
 val coverage_pct : report -> float
 (** [100 * detected / effective] (100.0 when there are no effective
     faults). *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val to_json :
+  ?extra:(string * Simcov_util.Json.t) list -> report -> Simcov_util.Json.t
+(** [simcov-campaign/1] rendering with structured missed faults. *)
 
 (** {1 Masking (Definition 4)} *)
 

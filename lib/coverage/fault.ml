@@ -21,6 +21,36 @@ let pp ppf = function
 
 let equal = ( = )
 
+let to_json fault =
+  let open Simcov_util.Json in
+  match fault with
+  | Transfer { state; input; wrong_next } ->
+      Obj
+        [
+          ("kind", String "transfer");
+          ("state", Int state);
+          ("input", Int input);
+          ("wrong_next", Int wrong_next);
+        ]
+  | Output { state; input; wrong_output } ->
+      Obj
+        [
+          ("kind", String "output");
+          ("state", Int state);
+          ("input", Int input);
+          ("wrong_output", Int wrong_output);
+        ]
+  | Conditional_output { state; input; wrong_output; prev = ps, pi } ->
+      Obj
+        [
+          ("kind", String "conditional_output");
+          ("state", Int state);
+          ("input", Int input);
+          ("wrong_output", Int wrong_output);
+          ("prev_state", Int ps);
+          ("prev_input", Int pi);
+        ]
+
 let apply (m : Fsm.t) fault =
   match fault with
   | Transfer { state; input; wrong_next } ->

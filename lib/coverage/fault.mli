@@ -27,6 +27,10 @@ type t =
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
 
+val to_json : t -> Simcov_util.Json.t
+(** Structured rendering for campaign reports ([kind] plus the site and
+    wrong-value fields). *)
+
 val apply : Fsm.t -> t -> Fsm.t
 (** The mutant machine. Validity is unchanged; only the faulted
     [(state, input)] entry's next state or output differs.

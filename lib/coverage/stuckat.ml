@@ -1,4 +1,5 @@
 open Simcov_netlist
+module Campaign = Simcov_campaign.Campaign
 
 type site = Reg_output of int | Primary_input of int
 type fault = { site : site; stuck : bool }
@@ -41,29 +42,178 @@ let faulty_step (c : Circuit.t) fault state inputs =
     Some (next, outs)
   end
 
-let detects (c : Circuit.t) fault word =
-  let rec go good bad = function
-    | [] -> false
+(* the fault is excited when the faulted net carries the opposite of
+   its pinned value in the GOLDEN circuit this step *)
+let site_differs fault (state : Circuit.state) (inputs : bool array) =
+  match fault.site with
+  | Reg_output r -> state.(r) <> fault.stuck
+  | Primary_input i -> inputs.(i) <> fault.stuck
+
+let run_verdict (c : Circuit.t) fault word =
+  let rec go step good bad excite detect word =
+    match word with
+    | [] -> (excite, detect)
     | iv :: rest -> (
-        let good', gout = Circuit.step c good iv in
-        match faulty_step c fault bad iv with
-        | None -> true (* constraint violated only in the faulty machine *)
-        | Some (bad', bout) -> if gout <> bout then true else go good' bad' rest)
+        if Circuit.input_valid c good iv then begin
+          let excite =
+            if excite = None && site_differs fault good iv then Some step
+            else excite
+          in
+          match faulty_step c fault bad iv with
+          | None -> (excite, Some step) (* constraint violated only when faulty *)
+          | Some (bad', bout) ->
+              let good', gout = Circuit.step c good iv in
+              if gout <> bout then (excite, Some step)
+              else go (step + 1) good' bad' excite detect rest
+        end
+        else
+          (* the golden circuit rejects the vector: a faulty circuit
+             that accepts it is exposed; otherwise the word ends here *)
+          match faulty_step c fault bad iv with
+          | Some _ -> (excite, Some step)
+          | None -> (excite, detect))
   in
-  go (Circuit.initial_state c) (Circuit.initial_state c) word
+  let excite_step, detect_step =
+    go 0 (Circuit.initial_state c) (Circuit.initial_state c) None None word
+  in
+  {
+    Campaign.detected = detect_step <> None;
+    excited = excite_step <> None;
+    detect_step;
+    excite_step;
+  }
 
-type report = { total : int; detected : int; missed : fault list }
+let detects c fault word = (run_verdict c fault word).Campaign.detected
 
-let campaign c faults word =
-  let detected = ref 0 in
-  let missed = ref [] in
-  List.iter
-    (fun f -> if detects c f word then incr detected else missed := f :: !missed)
-    faults;
-  { total = List.length faults; detected = !detected; missed = List.rev !missed }
+(* The bit-parallel stuck-at backend: bit l of every packed int is the
+   value of a net in faulty circuit l. One {!Expr.eval_lanes} pass per
+   expression evaluates all lanes at once; a lane's reads of its
+   faulted signal are pinned through per-signal (mask, ones) pairs. *)
+module Net_backend = struct
+  type ctx = Circuit.t
+  type nonrec fault = fault
+  type stim = bool array
 
-let coverage_pct r =
-  if r.total = 0 then 100.0 else 100.0 *. float_of_int r.detected /. float_of_int r.total
+  let name = "stuck-at"
+  let max_lanes = Sys.int_size
+  let effective _ _ = true
+
+  type batch = {
+    c : Circuit.t;
+    full : int;  (* lane population mask *)
+    lanes : int array;  (* per-register packed lane values *)
+    mutable good : Circuit.state;
+    pmr : int array;  (* per-register: lanes pinned on that register *)
+    p1r : int array;  (* … of those, lanes pinned to 1 *)
+    pmi : int array;  (* per-input: lanes pinned on that input *)
+    p1i : int array;
+  }
+
+  let start (c : Circuit.t) (faults : fault array) =
+    let nr = Circuit.n_regs c and ni = Circuit.n_inputs c in
+    let full = Campaign.ones (Array.length faults) in
+    let pmr = Array.make nr 0 and p1r = Array.make nr 0 in
+    let pmi = Array.make ni 0 and p1i = Array.make ni 0 in
+    Array.iteri
+      (fun l f ->
+        let bit = 1 lsl l in
+        match f.site with
+        | Reg_output r ->
+            pmr.(r) <- pmr.(r) lor bit;
+            if f.stuck then p1r.(r) <- p1r.(r) lor bit
+        | Primary_input i ->
+            pmi.(i) <- pmi.(i) lor bit;
+            if f.stuck then p1i.(i) <- p1i.(i) lor bit)
+      faults;
+    let good = Circuit.initial_state c in
+    let lanes = Array.map (fun b -> if b then full else 0) good in
+    { c; full; lanes; good; pmr; p1r; pmi; p1i }
+
+  let step b ~active:_ iv =
+    let c = b.c in
+    let read_in i =
+      ((if iv.(i) then b.full else 0) land lnot b.pmi.(i)) lor b.p1i.(i)
+    in
+    let read_reg r = (b.lanes.(r) land lnot b.pmr.(r)) lor b.p1r.(r) in
+    let cm =
+      Expr.eval_lanes ~inputs:read_in ~regs:read_reg c.Circuit.input_constraint
+      land b.full
+    in
+    if Circuit.input_valid c b.good iv then begin
+      (* excitation: the golden value of the faulted net differs from
+         the pinned value *)
+      let excited = ref 0 in
+      Array.iteri
+        (fun r gb ->
+          excited :=
+            !excited lor (if gb then b.pmr.(r) land lnot b.p1r.(r) else b.p1r.(r)))
+        b.good;
+      Array.iteri
+        (fun i bit ->
+          excited :=
+            !excited lor (if bit then b.pmi.(i) land lnot b.p1i.(i) else b.p1i.(i)))
+        iv;
+      (* lanes whose pinned constraint fails are detected outright … *)
+      let detected = ref (b.full land lnot cm) in
+      let good', gout = Circuit.step c b.good iv in
+      (* … the rest by comparing observable outputs per lane *)
+      Array.iteri
+        (fun oi (o : Circuit.port) ->
+          let ow = Expr.eval_lanes ~inputs:read_in ~regs:read_reg o.Circuit.expr in
+          let g = if gout.(oi) then b.full else 0 in
+          detected := !detected lor (ow lxor g land cm))
+        c.Circuit.outputs;
+      let n = Array.length c.Circuit.regs in
+      let next =
+        Array.map
+          (fun (r : Circuit.reg) ->
+            Expr.eval_lanes ~inputs:read_in ~regs:read_reg r.Circuit.next land b.full)
+          c.Circuit.regs
+      in
+      Array.blit next 0 b.lanes 0 n;
+      b.good <- good';
+      { Campaign.excited = !excited; detected = !detected; halt = false }
+    end
+    else
+      (* golden rejects the vector: lanes whose faulty circuit still
+         accepts it are exposed; the word ends for everyone else *)
+      { Campaign.excited = 0; detected = cm; halt = true }
+end
+
+module Driver = Campaign.Make (Net_backend)
+
+let campaign_outcome ?budget ?on_batch c faults word =
+  Driver.run ?budget ?on_batch c faults word
+
+let campaign ?budget ?on_batch c faults word =
+  (campaign_outcome ?budget ?on_batch c faults word).Campaign.report
+
+type 'f campaign_report = 'f Campaign.report = {
+  backend : string;
+  total : int;
+  effective : int;
+  excited : int;
+  detected : int;
+  missed : 'f list;
+  skipped : int;
+  truncated : Simcov_util.Budget.resource option;
+}
+
+type report = fault campaign_report
+
+let coverage_pct = Campaign.coverage_pct
+let pp_report = Campaign.pp_report
+
+let fault_to_json f =
+  let open Simcov_util.Json in
+  let where =
+    match f.site with
+    | Reg_output r -> [ ("site", String "reg"); ("index", Int r) ]
+    | Primary_input i -> [ ("site", String "input"); ("index", Int i) ]
+  in
+  Obj (where @ [ ("stuck", Int (if f.stuck then 1 else 0)) ])
+
+let to_json ?extra r = Campaign.to_json ~fault:fault_to_json ?extra r
 
 let pp_fault ppf f =
   let where =

@@ -5,15 +5,24 @@
     observability metric: a {e stuck-at} fault pins a register output
     or a primary input to a constant. A test word detects the fault
     when the faulty circuit's outputs diverge from the good circuit's
-    at some step.
+    at some step, and {e excites} it when the faulted net carries the
+    opposite of its pinned value in the golden circuit — so stuck-at
+    campaigns report the same four-column verdict (effective / excited
+    / detected / missed) as FSM-fault campaigns.
 
     The paper's methodology targets {e design} errors, not fabrication
     faults; running both metrics on the same stimuli shows how
     different the populations are (a tour tuned for transition
     coverage is decent but not complete for stuck-ats, and vice
-    versa). *)
+    versa).
+
+    Campaigns route through the shared {!Simcov_campaign.Campaign}
+    driver with true bit-parallel lanes: bit [l] of every packed int is
+    a net value in faulty circuit [l], and one {!Expr.eval_lanes} pass
+    evaluates all lanes at once. *)
 
 open Simcov_netlist
+module Campaign = Simcov_campaign.Campaign
 
 type site = Reg_output of int | Primary_input of int
 
@@ -22,17 +31,60 @@ type fault = { site : site; stuck : bool }
 val all_faults : Circuit.t -> fault list
 (** Both polarities at every register output and primary input. *)
 
+val run_verdict : Circuit.t -> fault -> bool array list -> Campaign.verdict
+(** Scalar lockstep reference of good vs faulty circuit on the word;
+    the faulty circuit sees the pinned value everywhere the signal is
+    read, including in the input-constraint check (a combination
+    turning invalid only when faulty counts as detection, mirroring
+    {!Detect}; one invalid only for the {e golden} circuit is likewise
+    a detection, and invalid for both ends the word). *)
+
 val detects : Circuit.t -> fault -> bool array list -> bool
-(** Lockstep simulation of good vs faulty circuit on the word; the
-    faulty circuit sees the pinned value everywhere the signal is
-    read. Inputs are applied as given (an input stuck the other way
-    simply overrides the stimulus). The word must be valid for the
-    good circuit; constraint evaluation in the faulty circuit uses the
-    pinned values (a combination turning invalid counts as detection,
-    mirroring {!Detect}). *)
 
-type report = { total : int; detected : int; missed : fault list }
+val site_differs : fault -> Circuit.state -> bool array -> bool
+(** The excitation predicate: does the faulted net carry the opposite
+    of its pinned value in the golden circuit under this state and
+    input vector? *)
 
-val campaign : Circuit.t -> fault list -> bool array list -> report
+(** {1 Campaigns} *)
+
+type 'f campaign_report = 'f Campaign.report = {
+  backend : string;
+  total : int;
+  effective : int;  (** every stuck-at fault is effective *)
+  excited : int;
+  detected : int;
+  missed : 'f list;
+  skipped : int;
+  truncated : Simcov_util.Budget.resource option;
+}
+
+type report = fault campaign_report
+
+val campaign :
+  ?budget:Simcov_util.Budget.t ->
+  ?on_batch:(Campaign.progress -> unit) ->
+  Circuit.t ->
+  fault list ->
+  bool array list ->
+  report
+(** Bit-parallel batched campaign via the shared driver; budget
+    exhaustion yields a [truncated] partial report. *)
+
+val campaign_outcome :
+  ?budget:Simcov_util.Budget.t ->
+  ?on_batch:(Campaign.progress -> unit) ->
+  Circuit.t ->
+  fault list ->
+  bool array list ->
+  fault Campaign.outcome
+
 val coverage_pct : report -> float
+val pp_report : Format.formatter -> report -> unit
+val fault_to_json : fault -> Simcov_util.Json.t
+
+val to_json :
+  ?extra:(string * Simcov_util.Json.t) list -> report -> Simcov_util.Json.t
+(** [simcov-campaign/1] rendering with structured missed faults. *)
+
 val pp_fault : Format.formatter -> fault -> unit

@@ -37,24 +37,84 @@ let run_program ?(bugs = Pipeline.no_bugs) ?(max_steps = 10_000) ?(preload_regs 
 let detects_bug ~program bugs =
   match run_program ~bugs program with Pass _ -> false | Fail _ -> true
 
+module Campaign = Simcov_campaign.Campaign
+
+type test_program = {
+  program : Isa.t array;
+  preload_regs : (int * int32) list;
+  preload_mem : (int * int32) list;
+}
+
+let test_program ?(preload_regs = []) ?(preload_mem = []) program =
+  { program; preload_regs; preload_mem }
+
+(* The pipeline-bug backend: a "fault" is a named bug configuration
+   from the catalog, a stimulus element is a whole test program, and
+   one lockstep step is a full spec-vs-pipeline run. The commit-stream
+   comparison cannot be bit-packed, so batches are scalar
+   ([max_lanes = 1]) — the shared driver still provides budgeting
+   (one budget step per bug), early exit on detection (replacing the
+   old [List.exists]), and the unified report. Excitation has no finer
+   probe than detection here: a mismatching commit stream is both. *)
+module Bug_backend = struct
+  type ctx = unit
+  type fault = string * Pipeline.bugs
+  type stim = test_program
+
+  let name = "dlx-pipeline"
+  let max_lanes = 1
+  let effective () _ = true
+
+  type batch = fault array
+
+  let start () faults = faults
+
+  let step (b : batch) ~active t =
+    let detected = ref 0 in
+    Campaign.iter_bits active (fun l ->
+        let _, bugs = b.(l) in
+        match
+          run_program ~bugs ~preload_regs:t.preload_regs
+            ~preload_mem:t.preload_mem t.program
+        with
+        | Fail _ -> detected := !detected lor (1 lsl l)
+        | Pass _ -> ());
+    { Campaign.excited = !detected; detected = !detected; halt = false }
+end
+
+module Driver = Campaign.Make (Bug_backend)
+
 type campaign_result = {
   bug_results : (string * bool) list;
   n_detected : int;
   n_bugs : int;
+  report : (string * Pipeline.bugs) Campaign.report;
 }
 
-let bug_campaign_multi programs =
+let bug_campaign_tests ?budget ?on_batch tests =
+  let o = Driver.run ?budget ?on_batch () Pipeline.bug_catalog tests in
+  let verdict_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun ((name, _), (v : Campaign.verdict)) ->
+        Hashtbl.replace tbl name v.Campaign.detected)
+      o.Campaign.verdicts;
+    fun name -> match Hashtbl.find_opt tbl name with Some d -> d | None -> false
+  in
+  (* bugs skipped by a truncated budget are listed undetected; the
+     report's [skipped] count says how many were never run *)
   let bug_results =
-    List.map
-      (fun (name, bugs) ->
-        (name, List.exists (fun p -> detects_bug ~program:p bugs) programs))
-      Pipeline.bug_catalog
+    List.map (fun (name, _) -> (name, verdict_of name)) Pipeline.bug_catalog
   in
   {
     bug_results;
-    n_detected = List.length (List.filter snd bug_results);
-    n_bugs = List.length bug_results;
+    n_detected = o.Campaign.report.Campaign.detected;
+    n_bugs = List.length Pipeline.bug_catalog;
+    report = o.Campaign.report;
   }
+
+let bug_campaign_multi programs =
+  bug_campaign_tests (List.map (fun p -> test_program p) programs)
 
 let bug_campaign program = bug_campaign_multi [ program ]
 

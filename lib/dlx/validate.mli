@@ -28,11 +28,47 @@ val detects_bug : program:Isa.t array -> Pipeline.bugs -> bool
     buggy configuration that still passes means the test set failed to
     cover the bug. *)
 
+(** {1 Bug campaigns}
+
+    Campaigns over the {!Pipeline.bug_catalog} route through the shared
+    {!Simcov_campaign.Campaign} driver: a fault is a named bug
+    configuration, a stimulus element is a whole test program, and the
+    driver provides budgeting, early exit per bug, and the unified
+    report. Excitation equals detection for this backend — the commit
+    stream offers no finer probe than a mismatch. *)
+
+module Campaign = Simcov_campaign.Campaign
+
+type test_program = {
+  program : Isa.t array;
+  preload_regs : (int * int32) list;
+  preload_mem : (int * int32) list;
+}
+
+val test_program :
+  ?preload_regs:(int * int32) list ->
+  ?preload_mem:(int * int32) list ->
+  Isa.t array ->
+  test_program
+
 type campaign_result = {
-  bug_results : (string * bool) list;  (** bug name, detected? *)
+  bug_results : (string * bool) list;
+      (** bug name, detected? (bugs skipped by a truncated budget are
+          listed undetected — see [report.skipped]) *)
   n_detected : int;
   n_bugs : int;
+  report : (string * Pipeline.bugs) Campaign.report;
+      (** the unified campaign report (schema [simcov-campaign/1]) *)
 }
+
+val bug_campaign_tests :
+  ?budget:Simcov_util.Budget.t ->
+  ?on_batch:(Campaign.progress -> unit) ->
+  test_program list ->
+  campaign_result
+(** A bug is detected if any of the test programs exposes it; one
+    budget step is consumed per bug, and exhaustion yields a
+    [truncated] partial report (never an exception). *)
 
 val bug_campaign : Isa.t array -> campaign_result
 (** Run the full {!Pipeline.bug_catalog} against one test program. *)

@@ -35,7 +35,16 @@ let of_table ?(reset = 0) rows =
     ~output:(fun s i -> snd (Hashtbl.find tbl (s, i)))
     ()
 
-let tabulate m =
+type tables = {
+  tab_states : int;
+  tab_inputs : int;
+  tab_reset : int;
+  tab_valid : bool array;
+  tab_next : int array;
+  tab_output : int array;
+}
+
+let tables m =
   let n = m.n_states and k = m.n_inputs in
   let valid = Array.make (n * k) false in
   let next = Array.make (n * k) 0 in
@@ -51,10 +60,22 @@ let tabulate m =
     done
   done;
   {
+    tab_states = n;
+    tab_inputs = k;
+    tab_reset = m.reset;
+    tab_valid = valid;
+    tab_next = next;
+    tab_output = output;
+  }
+
+let tabulate m =
+  let k = m.n_inputs in
+  let t = tables m in
+  {
     m with
-    valid = (fun s i -> valid.((s * k) + i));
-    next = (fun s i -> next.((s * k) + i));
-    output = (fun s i -> output.((s * k) + i));
+    valid = (fun s i -> t.tab_valid.((s * k) + i));
+    next = (fun s i -> t.tab_next.((s * k) + i));
+    output = (fun s i -> t.tab_output.((s * k) + i));
   }
 
 let step m s i =

@@ -45,6 +45,21 @@ val tabulate : t -> t
 (** Materialize the behavioral functions into arrays (O(1) stepping);
     semantics unchanged. *)
 
+type tables = {
+  tab_states : int;
+  tab_inputs : int;
+  tab_reset : int;
+  tab_valid : bool array;  (** indexed [state * tab_inputs + input] *)
+  tab_next : int array;
+  tab_output : int array;
+}
+
+val tables : t -> tables
+(** The raw transition tables behind {!tabulate}, for engines (e.g.
+    bit-parallel fault simulation) that index them directly instead of
+    going through closures. Entries at invalid [(state, input)] pairs
+    are unspecified in [tab_next]/[tab_output]. *)
+
 (** {1 Execution} *)
 
 val step : t -> int -> int -> int * int

@@ -61,6 +61,23 @@ let rec eval ~inputs ~regs = function
   | Xor (a, b) -> eval ~inputs ~regs a <> eval ~inputs ~regs b
   | Mux (s, h, l) -> if eval ~inputs ~regs s then eval ~inputs ~regs h else eval ~inputs ~regs l
 
+(* Lane-parallel evaluation: each int carries one boolean per bit
+   lane, so one pass evaluates the expression for every lane at once.
+   A Const is broadcast to all lanes; lanes beyond the caller's
+   population carry garbage (e.g. from lnot) and must be masked by the
+   caller. *)
+let rec eval_lanes ~inputs ~regs = function
+  | Const b -> if b then -1 else 0
+  | Input i -> inputs i
+  | Reg r -> regs r
+  | Not e -> lnot (eval_lanes ~inputs ~regs e)
+  | And (a, b) -> eval_lanes ~inputs ~regs a land eval_lanes ~inputs ~regs b
+  | Or (a, b) -> eval_lanes ~inputs ~regs a lor eval_lanes ~inputs ~regs b
+  | Xor (a, b) -> eval_lanes ~inputs ~regs a lxor eval_lanes ~inputs ~regs b
+  | Mux (s, h, l) ->
+      let sv = eval_lanes ~inputs ~regs s in
+      (sv land eval_lanes ~inputs ~regs h) lor (lnot sv land eval_lanes ~inputs ~regs l)
+
 let rec map_leaves ~input ~reg = function
   | Const b -> Const b
   | Input i -> input i

@@ -36,6 +36,13 @@ val disj : t list -> t
 
 val eval : inputs:(int -> bool) -> regs:(int -> bool) -> t -> bool
 
+val eval_lanes : inputs:(int -> int) -> regs:(int -> int) -> t -> int
+(** Bit-parallel evaluation: bit [l] of every int is an independent
+    boolean lane, so one call evaluates the expression for up to
+    [Sys.int_size] valuations at once. Constants broadcast to all
+    lanes; bits beyond the lanes the caller populated are unspecified
+    (negation sets them) and must be masked off by the caller. *)
+
 val map_leaves : input:(int -> t) -> reg:(int -> t) -> t -> t
 (** Substitute expressions for leaves (rebuilding with the smart
     constructors, so substitution of constants simplifies). *)

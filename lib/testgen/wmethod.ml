@@ -131,9 +131,12 @@ let campaign m faults words =
       end)
     faults;
   {
-    Simcov_coverage.Detect.total;
+    Simcov_coverage.Detect.backend = "fsm-fault/wmethod";
+    total;
     effective = !effective;
     excited = !excited;
     detected = !detected;
     missed = List.rev !missed;
+    skipped = 0;
+    truncated = None;
   }

@@ -26,4 +26,5 @@ let () =
       ("fig2", Test_fig2.suite);
       ("robustness", Test_robustness.suite);
       ("analysis", Test_analysis.suite);
+      ("campaign", Test_campaign.suite);
     ]
