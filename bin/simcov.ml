@@ -57,6 +57,74 @@ let guarded f =
       Printf.eprintf "error: BDD node ceiling reached (%d nodes live)\n" live;
       3
 
+(* ---- observability plumbing (--metrics / --trace) ---- *)
+
+module Obs = Simcov_obs.Obs
+
+let obs_term =
+  let metrics =
+    let doc =
+      "Write a $(b,simcov-metrics/1) JSON snapshot (engine counters, gauges \
+       and per-phase wall times) to $(docv) when the command finishes; \
+       $(b,-) writes it to stdout (the human-readable report then moves to \
+       stderr)."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let trace =
+    let doc =
+      "Stream engine trace events (one minified JSON object per line) to \
+       $(docv) while the command runs; $(b,-) streams to stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  Term.(const (fun metrics trace -> (metrics, trace)) $ metrics $ trace)
+
+(* metrics on stdout claims the machine-readable stream: callers route
+   their human-readable report to stderr in that case *)
+let metrics_on_stdout (metrics, _trace) = metrics = Some "-"
+
+(* Reset the metric registry, install the trace sink, run the command,
+   and — whatever way it exits — tear the sink down and write the
+   snapshot. The snapshot is written even on a resource-limit exit so a
+   truncated run still reports what it spent. *)
+let with_obs (metrics, trace) f =
+  Obs.reset ();
+  let close_trace =
+    match trace with
+    | None -> fun () -> ()
+    | Some path ->
+        let oc = if path = "-" then stdout else open_out path in
+        Obs.set_sink
+          (Some
+             (fun line ->
+               output_string oc line;
+               output_char oc '\n'));
+        fun () -> if path = "-" then flush oc else close_out oc
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sink None;
+      close_trace ();
+      match metrics with
+      | None -> ()
+      | Some path ->
+          let doc = Simcov_util.Json.to_string (Obs.snapshot ()) ^ "\n" in
+          if path = "-" then begin
+            print_string doc;
+            flush stdout
+          end
+          else Out_channel.with_open_text path (fun oc -> output_string oc doc))
+    f
+
+(* commands whose engines allocate no BDD nodes: a node allowance would
+   be silently inert, so say so (budget.mli, "enforcement split") *)
+let warn_inert_max_nodes budget =
+  if Budget.max_nodes budget <> None then
+    prerr_endline
+      "warning: --max-nodes has no effect here (this command runs no BDD \
+       engine); use --timeout to bound the run"
+
 let config_term =
   let regs =
     let doc = "Number of registers in the reduced file (power of two)." in
@@ -87,10 +155,14 @@ let seed_term =
 
 (* ---- validate-dlx ---- *)
 
-let validate_dlx config seed budget =
+let validate_dlx config seed budget obs =
   guarded @@ fun () ->
+  with_obs obs @@ fun () ->
+  let ppf =
+    if metrics_on_stdout obs then Format.err_formatter else Format.std_formatter
+  in
   let report = Simcov_core.Methodology.validate_dlx ~config ~seed ~budget () in
-  Format.printf "%a@." Simcov_core.Methodology.pp_run_report report;
+  Format.fprintf ppf "%a@." Simcov_core.Methodology.pp_run_report report;
   if Simcov_core.Methodology.campaigns_truncated report then 3
   else if
     report.Simcov_core.Methodology.lint_errors = []
@@ -104,7 +176,7 @@ let validate_cmd =
   let doc = "Run the full validation methodology on the pipelined DLX." in
   Cmd.v
     (cmd_info "validate-dlx" ~doc)
-    Term.(const validate_dlx $ config_term $ seed_term $ budget_term)
+    Term.(const validate_dlx $ config_term $ seed_term $ budget_term $ obs_term)
 
 (* ---- tour ---- *)
 
@@ -180,40 +252,43 @@ let abstract_cmd =
 
 (* ---- stats ---- *)
 
-let stats budget =
+let stats budget obs =
   guarded @@ fun () ->
+  with_obs obs @@ fun () ->
+  let out = if metrics_on_stdout obs then stderr else stdout in
+  let ppf = Format.formatter_of_out_channel out in
   let final, _ = Simcov_dlx.Control.derive_test_model () in
-  Format.printf "%a@." Simcov_netlist.Circuit.pp_stats final;
+  Format.fprintf ppf "%a@." Simcov_netlist.Circuit.pp_stats final;
   let sym = Simcov_symbolic.Symfsm.of_circuit ~budget final in
   let open Simcov_symbolic.Symfsm in
   let tr = reachable_stats ~budget sym in
-  Printf.printf "reachable states: %.0f of %.0f (in %d iterations, %.2fs)\n"
+  Printf.fprintf out "reachable states: %.0f of %.0f (in %d iterations, %.2fs)\n"
     (count_states sym tr.reached) (state_space_size sym) tr.iterations
     tr.total_time_s;
   List.iter
     (fun st ->
-      Printf.printf
+      Printf.fprintf out
         "  iter %d: frontier %.0f states (%d nodes), reached %d nodes, %d live, %.3fs\n"
         st.iteration st.frontier_states st.frontier_nodes st.reached_nodes
         st.live_nodes st.time_s)
     tr.iter_stats;
   if tr.gc_runs > 0 then
-    Printf.printf "BDD garbage collections: %d (peak %d live nodes)\n" tr.gc_runs
+    Printf.fprintf out "BDD garbage collections: %d (peak %d live nodes)\n" tr.gc_runs
       tr.peak_live_nodes;
   match tr.truncated with
   | Some r ->
-      Printf.printf "traversal truncated: out of %s after %d iterations\n"
+      Printf.fprintf out "traversal truncated: out of %s after %d iterations\n"
         (Budget.resource_name r) tr.iterations;
       3
   | None ->
-      Printf.printf "valid input combinations: %.0f of %.0f\n" (count_valid_inputs sym)
-        (input_space_size sym);
-      Printf.printf "transitions to cover: %.0f\n" (count_transitions sym);
+      Printf.fprintf out "valid input combinations: %.0f of %.0f\n"
+        (count_valid_inputs sym) (input_space_size sym);
+      Printf.fprintf out "transitions to cover: %.0f\n" (count_transitions sym);
       0
 
 let stats_cmd =
   let doc = "Symbolic (BDD) statistics of the derived control test model." in
-  Cmd.v (cmd_info "stats" ~doc) Term.(const stats $ budget_term)
+  Cmd.v (cmd_info "stats" ~doc) Term.(const stats $ budget_term $ obs_term)
 
 (* ---- fig2 ---- *)
 
@@ -368,8 +443,10 @@ let load_model spec =
       | Ok c -> Ok (c, Filename.basename path)
       | Error e -> Error (Simcov_netlist.Serialize.error_to_string e))
 
-let lint model against json_out fail_on budget =
+let lint model against json_out fail_on budget obs =
   guarded @@ fun () ->
+  with_obs obs @@ fun () ->
+  warn_inert_max_nodes budget;
   let open Simcov_analysis in
   match load_model model with
   | Error e ->
@@ -390,9 +467,14 @@ let lint model against json_out fail_on budget =
       | Error code -> code
       | Ok against ->
           let report = Lint.run ~budget ~name ?against c in
-          if json_out then
-            print_endline (Simcov_util.Json.to_string (Lint.to_json report))
-          else Format.printf "%a@." Lint.pp report;
+          (if json_out then
+             print_endline (Simcov_util.Json.to_string (Lint.to_json report))
+           else
+             let ppf =
+               if metrics_on_stdout obs then Format.err_formatter
+               else Format.std_formatter
+             in
+             Format.fprintf ppf "%a@." Lint.pp report);
           if report.Lint.truncated <> None then 3
           else if Lint.fails report ~threshold:fail_on then 1
           else 0)
@@ -440,12 +522,18 @@ let lint_cmd =
   in
   Cmd.v
     (cmd_info "lint" ~doc)
-    Term.(const lint $ model $ against $ json_out $ fail_on $ budget_term)
+    Term.(const lint $ model $ against $ json_out $ fail_on $ budget_term $ obs_term)
 
 (* ---- coverage: fault campaigns through the shared engine ---- *)
 
-let coverage_run model kind json_out seed count steps fail_under progress budget =
+let coverage_run model kind json_out seed count steps fail_under progress budget
+    obs =
   guarded @@ fun () ->
+  with_obs obs @@ fun () ->
+  warn_inert_max_nodes budget;
+  let human_ppf =
+    if metrics_on_stdout obs then Format.err_formatter else Format.std_formatter
+  in
   let module Campaign = Simcov_campaign.Campaign in
   let module Detect = Simcov_coverage.Detect in
   let module Stuckat = Simcov_coverage.Stuckat in
@@ -487,7 +575,7 @@ let coverage_run model kind json_out seed count steps fail_under progress budget
   let run_fsm ~name m word =
     let r = Detect.campaign ?on_batch ~budget m (fsm_faults m) word in
     if not json_out then
-      Format.printf "%s: FSM fault coverage over %d inputs@.  %a@." name
+      Format.fprintf human_ppf "%s: FSM fault coverage over %d inputs@.  %a@." name
         (List.length word) Detect.pp_report r;
     finish ~name ~word_length:(List.length word)
       (fun extra -> Detect.to_json ~extra r)
@@ -564,8 +652,8 @@ let coverage_run model kind json_out seed count steps fail_under progress budget
           let word = random_circuit_word c ~steps in
           let r = Stuckat.campaign ?on_batch ~budget c (Stuckat.all_faults c) word in
           if not json_out then
-            Format.printf "%s: stuck-at coverage over %d vectors@.  %a@." name
-              (List.length word) Stuckat.pp_report r;
+            Format.fprintf human_ppf "%s: stuck-at coverage over %d vectors@.  %a@."
+              name (List.length word) Stuckat.pp_report r;
           finish ~name ~word_length:(List.length word)
             (fun extra -> Stuckat.to_json ~extra r)
             (Stuckat.coverage_pct r)
@@ -627,7 +715,7 @@ let coverage_cmd =
     (cmd_info "coverage" ~doc)
     Term.(
       const coverage_run $ model $ kind $ json_out $ seed_term $ count $ steps
-      $ fail_under $ progress $ budget_term)
+      $ fail_under $ progress $ budget_term $ obs_term)
 
 (* ---- main ---- *)
 

@@ -14,6 +14,34 @@ type t = False | True | Node of { v : int; lo : t; hi : t; uid : int }
 (* not to the total ever allocated.                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(*                                                                     *)
+(* Process-global counters shared by every manager (cf. the Obs        *)
+(* overhead contract: each probe below is one int store, which is what *)
+(* lets them sit inside the cache-lookup hot paths). The live/peak     *)
+(* gauges track the manager that allocated or collected most recently. *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Simcov_obs.Obs
+
+let c_unique_hit = Obs.counter "bdd.unique.hit"
+let c_unique_miss = Obs.counter "bdd.unique.miss"
+let c_and_hit = Obs.counter "bdd.cache.and.hit"
+let c_and_miss = Obs.counter "bdd.cache.and.miss"
+let c_or_hit = Obs.counter "bdd.cache.or.hit"
+let c_or_miss = Obs.counter "bdd.cache.or.miss"
+let c_xor_hit = Obs.counter "bdd.cache.xor.hit"
+let c_xor_miss = Obs.counter "bdd.cache.xor.miss"
+let c_not_hit = Obs.counter "bdd.cache.not.hit"
+let c_not_miss = Obs.counter "bdd.cache.not.miss"
+let c_ite_hit = Obs.counter "bdd.cache.ite.hit"
+let c_ite_miss = Obs.counter "bdd.cache.ite.miss"
+let c_gc_runs = Obs.counter "bdd.gc.runs"
+let c_gc_reclaimed = Obs.counter "bdd.gc.reclaimed"
+let g_nodes_live = Obs.gauge "bdd.nodes.live"
+let g_nodes_peak = Obs.gauge "bdd.nodes.peak"
+
 let uid_bits = 26
 let uid_limit = 1 lsl uid_bits
 let var_limit = 1 lsl (62 - (2 * uid_bits))
@@ -373,6 +401,12 @@ let gc m =
   let freed = before - !n_live in
   m.gc_runs <- m.gc_runs + 1;
   m.gc_reclaimed <- m.gc_reclaimed + freed;
+  Obs.incr c_gc_runs;
+  Obs.add c_gc_reclaimed freed;
+  Obs.set g_nodes_live !n_live;
+  Obs.event "bdd.gc" ~fields:(fun () ->
+      [ ("freed", Simcov_util.Json.Int freed);
+        ("live", Simcov_util.Json.Int !n_live) ]);
   freed
 
 (* Run a public operation: pin its BDD arguments, and at the outermost
@@ -431,13 +465,19 @@ let mk m v lo hi =
   else begin
     let key = pack3 v (id lo) (id hi) in
     let i = Itab.find_idx m.unique key in
-    if i >= 0 then Itab.value m.unique i
+    if i >= 0 then begin
+      Obs.incr c_unique_hit;
+      Itab.value m.unique i
+    end
     else begin
       if Itab.length m.unique >= m.max_nodes then raise Gc_needed;
+      Obs.incr c_unique_miss;
       let n = Node { v; lo; hi; uid = alloc_uid m } in
       Itab.add m.unique key n;
       let live = Itab.length m.unique in
       if live > m.peak_live then m.peak_live <- live;
+      Obs.set g_nodes_live live;
+      Obs.set_max g_nodes_peak live;
       n
     end
   end
@@ -509,8 +549,12 @@ let rec bnot_rec m t =
   | True -> False
   | Node n -> (
       let i = Itab.find_idx m.not_cache n.uid in
-      if i >= 0 then Itab.value m.not_cache i
+      if i >= 0 then begin
+        Obs.incr c_not_hit;
+        Itab.value m.not_cache i
+      end
       else begin
+        Obs.incr c_not_miss;
         let r = mk m n.v (bnot_rec m n.lo) (bnot_rec m n.hi) in
         Itab.add m.not_cache n.uid r;
         r
@@ -529,8 +573,12 @@ let rec band_rec m a b =
           if na.uid <= nb.uid then pack2 na.uid nb.uid else pack2 nb.uid na.uid
         in
         let i = Itab.find_idx m.and_cache key in
-        if i >= 0 then Itab.value m.and_cache i
+        if i >= 0 then begin
+          Obs.incr c_and_hit;
+          Itab.value m.and_cache i
+        end
         else begin
+          Obs.incr c_and_miss;
           let v = min na.v nb.v in
           let alo, ahi = cof a v and blo, bhi = cof b v in
           let r = mk m v (band_rec m alo blo) (band_rec m ahi bhi) in
@@ -555,8 +603,12 @@ let rec bor_rec m a b =
           if na.uid <= nb.uid then pack2 na.uid nb.uid else pack2 nb.uid na.uid
         in
         let i = Itab.find_idx m.or_cache key in
-        if i >= 0 then Itab.value m.or_cache i
+        if i >= 0 then begin
+          Obs.incr c_or_hit;
+          Itab.value m.or_cache i
+        end
         else begin
+          Obs.incr c_or_miss;
           let v = min na.v nb.v in
           let alo, ahi = cof a v and blo, bhi = cof b v in
           let r = mk m v (bor_rec m alo blo) (bor_rec m ahi bhi) in
@@ -578,8 +630,12 @@ let rec bxor_rec m a b =
           if na.uid <= nb.uid then pack2 na.uid nb.uid else pack2 nb.uid na.uid
         in
         let i = Itab.find_idx m.xor_cache key in
-        if i >= 0 then Itab.value m.xor_cache i
+        if i >= 0 then begin
+          Obs.incr c_xor_hit;
+          Itab.value m.xor_cache i
+        end
         else begin
+          Obs.incr c_xor_miss;
           let v = min na.v nb.v in
           let alo, ahi = cof a v and blo, bhi = cof b v in
           let r = mk m v (bxor_rec m alo blo) (bxor_rec m ahi bhi) in
@@ -606,8 +662,12 @@ let rec ite_rec m c t e =
       else begin
         let ka = pack2 (id c) (id t) and kb = id e in
         let i = Itab2.find_idx m.ite_cache ka kb in
-        if i >= 0 then Itab2.value m.ite_cache i
+        if i >= 0 then begin
+          Obs.incr c_ite_hit;
+          Itab2.value m.ite_cache i
+        end
         else begin
+          Obs.incr c_ite_miss;
           let v = min (level c) (min (level t) (level e)) in
           let clo, chi = cof c v
           and tlo, thi = cof t v

@@ -1,5 +1,12 @@
 module Budget = Simcov_util.Budget
 module Json = Simcov_util.Json
+module Obs = Simcov_obs.Obs
+
+let c_batches = Obs.counter "campaign.batches"
+let c_sim_steps = Obs.counter "campaign.sim_steps"
+let c_faults_evaluated = Obs.counter "campaign.faults_evaluated"
+let tm_batch = Obs.timer "campaign.batch"
+let g_throughput = Obs.gauge "campaign.sim_steps_per_s"
 
 type verdict = {
   detected : bool;
@@ -129,6 +136,16 @@ module Make (B : BACKEND) = struct
              truncated := Some res;
              raise Stop_run
          | None -> ());
+         Obs.span tm_batch
+           ~fields:(fun () ->
+             [
+               ("backend", Json.String B.name);
+               ("batch", Json.Int bi);
+               ("detected", Json.Int !detected);
+               ("sim_steps", Json.Int !sim_steps);
+             ])
+         @@ fun () ->
+         Obs.incr c_batches;
          let lo = bi * width in
          let bw = min width (n - lo) in
          let sub = Array.sub eff lo bw in
@@ -141,6 +158,7 @@ module Make (B : BACKEND) = struct
                 if !active = 0 then raise Stop_batch;
                 let ev = B.step batch ~active:!active stim in
                 incr sim_steps;
+                Obs.incr c_sim_steps;
                 iter_bits (ev.excited land !active) (fun l ->
                     if exc_step.(l) < 0 then exc_step.(l) <- step);
                 let newly_det = ev.detected land !active in
@@ -164,6 +182,7 @@ module Make (B : BACKEND) = struct
            verdicts := (sub.(l), v) :: !verdicts
          done;
          evaluated := lo + bw;
+         Obs.add c_faults_evaluated bw;
          match on_batch with
          | None -> ()
          | Some f ->
@@ -179,6 +198,10 @@ module Make (B : BACKEND) = struct
                }
        done
      with Stop_run -> ());
+    let elapsed = Unix.gettimeofday () -. t0 in
+    if elapsed > 1e-9 then
+      Obs.set g_throughput
+        (int_of_float (float_of_int !sim_steps /. elapsed));
     let report =
       {
         backend = B.name;

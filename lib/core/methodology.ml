@@ -1,5 +1,7 @@
 open Simcov_dlx
 module Budget = Simcov_util.Budget
+module Obs = Simcov_obs.Obs
+module Json = Simcov_util.Json
 
 type tier = Partitioned_symbolic | Monolithic_symbolic | Explicit
 
@@ -62,12 +64,22 @@ let symbolic_figures ~budget model =
       degradations = List.rev notes;
     }
   in
+  let degrade tier note =
+    Obs.event "methodology.degrade" ~fields:(fun () ->
+        [ ("tier", Json.String (tier_name tier)); ("note", Json.String note) ])
+  in
   match attempt Partitioned_symbolic with
   | Ok f -> f
   | Error note1 -> (
+      degrade Partitioned_symbolic note1;
       match attempt Monolithic_symbolic with
       | Ok f -> { f with degradations = [ note1 ] }
-      | Error note2 -> explicit [ note2; note1 ])
+      | Error note2 ->
+          degrade Monolithic_symbolic note2;
+          (* the explicit tier allocates no BDD nodes: stop consulting
+             the abandoned manager's live-node probe (budget.mli) *)
+          Budget.set_node_probe budget None;
+          explicit [ note2; note1 ])
 
 type run_report = {
   config : Testmodel.config;
@@ -84,6 +96,7 @@ type run_report = {
   n_bugs_detected : int;
   bug_coverage : (string * Pipeline.bugs) Simcov_campaign.Campaign.report;
   fsm_fault_coverage : Simcov_coverage.Detect.report;
+  timings : (string * float) list;
 }
 
 let campaigns_truncated r =
@@ -104,48 +117,67 @@ let validate_dlx ?(config = Testmodel.default) ?(seed = 2026)
     ?(budget = Budget.unlimited) () =
   let open Simcov_fsm in
   let rng = Simcov_util.Rng.create seed in
-  let lint_errors = lint_gate ~budget in
+  (* per-figure wall clock: each phase is both recorded in the report
+     (timings, in run order) and observed on a methodology.<phase>
+     timer so it lands in the metrics snapshot *)
+  let timings = ref [] in
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    let r = Obs.span (Obs.timer ("methodology." ^ name)) f in
+    timings := (name, Unix.gettimeofday () -. t0) :: !timings;
+    r
+  in
+  let lint_errors = timed "lint" (fun () -> lint_gate ~budget) in
   Budget.check budget;
-  let model = Fsm.tabulate (Testmodel.build config) in
+  let model = timed "tabulate" (fun () -> Fsm.tabulate (Testmodel.build config)) in
   Budget.check budget;
-  let symbolic = symbolic_figures ~budget model in
+  let symbolic = timed "symbolic" (fun () -> symbolic_figures ~budget model) in
   Budget.check budget;
-  let requirements = Requirements.check ~rng:(Simcov_util.Rng.split rng) model in
+  let requirements =
+    timed "requirements" (fun () ->
+        Requirements.check ~rng:(Simcov_util.Rng.split rng) model)
+  in
   Budget.check budget;
-  let certificate = Completeness.certify model in
+  let certificate = timed "certificate" (fun () -> Completeness.certify model) in
   Budget.check budget;
   (* the tour itself: fall back to the greedy cover if the optimal
      solver is unavailable (cannot happen for these models, which are
      strongly connected) *)
   let word =
-    match certificate with
-    | Ok cert -> Completeness.padded_tour model cert
-    | Error _ -> (
-        match Simcov_testgen.Tour.greedy_transition_tour model with
-        | Some t -> t.Simcov_testgen.Tour.word
-        | None -> (Simcov_testgen.Tour.transition_cover model).Simcov_testgen.Tour.word)
+    timed "tour" (fun () ->
+        match certificate with
+        | Ok cert -> Completeness.padded_tour model cert
+        | Error _ -> (
+            match Simcov_testgen.Tour.greedy_transition_tour model with
+            | Some t -> t.Simcov_testgen.Tour.word
+            | None ->
+                (Simcov_testgen.Tour.transition_cover model).Simcov_testgen.Tour.word))
   in
   Budget.check budget;
-  let conc = Testmodel.concretize config word in
+  let conc = timed "concretize" (fun () -> Testmodel.concretize config word) in
   (* the two fault campaigns are budget-aware themselves: exhaustion
      mid-campaign yields a truncated partial report instead of an
      exception, so no Budget.check separates them *)
   let bug_campaign =
-    Validate.bug_campaign_tests ~budget
-      [
-        Validate.test_program ~preload_regs:conc.Testmodel.preload_regs
-          ~preload_mem:conc.Testmodel.preload_mem conc.Testmodel.program;
-      ]
+    timed "bug_campaign" (fun () ->
+        Validate.bug_campaign_tests ~budget
+          [
+            Validate.test_program ~preload_regs:conc.Testmodel.preload_regs
+              ~preload_mem:conc.Testmodel.preload_mem conc.Testmodel.program;
+          ])
   in
   let fsm_fault_coverage =
-    let n_outputs =
-      List.fold_left (fun acc (_, _, _, o) -> max acc (o + 1)) 1 (Fsm.transitions model)
-    in
-    let faults =
-      Simcov_coverage.Fault.sample_transfer_faults rng model ~count:150
-      @ Simcov_coverage.Fault.sample_output_faults rng model ~n_outputs ~count:150
-    in
-    Simcov_coverage.Detect.campaign ~budget model faults word
+    timed "fsm_campaign" (fun () ->
+        let n_outputs =
+          List.fold_left
+            (fun acc (_, _, _, o) -> max acc (o + 1))
+            1 (Fsm.transitions model)
+        in
+        let faults =
+          Simcov_coverage.Fault.sample_transfer_faults rng model ~count:150
+          @ Simcov_coverage.Fault.sample_output_faults rng model ~n_outputs ~count:150
+        in
+        Simcov_coverage.Detect.campaign ~budget model faults word)
   in
   {
     config;
@@ -162,6 +194,7 @@ let validate_dlx ?(config = Testmodel.default) ?(seed = 2026)
     n_bugs_detected = bug_campaign.Validate.n_detected;
     bug_coverage = bug_campaign.Validate.report;
     fsm_fault_coverage;
+    timings = List.rev !timings;
   }
 
 type ablation_report = {
@@ -271,4 +304,8 @@ let pp_run_report ppf r =
     (fun (name, det) ->
       Format.fprintf ppf "  %-24s %s@," name (if det then "DETECTED" else "missed"))
     r.bug_results;
+  Format.fprintf ppf "phase wall times:";
+  List.iter
+    (fun (name, s) -> Format.fprintf ppf "@,  %-24s %.3f s" name s)
+    r.timings;
   Format.fprintf ppf "@]"

@@ -47,6 +47,11 @@ type run_report = {
           [truncated] when the budget ran out mid-campaign) *)
   fsm_fault_coverage : Simcov_coverage.Detect.report;
       (** FSM-level fault injection on the test model itself *)
+  timings : (string * float) list;
+      (** wall-clock seconds per phase, in run order (lint, tabulate,
+          symbolic, requirements, certificate, tour, concretize,
+          bug_campaign, fsm_campaign); the same durations are observed
+          on the [methodology.<phase>] metrics timers *)
 }
 
 val campaigns_truncated : run_report -> bool

@@ -1,5 +1,8 @@
 open Simcov_fsm
 module Campaign = Simcov_campaign.Campaign
+module Obs = Simcov_obs.Obs
+
+let c_lanes_diverged = Obs.counter "campaign.lanes_diverged"
 
 type verdict = Campaign.verdict = {
   detected : bool;
@@ -143,6 +146,12 @@ module Fsm_backend = struct
 
   let step b ~active i =
     let k = b.tab.Fsm.tab_inputs in
+    (* out-of-alphabet stimuli are invalid in every state, golden and
+       mutant alike: halt with no verdicts, exactly like the scalar
+       reference. Indexing the flat tables with such an [i] would
+       alias into the next state's row instead. *)
+    if i < 0 || i >= k then { Campaign.excited = 0; detected = 0; halt = true }
+    else
     let gi = (b.sg * k) + i in
     let vg = b.tab.Fsm.tab_valid.(gi) in
     let detected = ref 0 in
@@ -189,7 +198,10 @@ module Fsm_backend = struct
           (excited land b.tr_mask land lnot dv land active)
           (fun l ->
             b.mstate.(l) <- b.wrong.(l);
-            if b.wrong.(l) <> sg' then b.diverged <- b.diverged lor (1 lsl l));
+            if b.wrong.(l) <> sg' then begin
+              b.diverged <- b.diverged lor (1 lsl l);
+              Obs.incr c_lanes_diverged
+            end);
       end;
       b.gprev <- gi;
       b.sg <- sg';

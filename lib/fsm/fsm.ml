@@ -73,7 +73,10 @@ let tabulate m =
   let t = tables m in
   {
     m with
-    valid = (fun s i -> t.tab_valid.((s * k) + i));
+    (* bounds-check the input: an out-of-alphabet [i] must read as
+       invalid, not alias into state [s+1]'s row of the flat table
+       (or run off its end at the last state) *)
+    valid = (fun s i -> i >= 0 && i < k && t.tab_valid.((s * k) + i));
     next = (fun s i -> t.tab_next.((s * k) + i));
     output = (fun s i -> t.tab_output.((s * k) + i));
   }

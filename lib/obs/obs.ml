@@ -1,0 +1,127 @@
+module Json = Simcov_util.Json
+
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : int }
+
+type timer = {
+  t_name : string;
+  mutable spans : int;
+  mutable total_s : float;
+}
+
+(* Registries keyed by name. Metrics are created once (typically at
+   module-init of the instrumented engine) and live for the process;
+   snapshot output is sorted by name so it does not depend on link or
+   creation order. *)
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; count = 0 } in
+      Hashtbl.add counters name c;
+      c
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; value = 0 } in
+      Hashtbl.add gauges name g;
+      g
+
+let timer name =
+  match Hashtbl.find_opt timers name with
+  | Some t -> t
+  | None ->
+      let t = { t_name = name; spans = 0; total_s = 0.0 } in
+      Hashtbl.add timers name t;
+      t
+
+let[@inline] incr c = c.count <- c.count + 1
+let[@inline] add c n = c.count <- c.count + n
+let[@inline] set g v = g.value <- v
+let[@inline] set_max g v = if v > g.value then g.value <- v
+
+let observe t dt =
+  t.spans <- t.spans + 1;
+  t.total_s <- t.total_s +. dt
+
+(* ---- tracing ---- *)
+
+let sink : (string -> unit) option ref = ref None
+let trace_epoch = ref (Unix.gettimeofday ())
+
+let set_sink s =
+  (match s with Some _ -> trace_epoch := Unix.gettimeofday () | None -> ());
+  sink := s
+
+let tracing () = !sink <> None
+
+let emit name extra_fields fields =
+  match !sink with
+  | None -> ()
+  | Some emit ->
+      let t_s = Unix.gettimeofday () -. !trace_epoch in
+      emit
+        (Json.to_string ~indent:0
+           (Json.Obj
+              (("ev", Json.String name)
+              :: ("t_s", Json.Float t_s)
+              :: (extra_fields @ fields ()))))
+
+let event ?(fields = fun () -> []) name =
+  if !sink <> None then emit name [] fields
+
+let span t ?(fields = fun () -> []) f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      observe t dt;
+      if !sink <> None then emit t.t_name [ ("dur_s", Json.Float dt) ] fields)
+    f
+
+(* ---- snapshot ---- *)
+
+let clock_epoch = ref (Unix.gettimeofday ())
+
+let sorted tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot ?(extra = []) () =
+  Json.Obj
+    ([
+       ("schema", Json.String "simcov-metrics/1");
+       ("wall_clock_s", Json.Float (Unix.gettimeofday () -. !clock_epoch));
+       ( "counters",
+         Json.Obj (List.map (fun (k, c) -> (k, Json.Int c.count)) (sorted counters))
+       );
+       ( "gauges",
+         Json.Obj (List.map (fun (k, g) -> (k, Json.Int g.value)) (sorted gauges))
+       );
+       ( "timers",
+         Json.Obj
+           (List.map
+              (fun (k, t) ->
+                ( k,
+                  Json.Obj
+                    [ ("count", Json.Int t.spans); ("total_s", Json.Float t.total_s) ]
+                ))
+              (sorted timers)) );
+     ]
+    @ extra)
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.value <- 0) gauges;
+  Hashtbl.iter
+    (fun _ t ->
+      t.spans <- 0;
+      t.total_s <- 0.0)
+    timers;
+  clock_epoch := Unix.gettimeofday ()

@@ -1,0 +1,99 @@
+(** Unified observability: metrics and tracing for the simulation
+    engines.
+
+    One process-wide registry of named metrics — monotonic {!counter}s,
+    last-value {!gauge}s and accumulating wall-clock {!timer}s — plus
+    an optional JSONL trace sink for per-event detail. The engines
+    (BDD kernel, symbolic traversal, campaign driver) increment these
+    unconditionally; the registry is rendered on demand as one
+    [simcov-metrics/1] JSON snapshot.
+
+    {b Overhead contract.} The layer must be near-free when nobody is
+    looking:
+    - {!incr} / {!add} / {!set} / {!set_max} are single int field
+      mutations on a preallocated record — no allocation, no branch on
+      an "enabled" flag. These are safe in the hottest loops (BDD cache
+      probes).
+    - {!observe} adds a float to an accumulator; {!span} additionally
+      pays two clock reads. Use them at batch/iteration granularity,
+      not per node.
+    - {!event} and the [?fields] thunks of {!span} are lazy: with no
+      sink installed the cost is one [ref] load and a branch; field
+      lists are only computed (and JSON only rendered) when a sink is
+      present.
+
+    Metric values are plain [int]s / [float]s in module-level records,
+    so state is global to the process: callers that want a
+    per-command view call {!reset} first (the CLI does, once per
+    subcommand). *)
+
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : int }
+
+type timer = {
+  t_name : string;
+  mutable spans : int;  (** number of observed spans *)
+  mutable total_s : float;  (** accumulated wall time *)
+}
+
+val counter : string -> counter
+(** [counter name] returns the registered counter for [name], creating
+    it (at zero) on first use. Names are conventionally dotted paths,
+    e.g. ["bdd.cache.and.hits"]. *)
+
+val gauge : string -> gauge
+val timer : string -> timer
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val set : gauge -> int -> unit
+
+val set_max : gauge -> int -> unit
+(** Keep the running maximum: [set_max g v] is [set g v] only when [v]
+    exceeds the current value. *)
+
+val observe : timer -> float -> unit
+(** Record one span of the given duration (seconds). *)
+
+val span :
+  timer ->
+  ?fields:(unit -> (string * Simcov_util.Json.t) list) ->
+  (unit -> 'a) ->
+  'a
+(** [span t f] times [f ()], {!observe}s the duration on [t], and — if
+    a trace sink is installed — emits a trace event named [t.t_name]
+    with a [dur_s] field plus [fields ()]. The duration is recorded
+    even when [f] raises. *)
+
+(** {1 Tracing}
+
+    A trace sink receives one minified JSON object per line:
+    [{"ev": <name>, "t_s": <seconds since sink install>, ...fields}].
+    Spans add ["dur_s"]. *)
+
+val set_sink : (string -> unit) option -> unit
+(** Install ([Some emit]) or remove ([None]) the process-wide trace
+    sink. Installing resets the trace clock. *)
+
+val tracing : unit -> bool
+
+val event :
+  ?fields:(unit -> (string * Simcov_util.Json.t) list) -> string -> unit
+(** Emit a trace event. Free (one branch) when no sink is installed;
+    [fields] is never called in that case. *)
+
+(** {1 Snapshot} *)
+
+val snapshot : ?extra:(string * Simcov_util.Json.t) list -> unit -> Simcov_util.Json.t
+(** The [simcov-metrics/1] snapshot: an object with [schema],
+    [wall_clock_s] (seconds since process start or last {!reset}),
+    [counters] (name → int), [gauges] (name → int) and [timers]
+    (name → [{count, total_s}]), each sorted by name. [extra] fields
+    are appended at the top level. Every metric ever registered in the
+    process appears, including untouched ones (at zero), so the field
+    set is stable for a given binary. *)
+
+val reset : unit -> unit
+(** Zero every registered metric and restart the snapshot clock. Does
+    not touch the trace sink. *)

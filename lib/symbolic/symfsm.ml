@@ -1,5 +1,11 @@
 open Simcov_bdd
 module Budget = Simcov_util.Budget
+module Obs = Simcov_obs.Obs
+module Json = Simcov_util.Json
+
+let c_iterations = Obs.counter "symfsm.iterations"
+let c_images = Obs.counter "symfsm.images"
+let tm_iteration = Obs.timer "symfsm.iteration"
 
 type part = { rel : Bdd.t; supp : int list }
 
@@ -122,7 +128,14 @@ let register_roots t =
   t
 
 let man_for ~budget n =
-  Bdd.man ?max_nodes:(Budget.max_nodes budget) n
+  let man = Bdd.man ?max_nodes:(Budget.max_nodes budget) n in
+  (* secondary node-budget enforcement (see budget.mli): the budget can
+     now report Nodes from [exceeded]/[check] on behalf of this
+     manager. Single slot, last wins — exactly right for the
+     degradation ladder, where each tier abandons the previous
+     manager. *)
+  Budget.set_node_probe budget (Some (fun () -> (Bdd.gc_stats man).Bdd.live));
+  man
 
 let of_circuit ?(budget = Budget.unlimited) (c : Simcov_netlist.Circuit.t) =
   let open Simcov_netlist in
@@ -326,7 +339,7 @@ let traverse ?(partitioned = true) ?(frontier = true) ?(budget = Budget.unlimite
   let stats = ref [] in
   let images = ref 0 in
   let record ~iteration ~front ~reached ~dt =
-    stats :=
+    let stat =
       {
         iteration;
         frontier_states = count_states t front;
@@ -335,7 +348,19 @@ let traverse ?(partitioned = true) ?(frontier = true) ?(budget = Budget.unlimite
         live_nodes = Bdd.node_count t.man;
         time_s = dt;
       }
-      :: !stats
+    in
+    Obs.incr c_iterations;
+    Obs.observe tm_iteration dt;
+    Obs.event "symfsm.iteration" ~fields:(fun () ->
+        [
+          ("iteration", Json.Int stat.iteration);
+          ("frontier_states", Json.Float stat.frontier_states);
+          ("frontier_nodes", Json.Int stat.frontier_nodes);
+          ("reached_nodes", Json.Int stat.reached_nodes);
+          ("live_nodes", Json.Int stat.live_nodes);
+          ("dur_s", Json.Float dt);
+        ]);
+    stats := stat :: !stats
   in
   let finish ?truncated reached iterations =
     {
@@ -372,6 +397,7 @@ let traverse ?(partitioned = true) ?(frontier = true) ?(budget = Budget.unlimite
               match
                 let im = img front in
                 incr images;
+                Obs.incr c_images;
                 (* [im] stays live across the bnot below: pin it *)
                 let fresh =
                   Bdd.pinned t.man im (fun () ->
@@ -404,6 +430,7 @@ let traverse ?(partitioned = true) ?(frontier = true) ?(budget = Budget.unlimite
               match
                 let im = img set in
                 incr images;
+                Obs.incr c_images;
                 let next = Bdd.bor t.man set im in
                 Bdd.set_root t.man r_reached next;
                 Bdd.set_root t.man r_front next;

@@ -1,6 +1,10 @@
 open Simcov_bdd
 open Simcov_netlist
 module Budget = Simcov_util.Budget
+module Obs = Simcov_obs.Obs
+
+let c_steps = Obs.counter "symtour.steps"
+let tm_generate = Obs.timer "symtour.generate"
 
 type progress = { steps : int; covered : float; total : float }
 
@@ -38,6 +42,7 @@ let member (sym : Symfsm.t) set state =
       if v < 2 * sym.Symfsm.n_state_vars && v mod 2 = 0 then state.(v / 2) else false)
 
 let generate ?(max_steps = 100_000) ?(budget = Budget.unlimited) (circuit : Circuit.t) =
+  Obs.span tm_generate @@ fun () ->
   let sym = Symfsm.of_circuit ~budget circuit in
   let man = sym.Symfsm.man in
   let tr = Symfsm.reachable_stats ~budget sym in
@@ -60,7 +65,8 @@ let generate ?(max_steps = 100_000) ?(budget = Budget.unlimited) (circuit : Circ
     let state', _ = Circuit.step circuit !state iv in
     state := state';
     word := iv :: !word;
-    incr steps
+    incr steps;
+    Obs.incr c_steps
   in
   let uncovered () = Bdd.band man target (Bdd.bnot man !covered) in
   (* an uncovered transition out of the current state, if any *)

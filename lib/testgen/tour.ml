@@ -152,13 +152,16 @@ let random_word rng (m : Fsm.t) ~length =
 
 let word_is_tour (m : Fsm.t) word =
   let covered = Hashtbl.create 1024 in
+  (* an invalid input anywhere rejects the whole word — silently
+     dropping the suffix would accept a non-replayable "tour" whose
+     covering prefix happens to be complete *)
   let rec go s = function
-    | [] -> ()
+    | [] -> true
     | i :: rest ->
-        if m.Fsm.valid s i then begin
-          Hashtbl.replace covered (s, i) ();
-          go (m.Fsm.next s i) rest
-        end
+        m.Fsm.valid s i
+        && begin
+             Hashtbl.replace covered (s, i) ();
+             go (m.Fsm.next s i) rest
+           end
   in
-  go m.Fsm.reset word;
-  Hashtbl.length covered = Fsm.n_transitions m
+  go m.Fsm.reset word && Hashtbl.length covered = Fsm.n_transitions m

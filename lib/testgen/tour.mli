@@ -51,4 +51,8 @@ val random_word : Simcov_util.Rng.t -> Fsm.t -> length:int -> int list
     state). Stops early only if a state has no valid input. *)
 
 val word_is_tour : Fsm.t -> int list -> bool
-(** Check that a word is a transition tour (coverage, not minimality). *)
+(** Check that a word is a transition tour (coverage, not minimality).
+    A word containing an input that is invalid in the state where it
+    is applied is rejected outright — even if the prefix before the
+    invalid input already covers every transition — because such a
+    word cannot be replayed on the implementation. *)

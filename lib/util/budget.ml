@@ -9,9 +9,14 @@ type t = {
   max_steps : int option;
   max_nodes : int option;
   mutable steps : int;
+  mutable node_probe : (unit -> int) option;
+      (* live-node reading registered by the engine that owns the
+         node-bearing resource (a BDD manager); see budget.mli for the
+         enforcement split *)
 }
 
-let unlimited = { deadline = None; max_steps = None; max_nodes = None; steps = 0 }
+let unlimited =
+  { deadline = None; max_steps = None; max_nodes = None; steps = 0; node_probe = None }
 
 let create ?timeout_s ?max_steps ?max_nodes () =
   let deadline =
@@ -27,17 +32,28 @@ let create ?timeout_s ?max_steps ?max_nodes () =
   (match max_nodes with
   | Some n when n <= 0 -> invalid_arg "Budget.create: non-positive node budget"
   | _ -> ());
-  { deadline; max_steps; max_nodes; steps = 0 }
+  { deadline; max_steps; max_nodes; steps = 0; node_probe = None }
 
 let is_unlimited t = t.deadline = None && t.max_steps = None && t.max_nodes = None
 let max_nodes t = t.max_nodes
 let steps_used t = t.steps
 
+let set_node_probe t probe =
+  (* the shared [unlimited] singleton must stay stateless (cf. [step]) *)
+  if t != unlimited then t.node_probe <- probe
+
+let live_nodes t = Option.map (fun probe -> probe ()) t.node_probe
+
 let exceeded t =
   match t.deadline with
   | Some d when Unix.gettimeofday () >= d -> Some Time
   | _ -> (
-      match t.max_steps with Some m when t.steps >= m -> Some Steps | _ -> None)
+      match t.max_steps with
+      | Some m when t.steps >= m -> Some Steps
+      | _ -> (
+          match (t.max_nodes, t.node_probe) with
+          | Some m, Some probe when probe () > m -> Some Nodes
+          | _ -> None))
 
 let check t =
   match exceeded t with None -> () | Some r -> raise (Budget_exceeded r)

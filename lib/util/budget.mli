@@ -42,6 +42,39 @@ val max_nodes : t -> int option
 
 val steps_used : t -> int
 
+(** {1 The node-budget enforcement split}
+
+    Unlike time and steps, which this module measures itself, live BDD
+    nodes are a resource the budget cannot see on its own. Enforcement
+    is therefore split:
+
+    - {e Primary}: the engine that allocates nodes caps itself. A BDD
+      manager created with [?max_nodes:(max_nodes budget)] enforces
+      the allowance in-kernel — collect-and-retry at the ceiling, then
+      [Node_limit] / graceful degradation. Under this regime the live
+      count never {e exceeds} the allowance, so the budget's own check
+      stays quiet.
+    - {e Secondary}: the engine registers a live-node probe with
+      {!set_node_probe}; {!exceeded} / {!check} then also report
+      [Nodes] whenever the probe reads {e strictly above} the
+      allowance. This catches engines that track nodes without
+      enforcing the cap themselves, and makes [exceeded] an accurate
+      oracle for loops (campaign batches, tour steps) that poll the
+      budget but never touch BDDs.
+    - A command with no node-bearing engine never registers a probe;
+      a node allowance passed to it is inert, which the CLI surfaces
+      as a warning rather than silently accepting the flag. *)
+
+val set_node_probe : t -> (unit -> int) option -> unit
+(** Install (or clear, with [None]) the live-node probe. A single
+    slot: the engine registered last wins, which is what the
+    degradation ladder wants — an abandoned tier's manager must stop
+    being consulted. No-op on {!unlimited} (the shared singleton stays
+    stateless). *)
+
+val live_nodes : t -> int option
+(** The probe's current reading, if one is registered. *)
+
 val check : t -> unit
 (** @raise Budget_exceeded if the deadline has passed or the step
     budget is already spent. Cheap enough to call per iteration. *)

@@ -26,7 +26,10 @@ let escape_to buf s =
   Buffer.add_char buf '"'
 
 let float_to_string f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  (* JSON has no nan/inf literals; "%.17g" would print them verbatim
+     and produce output every parser (including ours) rejects *)
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else Printf.sprintf "%.17g" f
 
 let to_string ?(indent = 2) v =

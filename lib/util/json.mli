@@ -19,7 +19,11 @@ type t =
 val to_string : ?indent:int -> t -> string
 (** Render. [indent] > 0 pretty-prints with that step (default 2);
     [indent = 0] minifies. Object key order is preserved. Strings are
-    escaped per RFC 8259 (control characters as [\uXXXX]). *)
+    escaped per RFC 8259 (control characters as [\uXXXX]). A
+    non-finite [Float] (nan, [infinity], [neg_infinity]) renders as
+    [null] — JSON has no literal for it, so it round-trips as {!Null},
+    not as a number. Negative zero renders as [-0.0] and survives a
+    round-trip exactly. *)
 
 val parse : string -> (t, string) result
 (** Total: any malformed input yields [Error msg] with a character

@@ -119,6 +119,40 @@ let qcheck_batched_eq_scalar_partial =
         (Detect.campaign_scalar m faults word)
         (Detect.campaign_outcome m faults word))
 
+(* out-of-alphabet stimuli: an input >= n_inputs is invalid in every
+   state. The flat-table paths (tabulate's wrappers, the batched
+   backend's site keys) used to index [s * k + i] with such an input,
+   aliasing into state s+1's row — phantom transitions, phantom site
+   hits, and an out-of-bounds read at the last state. QCheck found the
+   original instance at seed 31382. *)
+let test_out_of_alphabet_inputs () =
+  let m =
+    Fsm.tabulate
+      (Fsm.of_table [ (0, 0, 1, 0); (0, 1, 2, 1); (1, 0, 2, 0); (2, 0, 0, 2) ])
+  in
+  (* tabulate's valid must bounds-check, including at the last state
+     where the aliased index would run off the table *)
+  Alcotest.(check bool) "input 2 invalid at s0" false (m.Fsm.valid 0 2);
+  Alcotest.(check bool) "input 2 invalid at last state" false (m.Fsm.valid 2 2);
+  Alcotest.(check bool) "input -1 invalid" false (m.Fsm.valid 1 (-1));
+  let faults =
+    List.filter (Fault.is_effective m)
+      (Fault.all_transfer_faults m @ Fault.all_output_faults m)
+  in
+  Alcotest.(check bool) "population not empty" true (faults <> []);
+  (* golden accepts the prefix [0; 0], then input 3 halts the word for
+     golden and every mutant alike: nothing after it may count *)
+  List.iter
+    (fun word ->
+      ignore
+        (check_outcomes_agree ~what:"out-of-alphabet word"
+           (Detect.campaign_scalar m faults word)
+           (Detect.campaign_outcome m faults word)))
+    [ [ 3 ]; [ 2; 0; 0 ]; [ 0; 0; 3; 0; 1 ]; [ 0; 2; 1; 0 ]; [ 0; 0; 0; 5 ] ];
+  let halted = Detect.campaign m faults [ 3; 0; 0; 0 ] in
+  Alcotest.(check int) "nothing detected past the halt" 0
+    halted.Campaign.detected
+
 (* lane-boundary fault counts: 1, Sys.int_size - 1, exactly one word,
    one word + 1, two words + 1 *)
 let test_lane_boundaries () =
@@ -338,6 +372,8 @@ let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_batched_eq_scalar;
     QCheck_alcotest.to_alcotest qcheck_batched_eq_scalar_partial;
+    Alcotest.test_case "out-of-alphabet inputs halt like scalar" `Quick
+      test_out_of_alphabet_inputs;
     Alcotest.test_case "lane boundaries 1/62/63/64/127" `Quick test_lane_boundaries;
     Alcotest.test_case "budget truncation is prefix-consistent" `Quick
       test_budget_truncation_prefix;

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "simcov"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("graph", Test_graph.suite);
       ("bdd", Test_bdd.suite);
       ("fsm", Test_fsm.suite);

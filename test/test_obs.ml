@@ -1,0 +1,264 @@
+(* The observability layer: metric registry semantics, the
+   simcov-metrics/1 snapshot, trace sinks, and the counters' agreement
+   with the engines' own statistics. Every test resets the global
+   registry first — metrics are process-wide by design. *)
+
+module Obs = Simcov_obs.Obs
+module Json = Simcov_util.Json
+module Budget = Simcov_util.Budget
+module Bdd = Simcov_bdd.Bdd
+
+let get_int json path =
+  let rec go json = function
+    | [] -> Json.to_int_opt json
+    | k :: rest -> Option.bind (Json.member k json) (fun v -> go v rest)
+  in
+  match go json path with
+  | Some v -> v
+  | None -> Alcotest.failf "missing int at %s" (String.concat "." path)
+
+let test_registry_create_on_first_use () =
+  Obs.reset ();
+  let c1 = Obs.counter "test.counter" in
+  let c2 = Obs.counter "test.counter" in
+  Alcotest.(check bool) "same cell" true (c1 == c2);
+  Obs.incr c1;
+  Obs.add c1 4;
+  Alcotest.(check int) "visible through alias" 5 c2.Obs.count;
+  let g = Obs.gauge "test.gauge" in
+  Obs.set g 7;
+  Obs.set_max g 3;
+  Alcotest.(check int) "set_max keeps maximum" 7 g.Obs.value;
+  Obs.set_max g 11;
+  Alcotest.(check int) "set_max raises" 11 g.Obs.value
+
+let test_snapshot_schema () =
+  Obs.reset ();
+  let c = Obs.counter "test.snap.counter" in
+  let g = Obs.gauge "test.snap.gauge" in
+  let t = Obs.timer "test.snap.timer" in
+  Obs.add c 42;
+  Obs.set g 9;
+  Obs.observe t 0.25;
+  Obs.observe t 0.5;
+  (* the snapshot must round-trip through its own JSON renderer *)
+  let json =
+    match Json.parse (Json.to_string (Obs.snapshot ())) with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "snapshot is not valid JSON: %s" e
+  in
+  Alcotest.(check bool)
+    "schema tag" true
+    (Json.member "schema" json = Some (Json.String "simcov-metrics/1"));
+  Alcotest.(check bool) "wall clock present" true
+    (Json.member "wall_clock_s" json <> None);
+  Alcotest.(check int) "counter value" 42 (get_int json [ "counters"; "test.snap.counter" ]);
+  Alcotest.(check int) "gauge value" 9 (get_int json [ "gauges"; "test.snap.gauge" ]);
+  Alcotest.(check int) "timer span count" 2
+    (get_int json [ "timers"; "test.snap.timer"; "count" ]);
+  (* instrumented-engine metrics are registered at module init, so they
+     appear (at zero) in every snapshot: the field set is stable *)
+  List.iter
+    (fun name -> ignore (get_int json [ "counters"; name ]))
+    [
+      "bdd.cache.and.hit"; "bdd.cache.and.miss"; "bdd.cache.or.hit";
+      "bdd.cache.xor.hit"; "bdd.cache.not.hit"; "bdd.cache.ite.hit";
+      "bdd.unique.hit"; "bdd.unique.miss"; "bdd.gc.runs"; "bdd.gc.reclaimed";
+      "symfsm.iterations"; "symfsm.images"; "campaign.batches";
+      "campaign.sim_steps"; "campaign.faults_evaluated";
+      "campaign.lanes_diverged";
+    ];
+  Obs.reset ();
+  Alcotest.(check int) "reset zeroes counters" 0
+    (get_int (Obs.snapshot ()) [ "counters"; "test.snap.counter" ])
+
+let test_trace_sink () =
+  Obs.reset ();
+  let lines = ref [] in
+  Obs.set_sink (Some (fun l -> lines := l :: !lines));
+  Alcotest.(check bool) "tracing on" true (Obs.tracing ());
+  Obs.event "test.ev" ~fields:(fun () -> [ ("k", Json.Int 3) ]);
+  let tm = Obs.timer "test.trace.span" in
+  let r = Obs.span tm (fun () -> 17) in
+  Alcotest.(check int) "span returns" 17 r;
+  Obs.set_sink None;
+  Alcotest.(check bool) "tracing off" false (Obs.tracing ());
+  (* fields thunk must not run without a sink *)
+  Obs.event "test.silent" ~fields:(fun () -> Alcotest.fail "fields forced");
+  let parsed =
+    List.rev_map
+      (fun l ->
+        match Json.parse l with
+        | Ok v -> v
+        | Error e -> Alcotest.failf "trace line is not JSON: %s" e)
+      !lines
+  in
+  Alcotest.(check int) "two events" 2 (List.length parsed);
+  (match parsed with
+  | [ ev; sp ] ->
+      Alcotest.(check bool) "ev name" true
+        (Json.member "ev" ev = Some (Json.String "test.ev"));
+      Alcotest.(check int) "ev field" 3 (get_int ev [ "k" ]);
+      Alcotest.(check bool) "span name" true
+        (Json.member "ev" sp = Some (Json.String "test.trace.span"));
+      Alcotest.(check bool) "span duration" true (Json.member "dur_s" sp <> None)
+  | _ -> Alcotest.fail "expected exactly the two traced events");
+  Alcotest.(check int) "span observed" 1 tm.Obs.spans
+
+let test_span_observes_on_raise () =
+  Obs.reset ();
+  let tm = Obs.timer "test.raise.span" in
+  (try Obs.span tm (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "span recorded despite raise" 1 tm.Obs.spans
+
+(* ---- BDD counters vs the manager's own statistics ---- *)
+
+let test_bdd_counters_match_gc_stats () =
+  Obs.reset ();
+  let m = Bdd.man 8 in
+  let f =
+    Bdd.conj m (List.init 8 (fun v -> Bdd.var m v)) |> Bdd.protect m
+  in
+  let g = Bdd.protect m (Bdd.disj m (List.init 8 (fun v -> Bdd.nvar m v))) in
+  ignore (Bdd.band m f g);
+  ignore (Bdd.bxor m f g);
+  ignore (Bdd.bnot m f);
+  ignore (Bdd.gc m);
+  let st = Bdd.gc_stats m in
+  let snap = Obs.snapshot () in
+  Alcotest.(check int) "gc runs" st.Bdd.runs (get_int snap [ "counters"; "bdd.gc.runs" ]);
+  Alcotest.(check int) "gc reclaimed" st.Bdd.reclaimed
+    (get_int snap [ "counters"; "bdd.gc.reclaimed" ]);
+  Alcotest.(check int) "live gauge" st.Bdd.live
+    (get_int snap [ "gauges"; "bdd.nodes.live" ]);
+  Alcotest.(check int) "peak gauge" st.Bdd.peak_live
+    (get_int snap [ "gauges"; "bdd.nodes.peak" ]);
+  (* every live node was once a unique-table miss *)
+  Alcotest.(check bool) "unique misses cover peak" true
+    (get_int snap [ "counters"; "bdd.unique.miss" ] >= st.Bdd.peak_live)
+
+let test_symfsm_counters_match_traversal () =
+  Obs.reset ();
+  let model =
+    Simcov_fsm.Fsm.tabulate
+      (Simcov_fsm.Fsm.make ~n_states:6 ~n_inputs:2
+         ~next:(fun s i -> if i = 0 then (s + 1) mod 6 else 0)
+         ~output:(fun s i -> if i = 0 then s else 0)
+         ())
+  in
+  let sym = Simcov_symbolic.Symfsm.of_fsm model in
+  let tr = Simcov_symbolic.Symfsm.traverse sym in
+  let snap = Obs.snapshot () in
+  Alcotest.(check int) "iterations counter" tr.Simcov_symbolic.Symfsm.iterations
+    (get_int snap [ "counters"; "symfsm.iterations" ]);
+  Alcotest.(check int) "images counter" tr.Simcov_symbolic.Symfsm.images
+    (get_int snap [ "counters"; "symfsm.images" ]);
+  Alcotest.(check int) "iteration timer spans" tr.Simcov_symbolic.Symfsm.iterations
+    (get_int snap [ "timers"; "symfsm.iteration"; "count" ])
+
+(* ---- campaign progress invariants ---- *)
+
+let test_campaign_progress_invariants () =
+  Obs.reset ();
+  let open Simcov_fsm in
+  let model =
+    Fsm.tabulate
+      (Fsm.make ~n_states:5 ~n_inputs:2
+         ~next:(fun s i -> if i = 0 then (s + 1) mod 5 else 0)
+         ~output:(fun s i -> if i = 0 then s else s + 1)
+         ())
+  in
+  let word =
+    match Simcov_testgen.Tour.transition_tour model with
+    | Some t -> t.Simcov_testgen.Tour.word
+    | None -> Alcotest.fail "expected tour"
+  in
+  let rng = Simcov_util.Rng.create 7 in
+  let faults =
+    Simcov_coverage.Fault.sample_transfer_faults rng model ~count:100
+    @ Simcov_coverage.Fault.sample_output_faults rng model ~n_outputs:6 ~count:100
+  in
+  let seen = ref [] in
+  let r =
+    Simcov_coverage.Detect.campaign
+      ~on_batch:(fun p -> seen := p :: !seen)
+      model faults word
+  in
+  let progresses = List.rev !seen in
+  Alcotest.(check bool) "at least one batch" true (progresses <> []);
+  let module C = Simcov_campaign.Campaign in
+  List.iteri
+    (fun i (p : C.progress) ->
+      Alcotest.(check int) "batch index is sequential" i p.C.batch;
+      Alcotest.(check bool) "faults_done <= faults_total" true
+        (p.C.faults_done <= p.C.faults_total);
+      Alcotest.(check bool) "detected <= faults_done" true
+        (p.C.detected_so_far <= p.C.faults_done);
+      Alcotest.(check bool) "elapsed_s >= 0" true (p.C.elapsed_s >= 0.0))
+    progresses;
+  let rec monotone extract = function
+    | a :: (b :: _ as rest) ->
+        extract (a : C.progress) <= extract (b : C.progress) && monotone extract rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "faults_done monotone" true
+    (monotone (fun p -> p.C.faults_done) progresses);
+  Alcotest.(check bool) "detected monotone" true
+    (monotone (fun p -> p.C.detected_so_far) progresses);
+  Alcotest.(check bool) "sim_steps monotone" true
+    (monotone (fun p -> p.C.sim_steps) progresses);
+  (* the last progress report accounts for every evaluated fault *)
+  (match List.rev progresses with
+  | last :: _ ->
+      Alcotest.(check int) "final faults_done = effective"
+        r.Simcov_coverage.Detect.effective last.C.faults_done
+  | [] -> ());
+  (* and the global counters agree with the report *)
+  let snap = Obs.snapshot () in
+  Alcotest.(check int) "faults_evaluated counter"
+    r.Simcov_coverage.Detect.effective
+    (get_int snap [ "counters"; "campaign.faults_evaluated" ]);
+  Alcotest.(check int) "batches counter" (List.length progresses)
+    (get_int snap [ "counters"; "campaign.batches" ])
+
+(* ---- the budget's secondary node enforcement (fake probe) ---- *)
+
+let test_budget_node_probe () =
+  let b = Budget.create ~max_nodes:10 () in
+  Alcotest.(check bool) "no probe, no reading" true (Budget.live_nodes b = None);
+  Alcotest.(check bool) "no probe, never Nodes" true (Budget.exceeded b = None);
+  let reading = ref 5 in
+  Budget.set_node_probe b (Some (fun () -> !reading));
+  Alcotest.(check bool) "probe visible" true (Budget.live_nodes b = Some 5);
+  Alcotest.(check bool) "below cap" true (Budget.exceeded b = None);
+  reading := 10;
+  (* at the cap is fine: the primary enforcer (a BDD manager) holds the
+     live count AT its ceiling, which must not read as exhaustion *)
+  Alcotest.(check bool) "at cap" true (Budget.exceeded b = None);
+  reading := 11;
+  Alcotest.(check bool) "above cap" true (Budget.exceeded b = Some Budget.Nodes);
+  (match Budget.check b with
+  | exception Budget.Budget_exceeded Budget.Nodes -> ()
+  | _ -> Alcotest.fail "check must raise Nodes");
+  Budget.set_node_probe b None;
+  Alcotest.(check bool) "probe cleared" true (Budget.exceeded b = None);
+  (* the shared unlimited singleton must stay stateless *)
+  Budget.set_node_probe Budget.unlimited (Some (fun () -> 1_000_000));
+  Alcotest.(check bool) "unlimited ignores probes" true
+    (Budget.live_nodes Budget.unlimited = None)
+
+let suite =
+  [
+    Alcotest.test_case "registry create-on-first-use" `Quick
+      test_registry_create_on_first_use;
+    Alcotest.test_case "snapshot schema" `Quick test_snapshot_schema;
+    Alcotest.test_case "trace sink" `Quick test_trace_sink;
+    Alcotest.test_case "span observes on raise" `Quick test_span_observes_on_raise;
+    Alcotest.test_case "bdd counters match gc_stats" `Quick
+      test_bdd_counters_match_gc_stats;
+    Alcotest.test_case "symfsm counters match traversal" `Quick
+      test_symfsm_counters_match_traversal;
+    Alcotest.test_case "campaign progress invariants" `Quick
+      test_campaign_progress_invariants;
+    Alcotest.test_case "budget node probe" `Quick test_budget_node_probe;
+  ]

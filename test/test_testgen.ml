@@ -87,6 +87,34 @@ let test_random_word_respects_validity () =
 let test_word_is_tour_negative () =
   Alcotest.(check bool) "empty word is not a tour" false (Tour.word_is_tour counter3 [])
 
+let test_word_is_tour_poisoned_suffix () =
+  (* a complete tour followed by an input that is invalid where it lands
+     must be rejected: such a word cannot be replayed end to end, even
+     though its covering prefix is a tour *)
+  let m =
+    Fsm.of_table [ (0, 0, 1, 0); (1, 1, 2, 1); (2, 0, 0, 2); (2, 1, 1, 3) ]
+  in
+  match Tour.transition_tour m with
+  | None -> Alcotest.fail "expected tour"
+  | Some t ->
+      let word = t.Tour.word in
+      Alcotest.(check bool) "tour accepted" true (Tour.word_is_tour m word);
+      let final = Fsm.final_state m word in
+      (* input 1 is invalid in states 0 (reset, where a closed tour
+         ends); pick any input invalid at the final state *)
+      let bad =
+        match List.find_opt (fun i -> not (m.Fsm.valid final i)) [ 0; 1 ] with
+        | Some i -> i
+        | None -> Alcotest.fail "final state accepts every input"
+      in
+      Alcotest.(check bool)
+        "poisoned suffix rejected" false
+        (Tour.word_is_tour m (word @ [ bad ]));
+      (* poison in the middle, not just at the end *)
+      Alcotest.(check bool)
+        "poisoned middle rejected" false
+        (Tour.word_is_tour m (word @ [ bad ] @ word))
+
 let test_tour_partial_validity () =
   (* machine with per-state valid inputs; tour must only use valid ones *)
   let m =
@@ -163,6 +191,8 @@ let suite =
     Alcotest.test_case "random word valid" `Quick test_random_word_valid;
     Alcotest.test_case "random word validity" `Quick test_random_word_respects_validity;
     Alcotest.test_case "word_is_tour negative" `Quick test_word_is_tour_negative;
+    Alcotest.test_case "word_is_tour poisoned suffix" `Quick
+      test_word_is_tour_poisoned_suffix;
     Alcotest.test_case "tour partial validity" `Quick test_tour_partial_validity;
     QCheck_alcotest.to_alcotest qcheck_tour_on_random_machines;
     QCheck_alcotest.to_alcotest qcheck_greedy_tour_valid;

@@ -93,6 +93,50 @@ let test_bitvec_fold_bits () =
   let ones = Bitvec.fold_bits (fun _ b acc -> if b then acc + 1 else acc) v 0 in
   Alcotest.(check int) "fold counts ones" 3 ones
 
+(* ---- JSON rendering: every float must produce parseable output ---- *)
+
+let json_roundtrip v =
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> v'
+  | Error e -> Alcotest.failf "JSON round-trip failed: %s" e
+
+let test_json_nonfinite_renders_null () =
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        (Printf.sprintf "%h renders null" f)
+        "null"
+        (Json.to_string (Json.Float f));
+      (* and the whole document stays parseable, coming back as Null *)
+      Alcotest.(check bool)
+        "round-trips as Null" true
+        (json_roundtrip (Json.Obj [ ("x", Json.Float f) ])
+        = Json.Obj [ ("x", Json.Null) ]))
+    [ Float.nan; infinity; neg_infinity ]
+
+let test_json_finite_float_roundtrip () =
+  List.iter
+    (fun f ->
+      match json_roundtrip (Json.Float f) with
+      | Json.Float f' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%h survives exactly" f)
+            true
+            (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f'))
+      | other ->
+          Alcotest.failf "expected a Float back, got %s" (Json.to_string other))
+    [ 0.; -0.; 1.5; -3.25; 0.1; 1e-300; 1.7976931348623157e308; 4.0 ]
+
+let test_json_minified_nonfinite_in_list () =
+  (* a metrics snapshot full of nan timers must still be valid JSON *)
+  let doc = Json.List [ Json.Float Float.nan; Json.Int 3; Json.Float infinity ] in
+  Alcotest.(check string)
+    "minified" "[null,3,null]"
+    (Json.to_string ~indent:0 doc);
+  Alcotest.(check bool)
+    "parses" true
+    (json_roundtrip doc = Json.List [ Json.Null; Json.Int 3; Json.Null ])
+
 let test_tabulate_render () =
   let t = Tabulate.create [ "a"; "bb" ] in
   Tabulate.add_row t [ "xxx"; "y" ];
@@ -134,6 +178,12 @@ let suite =
     Alcotest.test_case "bitvec popcount" `Quick test_bitvec_popcount;
     Alcotest.test_case "bitvec all" `Quick test_bitvec_all;
     Alcotest.test_case "bitvec fold_bits" `Quick test_bitvec_fold_bits;
+    Alcotest.test_case "json non-finite floats render null" `Quick
+      test_json_nonfinite_renders_null;
+    Alcotest.test_case "json finite floats round-trip" `Quick
+      test_json_finite_float_roundtrip;
+    Alcotest.test_case "json minified non-finite" `Quick
+      test_json_minified_nonfinite_in_list;
     Alcotest.test_case "tabulate render" `Quick test_tabulate_render;
     QCheck_alcotest.to_alcotest qcheck_bitvec_slice;
     QCheck_alcotest.to_alcotest qcheck_rng_float_range;
