@@ -153,15 +153,53 @@ let config_term =
 let seed_term =
   Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+(* ---- campaign parallelism (--jobs / --lanes) ---- *)
+
+let bounded_int ~name lo hi =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= lo && v <= hi -> Ok v
+    | _ ->
+        Error
+          (`Msg (Printf.sprintf "%s must be an integer in [%d, %d]" name lo hi))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let parallel_term =
+  let jobs =
+    Arg.(
+      value
+      & opt (bounded_int ~name:"--jobs" 1 256) 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Shard the campaign's faults across $(docv) domains. The merged \
+             report is bit-identical to the sequential run (deterministic \
+             shard order; budgets are carved into per-shard sub-budgets).")
+  in
+  let lanes =
+    Arg.(
+      value
+      & opt (bounded_int ~name:"--lanes" 1 65536) Sys.int_size
+      & info [ "lanes" ] ~docv:"N"
+          ~doc:
+            "Mutant lanes per simulation pass. Up to 63 (the default) runs \
+             the native-int bit-parallel backend; wider values (256, 512, \
+             1024, ...) run the bit-sliced wide backend, evaluating $(docv) \
+             mutants per golden pass.")
+  in
+  Term.(const (fun jobs lanes -> (jobs, lanes)) $ jobs $ lanes)
+
 (* ---- validate-dlx ---- *)
 
-let validate_dlx config seed budget obs =
+let validate_dlx config seed (jobs, lanes) budget obs =
   guarded @@ fun () ->
   with_obs obs @@ fun () ->
   let ppf =
     if metrics_on_stdout obs then Format.err_formatter else Format.std_formatter
   in
-  let report = Simcov_core.Methodology.validate_dlx ~config ~seed ~budget () in
+  let report =
+    Simcov_core.Methodology.validate_dlx ~config ~seed ~budget ~lanes ~jobs ()
+  in
   Format.fprintf ppf "%a@." Simcov_core.Methodology.pp_run_report report;
   if Simcov_core.Methodology.campaigns_truncated report then 3
   else if
@@ -176,7 +214,9 @@ let validate_cmd =
   let doc = "Run the full validation methodology on the pipelined DLX." in
   Cmd.v
     (cmd_info "validate-dlx" ~doc)
-    Term.(const validate_dlx $ config_term $ seed_term $ budget_term $ obs_term)
+    Term.(
+      const validate_dlx $ config_term $ seed_term $ parallel_term $ budget_term
+      $ obs_term)
 
 (* ---- tour ---- *)
 
@@ -526,8 +566,8 @@ let lint_cmd =
 
 (* ---- coverage: fault campaigns through the shared engine ---- *)
 
-let coverage_run model kind json_out seed count steps fail_under progress budget
-    obs =
+let coverage_run model kind json_out seed count steps fail_under progress
+    (jobs, lanes) budget obs =
   guarded @@ fun () ->
   with_obs obs @@ fun () ->
   warn_inert_max_nodes budget;
@@ -573,7 +613,7 @@ let coverage_run model kind json_out seed count steps fail_under progress budget
     @ Fault.sample_output_faults rng m ~n_outputs ~count
   in
   let run_fsm ~name m word =
-    let r = Detect.campaign ?on_batch ~budget m (fsm_faults m) word in
+    let r = Detect.campaign ?on_batch ~budget ~lanes ~jobs m (fsm_faults m) word in
     if not json_out then
       Format.fprintf human_ppf "%s: FSM fault coverage over %d inputs@.  %a@." name
         (List.length word) Detect.pp_report r;
@@ -650,7 +690,10 @@ let coverage_run model kind json_out seed count steps fail_under progress budget
           4
       | Ok (c, name) ->
           let word = random_circuit_word c ~steps in
-          let r = Stuckat.campaign ?on_batch ~budget c (Stuckat.all_faults c) word in
+          let r =
+            Stuckat.campaign ?on_batch ~budget ~lanes ~jobs c
+              (Stuckat.all_faults c) word
+          in
           if not json_out then
             Format.fprintf human_ppf "%s: stuck-at coverage over %d vectors@.  %a@."
               name (List.length word) Stuckat.pp_report r;
@@ -715,11 +758,16 @@ let coverage_cmd =
     (cmd_info "coverage" ~doc)
     Term.(
       const coverage_run $ model $ kind $ json_out $ seed_term $ count $ steps
-      $ fail_under $ progress $ budget_term $ obs_term)
+      $ fail_under $ progress $ parallel_term $ budget_term $ obs_term)
 
 (* ---- main ---- *)
 
 let () =
+  (* Wide campaigns allocate lane-set words at a rate the default
+     256k-word minor arena turns into back-to-back minor collections;
+     a 4M-word arena (32 MB, and per domain) keeps the allocation rate
+     off the collector without noticeable footprint for a CLI run. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
   let doc = "validation methodology using simulation coverage (DAC 1997)" in
   let info = Cmd.info "simcov" ~version:"1.0.0" ~doc ~exits in
   let group =

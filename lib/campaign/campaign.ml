@@ -1,12 +1,17 @@
 module Budget = Simcov_util.Budget
 module Json = Simcov_util.Json
+module Lanes = Simcov_util.Lanes
 module Obs = Simcov_obs.Obs
 
 let c_batches = Obs.counter "campaign.batches"
 let c_sim_steps = Obs.counter "campaign.sim_steps"
 let c_faults_evaluated = Obs.counter "campaign.faults_evaluated"
+let c_shards = Obs.counter "campaign.shards"
 let tm_batch = Obs.timer "campaign.batch"
 let g_throughput = Obs.gauge "campaign.sim_steps_per_s"
+let g_jobs = Obs.gauge "campaign.jobs"
+let g_workers = Obs.gauge "campaign.workers"
+let g_lanes = Obs.gauge "campaign.lanes"
 
 type verdict = {
   detected : bool;
@@ -15,7 +20,8 @@ type verdict = {
   excite_step : int option;
 }
 
-type event = { excited : int; detected : int; halt : bool }
+type 'l lane_event = { excited : 'l; detected : 'l; halt : bool }
+type event = int lane_event
 
 module type BACKEND = sig
   type ctx
@@ -30,6 +36,23 @@ module type BACKEND = sig
 
   val start : ctx -> fault array -> batch
   val step : batch -> active:int -> stim -> event
+end
+
+module type BACKEND_W = sig
+  module L : Lanes.S
+
+  type ctx
+  type fault
+  type stim
+
+  val name : string
+  val max_lanes : int
+  val effective : ctx -> fault -> bool
+
+  type batch
+
+  val start : ctx -> fault array -> batch
+  val step : batch -> active:L.t -> stim -> L.t lane_event
 end
 
 type 'f report = {
@@ -97,13 +120,20 @@ type 'f outcome = { report : 'f report; verdicts : ('f * verdict) list }
 
 let ones n = if n >= Sys.int_size then -1 else (1 lsl n) - 1
 
-let iter_bits m f =
-  let m = ref m and i = ref 0 in
-  while !m <> 0 do
-    if !m land 1 = 1 then f !i;
-    m := !m lsr 1;
-    incr i
-  done
+let iter_bits m f = Simcov_util.Lanes.iter_word 0 m f
+
+(* Contiguous balanced shard ranges: [shard_ranges ~n ~jobs] covers
+   [0..n-1] with [min jobs (max n 1)] ranges of near-equal length (the
+   first [n mod jobs] ranges get one extra fault), in fault order. The
+   decomposition is a pure function of [n] and [jobs], which is what
+   makes sharded reports deterministic and testable. *)
+let shard_ranges ~n ~jobs =
+  let jobs = max 1 (min jobs (max n 1)) in
+  let base = n / jobs and extra = n mod jobs in
+  Array.init jobs (fun i ->
+      let len = base + if i < extra then 1 else 0 in
+      let off = (i * base) + min i extra in
+      (off, len))
 
 (* consume one budget step without letting exhaustion escape as an
    exception: a campaign degrades, it does not throw *)
@@ -112,28 +142,50 @@ let spend budget =
   | Some _ as r -> r
   | None -> ( try Budget.step budget; None with Budget.Budget_exceeded r -> Some r)
 
-module Make (B : BACKEND) = struct
+module Make_wide (B : BACKEND_W) = struct
+  module L = B.L
+
   exception Stop_batch
   exception Stop_run
 
-  let run ?(budget = Budget.unlimited) ?on_batch ctx faults word =
-    let t0 = Unix.gettimeofday () in
-    let total = List.length faults in
-    let eff = Array.of_list (List.filter (B.effective ctx) faults) in
+  (* Per-shard accumulator: everything a worker domain mutates is
+     confined to its own [shard_acc]; the parent merges after join. *)
+  type shard_acc = {
+    mutable a_excited : int;
+    mutable a_detected : int;
+    mutable a_missed : B.fault list; (* reversed *)
+    mutable a_verdicts : (B.fault * verdict) list; (* reversed *)
+    mutable a_evaluated : int;
+    mutable a_steps : int;
+    mutable a_truncated : Budget.resource option;
+  }
+
+  (* The lockstep batch loop over one contiguous slice of the effective
+     fault array. [notify] fires after each completed batch with the
+     shard-local batch index/total and that batch's increments; the
+     caller decides whether those feed a global progress callback
+     directly (sequential run) or shared atomics (sharded run). *)
+  let run_shard ~budget ~notify ctx (eff : B.fault array) (stims : B.stim array)
+      =
     let n = Array.length eff in
-    let width = max 1 (min B.max_lanes Sys.int_size) in
+    let width = max 1 (min B.max_lanes L.width) in
     let batches = if n = 0 then 0 else ((n - 1) / width) + 1 in
-    let stims = Array.of_list word in
-    let excited = ref 0 and detected = ref 0 in
-    let missed = ref [] and verdicts = ref [] in
-    let sim_steps = ref 0 in
-    let truncated = ref None in
-    let evaluated = ref 0 in
+    let acc =
+      {
+        a_excited = 0;
+        a_detected = 0;
+        a_missed = [];
+        a_verdicts = [];
+        a_evaluated = 0;
+        a_steps = 0;
+        a_truncated = None;
+      }
+    in
     (try
        for bi = 0 to batches - 1 do
          (match spend budget with
          | Some res ->
-             truncated := Some res;
+             acc.a_truncated <- Some res;
              raise Stop_run
          | None -> ());
          Obs.span tm_batch
@@ -141,8 +193,8 @@ module Make (B : BACKEND) = struct
              [
                ("backend", Json.String B.name);
                ("batch", Json.Int bi);
-               ("detected", Json.Int !detected);
-               ("sim_steps", Json.Int !sim_steps);
+               ("detected", Json.Int acc.a_detected);
+               ("sim_steps", Json.Int acc.a_steps);
              ])
          @@ fun () ->
          Obs.incr c_batches;
@@ -151,22 +203,36 @@ module Make (B : BACKEND) = struct
          let sub = Array.sub eff lo bw in
          let batch = B.start ctx sub in
          let exc_step = Array.make bw (-1) and det_step = Array.make bw (-1) in
-         let active = ref (ones bw) in
+         let active = ref (L.ones bw) in
+         (* [live] mirrors the cardinality of [active]: retirement is an
+            integer compare per step instead of an emptiness scan of the
+            lane set *)
+         let live = ref bw in
+         let batch_steps = ref 0 in
          (try
             Array.iteri
               (fun step stim ->
-                if !active = 0 then raise Stop_batch;
                 let ev = B.step batch ~active:!active stim in
-                incr sim_steps;
+                incr batch_steps;
                 Obs.incr c_sim_steps;
-                iter_bits (ev.excited land !active) (fun l ->
+                L.iter2_inter ev.excited !active (fun l ->
                     if exc_step.(l) < 0 then exc_step.(l) <- step);
-                let newly_det = ev.detected land !active in
-                iter_bits newly_det (fun l -> det_step.(l) <- step);
-                active := !active land lnot newly_det;
-                if ev.halt then raise Stop_batch)
+                let det_n = ref 0 in
+                L.iter2_inter ev.detected !active (fun l ->
+                    det_step.(l) <- step;
+                    Stdlib.incr det_n);
+                if !det_n > 0 then begin
+                  (* diff against the raw event set: lanes already
+                     retired are clear in [active], so this equals
+                     removing exactly the newly detected ones *)
+                  active := L.diff !active ev.detected;
+                  live := !live - !det_n
+                end;
+                if ev.halt || !live = 0 then raise Stop_batch)
               stims
           with Stop_batch -> ());
+         acc.a_steps <- acc.a_steps + !batch_steps;
+         let batch_det = ref 0 in
          for l = 0 to bw - 1 do
            let v =
              {
@@ -176,43 +242,181 @@ module Make (B : BACKEND) = struct
                excite_step = (if exc_step.(l) >= 0 then Some exc_step.(l) else None);
              }
            in
-           if v.excited then incr excited;
-           if v.detected then incr detected
-           else if v.excited then missed := sub.(l) :: !missed;
-           verdicts := (sub.(l), v) :: !verdicts
+           if v.excited then acc.a_excited <- acc.a_excited + 1;
+           if v.detected then begin
+             acc.a_detected <- acc.a_detected + 1;
+             Stdlib.incr batch_det
+           end
+           else if v.excited then acc.a_missed <- sub.(l) :: acc.a_missed;
+           acc.a_verdicts <- (sub.(l), v) :: acc.a_verdicts
          done;
-         evaluated := lo + bw;
+         acc.a_evaluated <- lo + bw;
          Obs.add c_faults_evaluated bw;
-         match on_batch with
-         | None -> ()
-         | Some f ->
-             f
-               {
-                 batch = bi;
-                 batches;
-                 faults_done = !evaluated;
-                 faults_total = n;
-                 detected_so_far = !detected;
-                 sim_steps = !sim_steps;
-                 elapsed_s = Unix.gettimeofday () -. t0;
-               }
+         notify acc ~batch:bi ~batches ~batch_faults:bw ~batch_det:!batch_det
+           ~batch_steps:!batch_steps
        done
      with Stop_run -> ());
-    let elapsed = Unix.gettimeofday () -. t0 in
-    if elapsed > 1e-9 then
-      Obs.set g_throughput
-        (int_of_float (float_of_int !sim_steps /. elapsed));
-    let report =
-      {
-        backend = B.name;
-        total;
-        effective = !evaluated;
-        excited = !excited;
-        detected = !detected;
-        missed = List.rev !missed;
-        skipped = n - !evaluated;
-        truncated = !truncated;
-      }
+    acc
+
+  let run ?(budget = Budget.unlimited) ?(jobs = 1) ?on_batch ctx faults word =
+    let t0 = Unix.gettimeofday () in
+    let total = List.length faults in
+    let eff = Array.of_list (List.filter (B.effective ctx) faults) in
+    let n = Array.length eff in
+    let stims = Array.of_list word in
+    let jobs = max 1 (min jobs (max n 1)) in
+    Obs.set g_jobs jobs;
+    Obs.set g_lanes (max 1 (min B.max_lanes L.width));
+    let report_of ~excited ~detected ~missed ~verdicts ~evaluated ~truncated =
+      let report =
+        {
+          backend = B.name;
+          total;
+          effective = evaluated;
+          excited;
+          detected;
+          missed;
+          skipped = n - evaluated;
+          truncated;
+        }
+      in
+      { report; verdicts }
     in
-    { report; verdicts = List.rev !verdicts }
+    let finish sim_steps =
+      let elapsed = Unix.gettimeofday () -. t0 in
+      if elapsed > 1e-9 then
+        Obs.set g_throughput (int_of_float (float_of_int sim_steps /. elapsed))
+    in
+    if jobs = 1 then begin
+      (* sequential path: identical batch loop, progress reported with
+         global = shard-local indices *)
+      let notify acc ~batch ~batches ~batch_faults:_ ~batch_det:_
+          ~batch_steps:_ =
+        match on_batch with
+        | None -> ()
+        | Some f ->
+            f
+              {
+                batch;
+                batches;
+                faults_done = acc.a_evaluated;
+                faults_total = n;
+                detected_so_far = acc.a_detected;
+                sim_steps = acc.a_steps;
+                elapsed_s = Unix.gettimeofday () -. t0;
+              }
+      in
+      let acc = run_shard ~budget ~notify ctx eff stims in
+      finish acc.a_steps;
+      report_of ~excited:acc.a_excited ~detected:acc.a_detected
+        ~missed:(List.rev acc.a_missed)
+        ~verdicts:(List.rev acc.a_verdicts)
+        ~evaluated:acc.a_evaluated ~truncated:acc.a_truncated
+    end
+    else begin
+      let ranges = shard_ranges ~n ~jobs in
+      let width = max 1 (min B.max_lanes L.width) in
+      let batches_total =
+        Array.fold_left
+          (fun s (_, len) -> s + if len = 0 then 0 else ((len - 1) / width) + 1)
+          0 ranges
+      in
+      let sub_budgets = Budget.split budget ~n:jobs in
+      (* shared, race-free progress state; the [on_batch] callback
+         itself is serialized on a mutex *)
+      let batches_done = Atomic.make 0 in
+      let faults_done = Atomic.make 0 in
+      let det_sum = Atomic.make 0 in
+      let steps_sum = Atomic.make 0 in
+      let progress_lock = Mutex.create () in
+      let notify _ ~batch:_ ~batches:_ ~batch_faults ~batch_det ~batch_steps =
+        let b = Atomic.fetch_and_add batches_done 1 in
+        let fd = batch_faults + Atomic.fetch_and_add faults_done batch_faults in
+        let det = batch_det + Atomic.fetch_and_add det_sum batch_det in
+        let st = batch_steps + Atomic.fetch_and_add steps_sum batch_steps in
+        match on_batch with
+        | None -> ()
+        | Some f ->
+            Mutex.lock progress_lock;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock progress_lock)
+              (fun () ->
+                f
+                  {
+                    batch = b;
+                    batches = batches_total;
+                    faults_done = fd;
+                    faults_total = n;
+                    detected_so_far = det;
+                    sim_steps = st;
+                    elapsed_s = Unix.gettimeofday () -. t0;
+                  })
+      in
+      let run_one i =
+        let off, len = ranges.(i) in
+        let slice = Array.sub eff off len in
+        Obs.incr c_shards;
+        run_shard ~budget:sub_budgets.(i) ~notify ctx slice stims
+      in
+      (* [jobs] fixes the shard decomposition (and with it the report),
+         while the number of concurrently running domains is capped at
+         the hardware parallelism: shards are independent, so a worker
+         pool draining them in any interleaving produces the same accs,
+         and oversubscribing domains on too few cores only buys
+         stop-the-world handshake churn. Each [accs] slot is written by
+         exactly one claimant, and the joins order those writes before
+         the merge below. *)
+      let workers =
+        min jobs (max 1 (Domain.recommended_domain_count ()))
+      in
+      Obs.set g_workers workers;
+      let accs = Array.make jobs None in
+      let next = Atomic.make 0 in
+      let drain () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < jobs then begin
+            accs.(i) <- Some (run_one i);
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let domains =
+        Array.init (workers - 1) (fun _ -> Domain.spawn drain)
+      in
+      drain ();
+      Array.iter Domain.join domains;
+      let accs = Array.map Option.get accs in
+      Array.iter (Budget.reclaim budget) sub_budgets;
+      (* deterministic merge: shard order = fault order, each shard's
+         evaluated faults are a prefix of that shard *)
+      let sum f = Array.fold_left (fun s a -> s + f a) 0 accs in
+      let truncated =
+        Array.fold_left
+          (fun t a -> if t <> None then t else a.a_truncated)
+          None accs
+      in
+      finish (sum (fun a -> a.a_steps));
+      report_of
+        ~excited:(sum (fun a -> a.a_excited))
+        ~detected:(sum (fun a -> a.a_detected))
+        ~missed:
+          (List.concat_map (fun a -> List.rev a.a_missed) (Array.to_list accs))
+        ~verdicts:
+          (List.concat_map
+             (fun a -> List.rev a.a_verdicts)
+             (Array.to_list accs))
+        ~evaluated:(sum (fun a -> a.a_evaluated))
+        ~truncated
+    end
+end
+
+module Make (B : BACKEND) = struct
+  module W = Make_wide (struct
+    module L = Lanes.Native
+    include B
+  end)
+
+  let run = W.run
 end

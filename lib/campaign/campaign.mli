@@ -12,26 +12,44 @@
     and what one lockstep step observes) and {!Make} provides the single
     campaign driver, which is
 
-    - {e bit-parallel}: mutants are packed into the bit lanes of an
-      OCaml [int] (up to [Sys.int_size] per batch, backend-capped by
-      {!BACKEND.max_lanes}), so one golden pass over the word evaluates
-      a whole batch — the classic parallel-pattern fault-simulation
-      trick;
+    - {e bit-parallel}: mutants are packed into the lanes of a
+      {!Simcov_util.Lanes} set — a native OCaml [int] (63 lanes, the
+      default) or a bit-sliced wide set (256/512/1024 lanes via
+      {!BACKEND_W} / {!Make_wide}) — so one golden pass over the word
+      evaluates a whole batch: the classic parallel-pattern
+      fault-simulation trick, freed of the word-size cap;
+    - {e domain-parallel}: [run ~jobs:n] splits the effective-fault
+      array into [n] contiguous shards, runs them on [Domain.spawn]
+      workers with sub-budgets carved by {!Simcov_util.Budget.split},
+      and merges the shard reports deterministically (see below);
     - {e budget-aware}: {!Simcov_util.Budget} is checkpointed between
       batches and exhaustion yields a [truncated]-tagged partial report
-      (whole batches are evaluated or skipped, never split, so a
-      truncated report is prefix-consistent with the full run); the
-      driver never raises on exhaustion;
+      (whole batches are evaluated or skipped, never split); the driver
+      never raises on exhaustion;
     - {e observable}: a per-batch {!progress} callback carries
-      throughput counters for CLI and bench reporting.
+      throughput counters for CLI and bench reporting; under sharding
+      the shared counters are atomics and the callback is serialized.
+
+    {b Determinism / merge contract.} Shards are contiguous slices of
+    the effective-fault array in fault order (a pure function of
+    [(n, jobs)]; see {!shard_ranges}). Each shard evaluates whole
+    batches in order, so its evaluated faults are a prefix of the
+    shard; the merged [verdicts] list is the concatenation of shard
+    prefixes in shard order, every evaluated verdict is identical to
+    the scalar run's verdict for that fault, [truncated] is the first
+    shard's truncation reason in shard order (so [Some] iff any shard
+    was truncated), and [effective]/[skipped] count evaluated and
+    unevaluated effective faults across all shards. With an unlimited
+    budget the sharded report equals the sequential one exactly.
 
     Lane encoding: lane [l] of a batch is fault [l] of the fault array
-    passed to {!BACKEND.start}; an [int] used as a lane set has bit [l]
-    set when lane [l] is a member. Bit 62 (the sign bit of a 63-bit
-    OCaml [int]) is an ordinary lane — all lane-set operations are
-    bitwise. *)
+    passed to {!BACKEND.start}; a lane set has lane [l] as a member
+    when bit [l] is set. For the native-[int] representation bit 62
+    (the sign bit of a 63-bit OCaml [int]) is an ordinary lane — all
+    lane-set operations are bitwise. *)
 
 module Budget = Simcov_util.Budget
+module Lanes = Simcov_util.Lanes
 
 (** {1 Verdicts and step events} *)
 
@@ -42,19 +60,24 @@ type verdict = {
   excite_step : int option;  (** first step the golden run traverses the fault site *)
 }
 
-type event = {
-  excited : int;  (** lane set whose fault site the golden run traversed this step *)
-  detected : int;  (** lane set with an observable difference this step *)
+type 'l lane_event = {
+  excited : 'l;  (** lane set whose fault site the golden run traversed this step *)
+  detected : 'l;  (** lane set with an observable difference this step *)
   halt : bool;
       (** the golden run cannot continue (stimulus invalid for the
           golden model); the batch stops after this event's lane sets
           are folded in *)
 }
 
+type event = int lane_event
+(** The native-[int] lane-set event of {!BACKEND} backends. *)
+
 (** {1 Backends} *)
 
 (** One fault domain: a golden model type, a fault type, a stimulus
-    type, and a batched lockstep simulator. *)
+    type, and a batched lockstep simulator — over native-[int] lane
+    sets. This is the zero-overhead default; {!BACKEND_W} is the same
+    contract over an arbitrary lane representation. *)
 module type BACKEND = sig
   type ctx  (** the golden model, possibly pre-tabulated *)
 
@@ -87,6 +110,27 @@ module type BACKEND = sig
       [active]). *)
 end
 
+(** The same backend contract over an explicit lane representation
+    [L] : one batch carries up to [min max_lanes L.width] mutants.
+    Instantiate [L] with {!Simcov_util.Lanes.Wide} for 256/512/1024
+    lanes per golden pass. *)
+module type BACKEND_W = sig
+  module L : Lanes.S
+
+  type ctx
+  type fault
+  type stim
+
+  val name : string
+  val max_lanes : int
+  val effective : ctx -> fault -> bool
+
+  type batch
+
+  val start : ctx -> fault array -> batch
+  val step : batch -> active:L.t -> stim -> L.t lane_event
+end
+
 (** {1 Reports} *)
 
 type 'f report = {
@@ -99,7 +143,7 @@ type 'f report = {
   skipped : int;  (** effective faults left unevaluated by truncation *)
   truncated : Budget.resource option;
       (** [Some r] when the budget ran out mid-campaign; the counters
-          then describe the evaluated prefix of the fault list *)
+          then describe the evaluated shard prefixes of the fault list *)
 }
 
 val coverage_pct : 'f report -> float
@@ -121,7 +165,8 @@ val to_json :
     are appended verbatim. *)
 
 type progress = {
-  batch : int;  (** 0-based index of the batch just finished *)
+  batch : int;  (** 0-based index of the batch just finished; under
+                    sharding, a completion-order sequence number *)
   batches : int;
   faults_done : int;  (** effective faults evaluated so far *)
   faults_total : int;  (** effective faults in the campaign *)
@@ -134,7 +179,7 @@ type 'f outcome = {
   report : 'f report;
   verdicts : ('f * verdict) list;
       (** per-fault verdicts for the evaluated effective faults, in
-          fault-list order *)
+          fault-list order (shard-prefix order under truncation) *)
 }
 
 (** {1 Lane-set helpers (for backends)} *)
@@ -145,22 +190,49 @@ val ones : int -> int
 val iter_bits : int -> (int -> unit) -> unit
 (** Apply the function to each set bit's index, ascending. *)
 
-(** {1 The driver} *)
+val shard_ranges : n:int -> jobs:int -> (int * int) array
+(** The contiguous balanced shard decomposition used by [run ~jobs]:
+    [(offset, length)] per shard, covering [0..n-1] in order with
+    [min jobs (max n 1)] shards of near-equal length (the first
+    [n mod jobs] shards get one extra element). Exposed so tests can
+    state the merge contract exactly. *)
 
-module Make (B : BACKEND) : sig
+(** {1 The drivers} *)
+
+module Make_wide (B : BACKEND_W) : sig
   val run :
     ?budget:Budget.t ->
+    ?jobs:int ->
     ?on_batch:(progress -> unit) ->
     B.ctx ->
     B.fault list ->
     B.stim list ->
     B.fault outcome
   (** Run the campaign: filter effective faults, batch them
-      [min B.max_lanes Sys.int_size] to a word, and lockstep-simulate
+      [min B.max_lanes B.L.width] to a word, and lockstep-simulate
       each batch over the stimulus word, recording per-lane excitation
       and detection (a lane's simulation stops at its first detection;
       a batch stops when every lane is detected or the backend halts).
       One budget step is consumed per batch; when the budget is
       exhausted the remaining batches are skipped and the report is
-      tagged [truncated]. Never raises [Budget_exceeded]. *)
+      tagged [truncated]. Never raises [Budget_exceeded].
+
+      [jobs > 1] shards the effective faults across that many domains
+      (clamped to the fault count), each with a sub-budget from
+      {!Budget.split}; reports are merged per the determinism contract
+      above and unspent sub-allowances are {!Budget.reclaim}ed. *)
+end
+
+module Make (B : BACKEND) : sig
+  val run :
+    ?budget:Budget.t ->
+    ?jobs:int ->
+    ?on_batch:(progress -> unit) ->
+    B.ctx ->
+    B.fault list ->
+    B.stim list ->
+    B.fault outcome
+  (** {!Make_wide} specialized to native-[int] lane sets
+      ({!Lanes.Native}): the zero-overhead 63-lane path, and the
+      oracle the wide path is tested against. *)
 end

@@ -114,7 +114,7 @@ let lint_gate ~budget =
   @ errors (Lint.run ~budget ~name:"dlx-test" ~against:impl test)
 
 let validate_dlx ?(config = Testmodel.default) ?(seed = 2026)
-    ?(budget = Budget.unlimited) () =
+    ?(budget = Budget.unlimited) ?lanes ?jobs () =
   let open Simcov_fsm in
   let rng = Simcov_util.Rng.create seed in
   (* per-figure wall clock: each phase is both recorded in the report
@@ -160,7 +160,7 @@ let validate_dlx ?(config = Testmodel.default) ?(seed = 2026)
      exception, so no Budget.check separates them *)
   let bug_campaign =
     timed "bug_campaign" (fun () ->
-        Validate.bug_campaign_tests ~budget
+        Validate.bug_campaign_tests ~budget ?jobs
           [
             Validate.test_program ~preload_regs:conc.Testmodel.preload_regs
               ~preload_mem:conc.Testmodel.preload_mem conc.Testmodel.program;
@@ -177,7 +177,7 @@ let validate_dlx ?(config = Testmodel.default) ?(seed = 2026)
           Simcov_coverage.Fault.sample_transfer_faults rng model ~count:150
           @ Simcov_coverage.Fault.sample_output_faults rng model ~n_outputs ~count:150
         in
-        Simcov_coverage.Detect.campaign ~budget model faults word)
+        Simcov_coverage.Detect.campaign ~budget ?lanes ?jobs model faults word)
   in
   {
     config;

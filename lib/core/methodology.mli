@@ -62,6 +62,8 @@ val validate_dlx :
   ?config:Simcov_dlx.Testmodel.config ->
   ?seed:int ->
   ?budget:Budget.t ->
+  ?lanes:int ->
+  ?jobs:int ->
   unit ->
   run_report
 (** Run the full methodology. Before any symbolic effort is spent, the
@@ -85,7 +87,12 @@ val validate_dlx :
     report without a tour would not be a validation. Once the tour
     exists, the two fault campaigns degrade instead: exhausting the
     budget mid-campaign yields [truncated]-tagged partial campaign
-    reports (see {!campaigns_truncated}), never an exception. *)
+    reports (see {!campaigns_truncated}), never an exception.
+
+    [lanes] and [jobs] tune the campaign legs: [lanes] selects the
+    lane width of the FSM fault campaign (wide bit-sliced lanes beyond
+    [Sys.int_size]) and [jobs] shards both campaigns across that many
+    domains — results are bit-identical to the sequential run. *)
 
 val pp_run_report : Format.formatter -> run_report -> unit
 

@@ -209,15 +209,277 @@ module Fsm_backend = struct
     end
 end
 
+module Fsm_backend_w (L : Simcov_util.Lanes.S) = struct
+  module L = L
+
+  type ctx = Fsm_backend.ctx = { m : Fsm.t; tab : Fsm.tables }
+  type fault = Fault.t
+  type stim = int
+
+  let name = backend_name
+  let max_lanes = L.width
+  let effective (ctx : ctx) f = Fault.is_effective ctx.m f
+
+  type batch = {
+    k : int;  (* tab_inputs *)
+    tvalid : bool array;  (* the flat transition tables, hoisted *)
+    tnext : int array;
+    tout : int array;
+    wrong : int array;
+    cprev : int array;
+    (* per-kind fault-site maps, flat (state * k + input) -> lane set:
+       splitting by kind up front means an excited step handles each
+       population directly instead of re-deriving it from a combined
+       site set with one full-width mask intersection per kind *)
+    site_out : L.t array;
+    site_tr : L.t array;
+    site_cond : L.t array;
+    groups : L.t array;  (* mutant state -> diverged lanes sitting there *)
+    stage : L.t array;  (* same-step landing sets, merged after the sweep *)
+    occ : int array;  (* states with a nonempty group, unordered *)
+    mutable occ_n : int;
+    stg : int array;  (* states with a nonempty stage entry *)
+    mutable stg_n : int;
+    mutable diverged : L.t;
+    mutable det : L.t;  (* per-step detected accumulator, reset each step *)
+    mutable sg : int;
+    mutable gprev : int;
+  }
+
+  let start (ctx : ctx) faults =
+    let tab = ctx.tab in
+    let k = tab.Fsm.tab_inputs in
+    let n = Array.length faults in
+    let wrong = Array.make n 0 in
+    let cprev = Array.make n (-1) in
+    let nsites = tab.Fsm.tab_states * k in
+    let site_out = Array.make nsites L.zero in
+    let site_tr = Array.make nsites L.zero in
+    let site_cond = Array.make nsites L.zero in
+    Array.iteri
+      (fun l f ->
+        let s, i = Fault.site f in
+        let idx = (s * k) + i in
+        match f with
+        | Fault.Transfer { wrong_next; _ } ->
+            wrong.(l) <- wrong_next;
+            site_tr.(idx) <- L.add site_tr.(idx) l
+        | Fault.Output { wrong_output; _ } ->
+            wrong.(l) <- wrong_output;
+            site_out.(idx) <- L.add site_out.(idx) l
+        | Fault.Conditional_output { wrong_output; prev = ps, pi; _ } ->
+            wrong.(l) <- wrong_output;
+            cprev.(l) <- (ps * k) + pi;
+            site_cond.(idx) <- L.add site_cond.(idx) l)
+      faults;
+    {
+      k;
+      tvalid = tab.Fsm.tab_valid;
+      tnext = tab.Fsm.tab_next;
+      tout = tab.Fsm.tab_output;
+      wrong;
+      cprev;
+      site_out;
+      site_tr;
+      site_cond;
+      groups = Array.make tab.Fsm.tab_states L.zero;
+      stage = Array.make tab.Fsm.tab_states L.zero;
+      occ = Array.make tab.Fsm.tab_states 0;
+      occ_n = 0;
+      stg = Array.make tab.Fsm.tab_states 0;
+      stg_n = 0;
+      diverged = L.zero;
+      det = L.zero;
+      sg = tab.Fsm.tab_reset;
+      gprev = -1;
+    }
+
+  (* The one preallocated "nothing happened this step" event — the
+     overwhelmingly common outcome, kept allocation-free. *)
+  let quiet = { Campaign.excited = L.zero; detected = L.zero; halt = false }
+
+  (* A diverged lane enters the group of its mutant state; the
+     occupancy list makes the per-step sweep touch only states that
+     actually hold lanes. *)
+  let enter_group b s l =
+    if b.groups.(s) == L.zero then begin
+      b.occ.(b.occ_n) <- s;
+      b.occ_n <- b.occ_n + 1
+    end;
+    b.groups.(s) <- L.add b.groups.(s) l
+
+  let stage_lane b s l =
+    if b.stage.(s) == L.zero then begin
+      b.stg.(b.stg_n) <- s;
+      b.stg_n <- b.stg_n + 1
+    end;
+    b.stage.(s) <- L.add b.stage.(s) l
+
+  let stage_set b s lanes =
+    if b.stage.(s) == L.zero then begin
+      b.stg.(b.stg_n) <- s;
+      b.stg_n <- b.stg_n + 1;
+      b.stage.(s) <- lanes
+    end
+    else b.stage.(s) <- L.union b.stage.(s) lanes
+
+  (* Prune a site's lanes against the driver's active set and store the
+     pruned set back: a lane that retires never becomes active again
+     within the batch, so the stored sets only ever tighten, and once a
+     site's mutants are all retired every later golden visit reduces to
+     one physical-equality test — without this, long batch tails
+     re-scan full-width masks for lanes that were detected thousands of
+     steps ago. The sweep's hitter lookup reads the same array, which
+     stays correct: group members are undetected, hence never pruned. *)
+  let[@inline] pruned arr gi active =
+    let site = Array.unsafe_get arr gi in
+    if site == L.zero then site
+    else begin
+      let p = L.inter site active in
+      Array.unsafe_set arr gi p;
+      p
+    end
+
+  let step b ~active i =
+    let k = b.k in
+    if i < 0 || i >= k then
+      { Campaign.excited = L.zero; detected = L.zero; halt = true }
+    else
+      let gi = (b.sg * k) + i in
+      let vg = Array.unsafe_get b.tvalid gi in
+      if not vg then begin
+        (* golden rejects the stimulus: diverged mutants that accept it
+           are exposed by the validity mismatch; everyone else stops *)
+        b.det <- L.zero;
+        for j = 0 to b.occ_n - 1 do
+          let s = Array.unsafe_get b.occ j in
+          if b.groups.(s) != L.zero && b.tvalid.((s * k) + i) then
+            b.det <- L.union b.det b.groups.(s)
+        done;
+        { Campaign.excited = L.zero; detected = b.det; halt = true }
+      end
+      else begin
+        let sg' = Array.unsafe_get b.tnext gi
+        and og = Array.unsafe_get b.tout gi in
+        let s_out = pruned b.site_out gi active in
+        let s_tr = pruned b.site_tr gi active in
+        let s_cond = pruned b.site_cond gi active in
+        b.det <- L.zero;
+        (* [dv] snapshots the start-of-step diverged set, so lanes the
+           sweep below re-converges this very step do not branch off
+           again on the same stimulus. Lane sets are immutable — the
+           sweep's removals rebind [b.diverged] to fresh sets — so the
+           snapshot is one pointer copy, and because the site sets are
+           pruned to active lanes the membership test below needs no
+           [active] intersection. *)
+        let dv = b.diverged in
+        (* sweep the occupied mutant states: one table transition per
+           state moves, detects, or re-converges its whole lane group —
+           per-step divergence work is bounded by the number of FSM
+           states the diverged mutants occupy, not by the number of
+           diverged lanes. Mover sets land in [stage] so a group filled
+           this step is not re-stepped by the same sweep; detected
+           lanes leave [groups] / [diverged] at once (the driver
+           intersects with its active set, so a detection reported for
+           an already-retired lane is ignored anyway). *)
+        if b.occ_n > 0 then begin
+          let n0 = b.occ_n in
+          b.occ_n <- 0;
+          for j = 0 to n0 - 1 do
+            let s = Array.unsafe_get b.occ j in
+            let g = Array.unsafe_get b.groups s in
+            if g != L.zero then begin
+              let mi = (s * k) + i in
+              Array.unsafe_set b.groups s L.zero;
+              if (not (Array.unsafe_get b.tvalid mi))
+                 || Array.unsafe_get b.tout mi <> og
+              then begin
+                b.det <- L.union b.det g;
+                b.diverged <- L.diff b.diverged g
+              end
+              else begin
+                let ns = Array.unsafe_get b.tnext mi in
+                if L.disjoint g (Array.unsafe_get b.site_tr mi) then begin
+                  (* no group member's own site is on this transition:
+                     the whole group moves, and it is known nonempty *)
+                  if ns = sg' then b.diverged <- L.diff b.diverged g
+                  else stage_set b ns g
+                end
+                else begin
+                  (* mutants whose own fault site is this transition
+                     take their wrong next state individually *)
+                  let hitters = L.inter g b.site_tr.(mi) in
+                  L.iter hitters (fun l ->
+                      let ms' = b.wrong.(l) in
+                      if ms' = sg' then b.diverged <- L.remove b.diverged l
+                      else stage_lane b ms' l);
+                  let movers = L.diff g hitters in
+                  if not (L.is_empty movers) then begin
+                    if ns = sg' then b.diverged <- L.diff b.diverged movers
+                    else stage_set b ns movers
+                  end
+                end
+              end
+            end
+          done;
+          (* merge: the sweep zeroed every group it visited, so each
+             staged set moves in by pointer *)
+          for j = 0 to b.stg_n - 1 do
+            let s = Array.unsafe_get b.stg j in
+            if b.groups.(s) == L.zero then begin
+              b.occ.(b.occ_n) <- s;
+              b.occ_n <- b.occ_n + 1;
+              b.groups.(s) <- b.stage.(s)
+            end
+            else b.groups.(s) <- L.union b.groups.(s) b.stage.(s);
+            b.stage.(s) <- L.zero
+          done;
+          b.stg_n <- 0
+        end;
+        (* an excited output-fault lane is detected on the spot; the
+           per-kind site split makes this one pointer union *)
+        if s_out != L.zero then b.det <- L.union b.det s_out;
+        if s_cond != L.zero then
+          L.iter s_cond (fun l ->
+              if b.cprev.(l) = b.gprev then b.det <- L.add b.det l);
+        if s_tr != L.zero then
+          (* effectiveness guarantees wrong_next differs from the
+             faulted transition's own golden successor, so a converged
+             transfer lane excited here branches off unless its wrong
+             state happens to coincide with [sg'] *)
+          L.iter s_tr (fun l ->
+              if (not (L.mem dv l)) && b.wrong.(l) <> sg' then begin
+                b.diverged <- L.add b.diverged l;
+                enter_group b b.wrong.(l) l;
+                Obs.incr c_lanes_diverged
+              end);
+        b.gprev <- gi;
+        b.sg <- sg';
+        if s_out == L.zero && s_tr == L.zero && s_cond == L.zero then begin
+          if L.is_empty b.det then quiet
+          else { Campaign.excited = L.zero; detected = b.det; halt = false }
+        end
+        else
+          { Campaign.excited = L.union s_out (L.union s_tr s_cond);
+            detected = b.det;
+            halt = false }
+      end
+end
+
 module Driver = Campaign.Make (Fsm_backend)
 
-let campaign_outcome ?budget ?on_batch golden faults word =
-  Driver.run ?budget ?on_batch
-    { Fsm_backend.m = golden; tab = Fsm.tables golden }
-    faults word
+let campaign_outcome ?budget ?lanes ?jobs ?on_batch golden faults word =
+  let ctx = { Fsm_backend.m = golden; tab = Fsm.tables golden } in
+  match lanes with
+  | Some w when w > Sys.int_size ->
+      let module L = (val Simcov_util.Lanes.make w) in
+      let module D = Campaign.Make_wide (Fsm_backend_w (L)) in
+      D.run ?budget ?jobs ?on_batch ctx faults word
+  | _ -> Driver.run ?budget ?jobs ?on_batch ctx faults word
 
-let campaign ?budget ?on_batch golden faults word =
-  (campaign_outcome ?budget ?on_batch golden faults word).Campaign.report
+let campaign ?budget ?lanes ?jobs ?on_batch golden faults word =
+  (campaign_outcome ?budget ?lanes ?jobs ?on_batch golden faults word)
+    .Campaign.report
 
 (* the retained scalar reference: one full mutant rerun per fault,
    through [run_verdict]; the QCheck suite pins the batched driver

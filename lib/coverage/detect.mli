@@ -52,6 +52,8 @@ type report = Fault.t campaign_report
 
 val campaign :
   ?budget:Simcov_util.Budget.t ->
+  ?lanes:int ->
+  ?jobs:int ->
   ?on_batch:(Campaign.progress -> unit) ->
   Fsm.t ->
   Fault.t list ->
@@ -59,10 +61,18 @@ val campaign :
   report
 (** Bit-parallel batched campaign via the shared driver. Budget
     exhaustion yields a [truncated] partial report, never an
-    exception. *)
+    exception.
+
+    [lanes] selects the lane representation: up to [Sys.int_size]
+    (the default) runs the native-int backend; wider values run the
+    bit-sliced backend with that many mutants per golden pass.
+    [jobs > 1] shards the effective faults across that many domains
+    (see {!Simcov_campaign.Campaign}'s determinism contract). *)
 
 val campaign_outcome :
   ?budget:Simcov_util.Budget.t ->
+  ?lanes:int ->
+  ?jobs:int ->
   ?on_batch:(Campaign.progress -> unit) ->
   Fsm.t ->
   Fault.t list ->

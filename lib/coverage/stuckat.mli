@@ -63,16 +63,22 @@ type report = fault campaign_report
 
 val campaign :
   ?budget:Simcov_util.Budget.t ->
+  ?lanes:int ->
+  ?jobs:int ->
   ?on_batch:(Campaign.progress -> unit) ->
   Circuit.t ->
   fault list ->
   bool array list ->
   report
 (** Bit-parallel batched campaign via the shared driver; budget
-    exhaustion yields a [truncated] partial report. *)
+    exhaustion yields a [truncated] partial report. [lanes] beyond
+    [Sys.int_size] selects the bit-sliced wide backend; [jobs > 1]
+    shards faults across domains (see {!Simcov_campaign.Campaign}). *)
 
 val campaign_outcome :
   ?budget:Simcov_util.Budget.t ->
+  ?lanes:int ->
+  ?jobs:int ->
   ?on_batch:(Campaign.progress -> unit) ->
   Circuit.t ->
   fault list ->

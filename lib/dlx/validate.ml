@@ -91,8 +91,8 @@ type campaign_result = {
   report : (string * Pipeline.bugs) Campaign.report;
 }
 
-let bug_campaign_tests ?budget ?on_batch tests =
-  let o = Driver.run ?budget ?on_batch () Pipeline.bug_catalog tests in
+let bug_campaign_tests ?budget ?jobs ?on_batch tests =
+  let o = Driver.run ?budget ?jobs ?on_batch () Pipeline.bug_catalog tests in
   let verdict_of =
     let tbl = Hashtbl.create 16 in
     List.iter

@@ -63,12 +63,15 @@ type campaign_result = {
 
 val bug_campaign_tests :
   ?budget:Simcov_util.Budget.t ->
+  ?jobs:int ->
   ?on_batch:(Campaign.progress -> unit) ->
   test_program list ->
   campaign_result
 (** A bug is detected if any of the test programs exposes it; one
     budget step is consumed per bug, and exhaustion yields a
-    [truncated] partial report (never an exception). *)
+    [truncated] partial report (never an exception). The backend is
+    scalar (one bug per batch), so [jobs] shards whole bugs across
+    domains. *)
 
 val bug_campaign : Isa.t array -> campaign_result
 (** Run the full {!Pipeline.bug_catalog} against one test program. *)

@@ -1,13 +1,23 @@
 module Json = Simcov_util.Json
 
-type counter = { c_name : string; mutable count : int }
-type gauge = { g_name : string; mutable value : int }
+type counter = int Atomic.t
+type gauge = int Atomic.t
 
 type timer = {
   t_name : string;
   mutable spans : int;
   mutable total_s : float;
 }
+
+(* One process-wide lock for every cold path: registry creation,
+   timer accumulation, trace emission, snapshot/reset. The hot paths
+   (incr/add/set/set_max) are lock-free atomics so sharded campaign
+   domains never serialize on a counter bump. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 (* Registries keyed by name. Metrics are created once (typically at
    module-init of the instrumented engine) and live for the process;
@@ -17,38 +27,43 @@ let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
 let timers : (string, timer) Hashtbl.t = Hashtbl.create 32
 
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
+let intern tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> v
   | None ->
-      let c = { c_name = name; count = 0 } in
-      Hashtbl.add counters name c;
-      c
+      locked (fun () ->
+          (* re-check under the lock: another domain may have raced us *)
+          match Hashtbl.find_opt tbl name with
+          | Some v -> v
+          | None ->
+              let v = make () in
+              Hashtbl.add tbl name v;
+              v)
 
-let gauge name =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-      let g = { g_name = name; value = 0 } in
-      Hashtbl.add gauges name g;
-      g
+let counter name = intern counters name (fun () -> Atomic.make 0)
+let gauge name = intern gauges name (fun () -> Atomic.make 0)
 
 let timer name =
-  match Hashtbl.find_opt timers name with
-  | Some t -> t
-  | None ->
-      let t = { t_name = name; spans = 0; total_s = 0.0 } in
-      Hashtbl.add timers name t;
-      t
+  intern timers name (fun () -> { t_name = name; spans = 0; total_s = 0.0 })
 
-let[@inline] incr c = c.count <- c.count + 1
-let[@inline] add c n = c.count <- c.count + n
-let[@inline] set g v = g.value <- v
-let[@inline] set_max g v = if v > g.value then g.value <- v
+let[@inline] incr c = ignore (Atomic.fetch_and_add c 1)
+let[@inline] add c n = ignore (Atomic.fetch_and_add c n)
+let[@inline] set g v = Atomic.set g v
+
+let rec set_max g v =
+  let cur = Atomic.get g in
+  if v > cur && not (Atomic.compare_and_set g cur v) then set_max g v
+
+let count c = Atomic.get c
+let value g = Atomic.get g
 
 let observe t dt =
-  t.spans <- t.spans + 1;
-  t.total_s <- t.total_s +. dt
+  locked (fun () ->
+      t.spans <- t.spans + 1;
+      t.total_s <- t.total_s +. dt)
+
+let spans t = locked (fun () -> t.spans)
+let total_s t = locked (fun () -> t.total_s)
 
 (* ---- tracing ---- *)
 
@@ -66,12 +81,16 @@ let emit name extra_fields fields =
   | None -> ()
   | Some emit ->
       let t_s = Unix.gettimeofday () -. !trace_epoch in
-      emit
-        (Json.to_string ~indent:0
-           (Json.Obj
-              (("ev", Json.String name)
-              :: ("t_s", Json.Float t_s)
-              :: (extra_fields @ fields ()))))
+      let line =
+        Json.to_string ~indent:0
+          (Json.Obj
+             (("ev", Json.String name)
+             :: ("t_s", Json.Float t_s)
+             :: (extra_fields @ fields ())))
+      in
+      (* serialize writers: trace lines from concurrent domains must
+         not interleave inside one JSONL record *)
+      locked (fun () -> emit line)
 
 let event ?(fields = fun () -> []) name =
   if !sink <> None then emit name [] fields
@@ -94,34 +113,42 @@ let sorted tbl =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot ?(extra = []) () =
-  Json.Obj
-    ([
-       ("schema", Json.String "simcov-metrics/1");
-       ("wall_clock_s", Json.Float (Unix.gettimeofday () -. !clock_epoch));
-       ( "counters",
-         Json.Obj (List.map (fun (k, c) -> (k, Json.Int c.count)) (sorted counters))
-       );
-       ( "gauges",
-         Json.Obj (List.map (fun (k, g) -> (k, Json.Int g.value)) (sorted gauges))
-       );
-       ( "timers",
-         Json.Obj
-           (List.map
-              (fun (k, t) ->
-                ( k,
-                  Json.Obj
-                    [ ("count", Json.Int t.spans); ("total_s", Json.Float t.total_s) ]
-                ))
-              (sorted timers)) );
-     ]
-    @ extra)
+  locked (fun () ->
+      Json.Obj
+        ([
+           ("schema", Json.String "simcov-metrics/1");
+           ("wall_clock_s", Json.Float (Unix.gettimeofday () -. !clock_epoch));
+           ( "counters",
+             Json.Obj
+               (List.map
+                  (fun (k, c) -> (k, Json.Int (Atomic.get c)))
+                  (sorted counters)) );
+           ( "gauges",
+             Json.Obj
+               (List.map
+                  (fun (k, g) -> (k, Json.Int (Atomic.get g)))
+                  (sorted gauges)) );
+           ( "timers",
+             Json.Obj
+               (List.map
+                  (fun (k, t) ->
+                    ( k,
+                      Json.Obj
+                        [
+                          ("count", Json.Int t.spans);
+                          ("total_s", Json.Float t.total_s);
+                        ] ))
+                  (sorted timers)) );
+         ]
+        @ extra))
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
-  Hashtbl.iter (fun _ g -> g.value <- 0) gauges;
-  Hashtbl.iter
-    (fun _ t ->
-      t.spans <- 0;
-      t.total_s <- 0.0)
-    timers;
-  clock_epoch := Unix.gettimeofday ()
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g 0) gauges;
+      Hashtbl.iter
+        (fun _ t ->
+          t.spans <- 0;
+          t.total_s <- 0.0)
+        timers;
+      clock_epoch := Unix.gettimeofday ())

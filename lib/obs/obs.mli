@@ -10,10 +10,10 @@
 
     {b Overhead contract.} The layer must be near-free when nobody is
     looking:
-    - {!incr} / {!add} / {!set} / {!set_max} are single int field
-      mutations on a preallocated record — no allocation, no branch on
-      an "enabled" flag. These are safe in the hottest loops (BDD cache
-      probes).
+    - {!incr} / {!add} / {!set} / {!set_max} are single atomic
+      read-modify-writes on a preallocated cell — no allocation, no
+      lock, no branch on an "enabled" flag. These are safe in the
+      hottest loops (BDD cache probes).
     - {!observe} adds a float to an accumulator; {!span} additionally
       pays two clock reads. Use them at batch/iteration granularity,
       not per node.
@@ -22,19 +22,22 @@
       lists are only computed (and JSON only rendered) when a sink is
       present.
 
-    Metric values are plain [int]s / [float]s in module-level records,
-    so state is global to the process: callers that want a
+    Metric state is global to the process: callers that want a
     per-command view call {!reset} first (the CLI does, once per
-    subcommand). *)
+    subcommand).
 
-type counter = { c_name : string; mutable count : int }
-type gauge = { g_name : string; mutable value : int }
+    {b Domain safety.} The registry is shared by every domain of the
+    process. Counters and gauges are [Atomic]-backed, so concurrent
+    {!incr} / {!add} / {!set_max} from sharded campaign workers lose
+    no updates and take no lock; timer accumulation, registry
+    creation, trace emission and {!snapshot} serialize on one internal
+    mutex (they run at batch granularity, where a lock is free). A
+    snapshot taken after the workers are joined therefore reflects
+    every increment exactly once. *)
 
-type timer = {
-  t_name : string;
-  mutable spans : int;  (** number of observed spans *)
-  mutable total_s : float;  (** accumulated wall time *)
-}
+type counter
+type gauge
+type timer
 
 val counter : string -> counter
 (** [counter name] returns the registered counter for [name], creating
@@ -51,10 +54,22 @@ val set : gauge -> int -> unit
 
 val set_max : gauge -> int -> unit
 (** Keep the running maximum: [set_max g v] is [set g v] only when [v]
-    exceeds the current value. *)
+    exceeds the current value (atomically, via compare-and-set). *)
+
+val count : counter -> int
+(** Current counter value. *)
+
+val value : gauge -> int
+(** Current gauge value. *)
 
 val observe : timer -> float -> unit
 (** Record one span of the given duration (seconds). *)
+
+val spans : timer -> int
+(** Number of observed spans. *)
+
+val total_s : timer -> float
+(** Accumulated wall time over all observed spans. *)
 
 val span :
   timer ->

@@ -66,6 +66,40 @@ let step t =
     check t
   end
 
+let split t ~n =
+  if n < 1 then invalid_arg "Budget.split: need at least one child";
+  if t == unlimited then Array.init n (fun _ -> create ())
+  else
+    let child allowance =
+      {
+        deadline = t.deadline;
+        max_steps = allowance;
+        max_nodes = t.max_nodes;
+        steps = 0;
+        node_probe = None;
+      }
+    in
+    match t.max_steps with
+    | None -> Array.init n (fun _ -> child None)
+    | Some m ->
+        (* Carve the parent's *remaining* allowance into disjoint child
+           slices and charge the parent for all of it up front — the
+           children now own those steps; [reclaim] hands back whatever a
+           finished child did not spend. *)
+        let remaining = max 0 (m - t.steps) in
+        t.steps <- m;
+        let base = remaining / n and extra = remaining mod n in
+        Array.init n (fun i ->
+            child (Some (base + if i < extra then 1 else 0)))
+
+let reclaim t child =
+  if t != unlimited then
+    match (t.max_steps, child.max_steps) with
+    | Some _, Some m ->
+        let unspent = max 0 (m - child.steps) in
+        t.steps <- max 0 (t.steps - unspent)
+    | _ -> ()
+
 let remaining_s t =
   match t.deadline with
   | None -> None

@@ -85,6 +85,39 @@ val step : t -> unit
 val exceeded : t -> resource option
 (** [Some r] if a limit is currently hit, without raising. *)
 
+(** {1 Sub-budgets}
+
+    Domain-sharded computations cannot share one mutable budget: the
+    step counter would race. [split] instead carves the parent's
+    remaining step allowance into disjoint child slices that each
+    domain owns exclusively. *)
+
+val split : t -> n:int -> t array
+(** [split t ~n] returns [n] fresh child budgets:
+
+    - each child inherits the parent's {e absolute} deadline (so a
+      wall-clock timeout stays a single global instant, not [n]
+      restarted ones) and its node allowance;
+    - the parent's remaining step allowance ([max_steps - steps_used])
+      is divided into [n] near-equal disjoint slices (the first
+      [remaining mod n] children get one extra step), and the parent
+      is charged for all of it up front — after [split], the parent's
+      own [step] raises immediately. Use {!reclaim} to return a
+      finished child's unspent steps;
+    - children start with no node probe (each sharded engine registers
+      its own, if any);
+    - splitting an exhausted parent yields children with a zero step
+      allowance, which are truncated on their first {!step} — parent
+      exhaustion propagates to every child;
+    - splitting {!unlimited} yields fresh unconstrained budgets.
+
+    @raise Invalid_argument if [n < 1]. *)
+
+val reclaim : t -> t -> unit
+(** [reclaim parent child] returns the [child]'s unspent step
+    allowance to [parent] (no-op when either side has no step limit).
+    Call it once per child, after the child's domain has been joined. *)
+
 val remaining_s : t -> float option
 (** Seconds until the deadline ([None] if no deadline); never
     negative. *)

@@ -218,6 +218,146 @@ let test_budget_truncation_prefix () =
   Alcotest.(check int) "prefix excited" (count (fun v -> v.Campaign.excited))
     r.Campaign.excited
 
+(* ---- wide lanes and domain sharding ----
+
+   The wide bit-sliced backend and the sharded driver must be
+   observationally identical to the scalar reference (and hence to the
+   native-int oracle): same verdicts, same order, same counters. *)
+
+let qcheck_wide_eq_scalar =
+  QCheck.Test.make
+    ~name:"campaign: wide lanes / sharded = scalar (total machines)" ~count:40
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let m, faults, word = random_instance seed in
+      let scalar = Detect.campaign_scalar m faults word in
+      ignore
+        (check_outcomes_agree ~what:"wide 256" scalar
+           (Detect.campaign_outcome ~lanes:256 m faults word));
+      ignore
+        (check_outcomes_agree ~what:"wide 512, jobs 2" scalar
+           (Detect.campaign_outcome ~lanes:512 ~jobs:2 m faults word));
+      check_outcomes_agree ~what:"native lanes, jobs 3" scalar
+        (Detect.campaign_outcome ~jobs:3 m faults word))
+
+let qcheck_wide_eq_scalar_partial =
+  QCheck.Test.make
+    ~name:"campaign: wide lanes / sharded = scalar (partial machines)" ~count:40
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let m, faults, word = random_partial_instance seed in
+      let scalar = Detect.campaign_scalar m faults word in
+      ignore
+        (check_outcomes_agree ~what:"partial, wide 256" scalar
+           (Detect.campaign_outcome ~lanes:256 m faults word));
+      check_outcomes_agree ~what:"partial, wide 256 jobs 2" scalar
+        (Detect.campaign_outcome ~lanes:256 ~jobs:2 m faults word))
+
+(* wide lane-boundary fault counts around one native word (63/64), one
+   wide-word boundary (255/256/257) and a full 512-lane batch *)
+let test_wide_lane_boundaries () =
+  let rng = Rng.create 43 in
+  let m =
+    Fsm.tabulate (Fsm.random_connected rng ~n_states:22 ~n_inputs:3 ~n_outputs:3)
+  in
+  let all = List.filter (Fault.is_effective m) (Fault.all_transfer_faults m) in
+  let word = Simcov_testgen.Tour.random_word rng m ~length:250 in
+  Alcotest.(check bool)
+    "enough faults for the largest boundary" true
+    (List.length all >= 512);
+  List.iter
+    (fun n ->
+      let faults = List.filteri (fun i _ -> i < n) all in
+      let scalar = Detect.campaign_scalar m faults word in
+      List.iter
+        (fun lanes ->
+          let o = Detect.campaign_outcome ~lanes m faults word in
+          ignore
+            (check_outcomes_agree
+               ~what:(Printf.sprintf "%d faults at %d lanes" n lanes)
+               scalar o);
+          Alcotest.(check int)
+            (Printf.sprintf "%d faults at %d lanes: all evaluated" n lanes)
+            n o.Campaign.report.Campaign.effective)
+        [ 256; 512 ])
+    [ 63; 64; 255; 256; 257; 512 ]
+
+(* sharded truncation: each shard evaluates whole batches forming a
+   prefix of its contiguous slice; the merged verdict list is exactly
+   the concatenation of those shard prefixes, and every evaluated
+   verdict equals the scalar reference's *)
+let test_sharded_truncation_prefix () =
+  let rng = Rng.create 9 in
+  let m =
+    Fsm.tabulate (Fsm.random_connected rng ~n_states:12 ~n_inputs:3 ~n_outputs:3)
+  in
+  let all = List.filter (Fault.is_effective m) (Fault.all_transfer_faults m) in
+  let faults = List.filteri (fun i _ -> i < 200) all in
+  let word = Simcov_testgen.Tour.random_word rng m ~length:150 in
+  let full = Detect.campaign_scalar m faults word in
+  let scalar_verdicts = Array.of_list full.Campaign.verdicts in
+  let n = Array.length scalar_verdicts in
+  let jobs = 2 in
+  let budget = Budget.create ~max_steps:jobs () in
+  let o = Detect.campaign_outcome ~budget ~jobs m faults word in
+  let r = o.Campaign.report in
+  (match r.Campaign.truncated with
+  | Some Budget.Steps -> ()
+  | Some res -> Alcotest.failf "wrong resource: %s" (Budget.resource_name res)
+  | None -> Alcotest.fail "campaign was not truncated");
+  Alcotest.(check int) "effective + skipped = population" n
+    (r.Campaign.effective + r.Campaign.skipped);
+  Alcotest.(check bool) "some faults skipped" true (r.Campaign.skipped > 0);
+  let ranges = Campaign.shard_ranges ~n ~jobs in
+  let rem = ref o.Campaign.verdicts in
+  let evaluated = ref 0 in
+  Array.iter
+    (fun (off, len) ->
+      let j = ref 0 in
+      let continue_matching = ref true in
+      while !continue_matching do
+        match !rem with
+        | (f, v) :: tl
+          when !j < len && Fault.equal f (fst scalar_verdicts.(off + !j)) ->
+            Alcotest.(check bool) "verdict equals scalar" true
+              (verdict_eq v (snd scalar_verdicts.(off + !j)));
+            rem := tl;
+            incr j
+        | _ -> continue_matching := false
+      done;
+      Alcotest.(check bool) "shard prefix is whole batches" true
+        (!j = len || !j mod Sys.int_size = 0);
+      evaluated := !evaluated + !j)
+    ranges;
+  Alcotest.(check int) "verdicts are exactly the shard prefixes" 0
+    (List.length !rem);
+  Alcotest.(check int) "report counts the shard prefixes" r.Campaign.effective
+    !evaluated
+
+(* with an unlimited budget, sharding changes nothing at all: the
+   merged outcome is field-for-field the sequential one *)
+let test_sharded_equals_sequential () =
+  let rng = Rng.create 13 in
+  let m =
+    Fsm.tabulate (Fsm.random_connected rng ~n_states:14 ~n_inputs:3 ~n_outputs:3)
+  in
+  let all = List.filter (Fault.is_effective m) (Fault.all_transfer_faults m) in
+  let faults = List.filteri (fun i _ -> i < 170) all in
+  let word = Simcov_testgen.Tour.random_word rng m ~length:200 in
+  let seq = Detect.campaign_outcome m faults word in
+  List.iter
+    (fun jobs ->
+      let par = Detect.campaign_outcome ~jobs m faults word in
+      ignore
+        (check_outcomes_agree
+           ~what:(Printf.sprintf "jobs %d vs sequential" jobs)
+           seq par);
+      Alcotest.(check int)
+        (Printf.sprintf "jobs %d: same missed count" jobs)
+        (List.length seq.Campaign.report.Campaign.missed)
+        (List.length par.Campaign.report.Campaign.missed))
+    [ 2; 3; 5 ]
+
 let test_unlimited_budget_not_truncated () =
   let rng = Rng.create 11 in
   let m =
@@ -276,6 +416,17 @@ let check_stuckat_agrees c word =
           Stuckat.pp_fault f vs.Campaign.detected vs.Campaign.excited
           vb.Campaign.detected vb.Campaign.excited)
     faults batched.Campaign.verdicts;
+  (* the wide bit-sliced backend and the sharded driver agree with the
+     native-int batched run, verdict by verdict *)
+  let wide = Stuckat.campaign_outcome ~lanes:256 ~jobs:2 c faults word in
+  List.iter2
+    (fun (fb, vb) (fw, vw) ->
+      if fb <> fw then
+        QCheck.Test.fail_reportf "stuckat: wide fault order differs";
+      if not (verdict_eq vb vw) then
+        QCheck.Test.fail_reportf "stuckat: wide verdict mismatch on %a"
+          Stuckat.pp_fault fb)
+    batched.Campaign.verdicts wide.Campaign.verdicts;
   true
 
 let qcheck_stuckat_batched_eq_scalar =
@@ -377,6 +528,14 @@ let suite =
     Alcotest.test_case "lane boundaries 1/62/63/64/127" `Quick test_lane_boundaries;
     Alcotest.test_case "budget truncation is prefix-consistent" `Quick
       test_budget_truncation_prefix;
+    QCheck_alcotest.to_alcotest qcheck_wide_eq_scalar;
+    QCheck_alcotest.to_alcotest qcheck_wide_eq_scalar_partial;
+    Alcotest.test_case "wide lane boundaries 63/64/255/256/257/512" `Quick
+      test_wide_lane_boundaries;
+    Alcotest.test_case "sharded truncation is shard-prefix-consistent" `Quick
+      test_sharded_truncation_prefix;
+    Alcotest.test_case "sharded report equals sequential report" `Quick
+      test_sharded_equals_sequential;
     Alcotest.test_case "unlimited budget never truncates" `Quick
       test_unlimited_budget_not_truncated;
     QCheck_alcotest.to_alcotest qcheck_stuckat_batched_eq_scalar;

@@ -24,13 +24,13 @@ let test_registry_create_on_first_use () =
   Alcotest.(check bool) "same cell" true (c1 == c2);
   Obs.incr c1;
   Obs.add c1 4;
-  Alcotest.(check int) "visible through alias" 5 c2.Obs.count;
+  Alcotest.(check int) "visible through alias" 5 (Obs.count c2);
   let g = Obs.gauge "test.gauge" in
   Obs.set g 7;
   Obs.set_max g 3;
-  Alcotest.(check int) "set_max keeps maximum" 7 g.Obs.value;
+  Alcotest.(check int) "set_max keeps maximum" 7 (Obs.value g);
   Obs.set_max g 11;
-  Alcotest.(check int) "set_max raises" 11 g.Obs.value
+  Alcotest.(check int) "set_max raises" 11 (Obs.value g)
 
 let test_snapshot_schema () =
   Obs.reset ();
@@ -103,13 +103,13 @@ let test_trace_sink () =
         (Json.member "ev" sp = Some (Json.String "test.trace.span"));
       Alcotest.(check bool) "span duration" true (Json.member "dur_s" sp <> None)
   | _ -> Alcotest.fail "expected exactly the two traced events");
-  Alcotest.(check int) "span observed" 1 tm.Obs.spans
+  Alcotest.(check int) "span observed" 1 (Obs.spans tm)
 
 let test_span_observes_on_raise () =
   Obs.reset ();
   let tm = Obs.timer "test.raise.span" in
   (try Obs.span tm (fun () -> failwith "boom") with Failure _ -> ());
-  Alcotest.(check int) "span recorded despite raise" 1 tm.Obs.spans
+  Alcotest.(check int) "span recorded despite raise" 1 (Obs.spans tm)
 
 (* ---- BDD counters vs the manager's own statistics ---- *)
 
@@ -221,6 +221,35 @@ let test_campaign_progress_invariants () =
   Alcotest.(check int) "batches counter" (List.length progresses)
     (get_int snap [ "counters"; "campaign.batches" ])
 
+(* ---- domain safety: no lost updates under concurrent increments ---- *)
+
+let test_domain_hammer () =
+  Obs.reset ();
+  let c = Obs.counter "test.domains.counter" in
+  let g = Obs.gauge "test.domains.gauge" in
+  let tm = Obs.timer "test.domains.timer" in
+  let iters = 200_000 in
+  let worker lo =
+    for i = lo to lo + iters - 1 do
+      Obs.incr c;
+      Obs.set_max g i;
+      if i mod 50_000 = 0 then Obs.observe tm 0.001
+    done
+  in
+  let d = Domain.spawn (fun () -> worker iters) in
+  worker 0;
+  Domain.join d;
+  (* every increment from both domains must land: counters are atomic,
+     not last-writer-wins *)
+  Alcotest.(check int) "no lost increments" (2 * iters) (Obs.count c);
+  Alcotest.(check int) "set_max keeps the global maximum"
+    ((2 * iters) - 1) (Obs.value g);
+  Alcotest.(check int) "mutex-guarded timer lost no spans" 8 (Obs.spans tm);
+  (* and the merged snapshot reflects the final state *)
+  let snap = Obs.snapshot () in
+  Alcotest.(check int) "snapshot agrees" (2 * iters)
+    (get_int snap [ "counters"; "test.domains.counter" ])
+
 (* ---- the budget's secondary node enforcement (fake probe) ---- *)
 
 let test_budget_node_probe () =
@@ -260,5 +289,6 @@ let suite =
       test_symfsm_counters_match_traversal;
     Alcotest.test_case "campaign progress invariants" `Quick
       test_campaign_progress_invariants;
+    Alcotest.test_case "two-domain counter hammer" `Quick test_domain_hammer;
     Alcotest.test_case "budget node probe" `Quick test_budget_node_probe;
   ]

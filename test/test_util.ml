@@ -146,6 +146,78 @@ let test_tabulate_render () =
   Alcotest.(check bool) "row present" true
     (String.length s > 10)
 
+(* ---- Budget.split / reclaim: sub-budget carving ---- *)
+
+(* [Budget.step] charges first and raises when the counter reaches the
+   cap, so after exhaustion [steps_used] reads the full allowance (and a
+   zero-allowance child completes no work at all). *)
+let spend_until_exceeded b =
+  let completed = ref 0 in
+  (try
+     while true do
+       Budget.step b;
+       incr completed
+     done
+   with Budget.Budget_exceeded Budget.Steps -> ());
+  !completed
+
+let test_budget_split_partitions () =
+  let parent = Budget.create ~max_steps:10 () in
+  Budget.step parent;
+  (* 9 steps remain; three children must share exactly those 9 *)
+  let kids = Budget.split parent ~n:3 in
+  Alcotest.(check int) "three children" 3 (Array.length kids);
+  Array.iter (fun k -> ignore (spend_until_exceeded k)) kids;
+  let allowances = Array.map Budget.steps_used kids in
+  Alcotest.(check int) "children share the parent's remainder" 9
+    (Array.fold_left ( + ) 0 allowances);
+  (* near-equal slices: max - min <= 1 *)
+  let mn = Array.fold_left min max_int allowances
+  and mx = Array.fold_left max 0 allowances in
+  Alcotest.(check bool) "slices near-equal" true (mx - mn <= 1);
+  (* the parent was charged up front: no steps left for it either *)
+  Alcotest.(check bool) "parent exhausted after split" true
+    (match Budget.exceeded parent with Some Budget.Steps -> true | _ -> false)
+
+let test_budget_split_exhausted_parent () =
+  let parent = Budget.create ~max_steps:4 () in
+  ignore (spend_until_exceeded parent);
+  let kids = Budget.split parent ~n:4 in
+  Array.iter
+    (fun k ->
+      Alcotest.(check int) "zero-allowance child completes no work" 0
+        (spend_until_exceeded k))
+    kids
+
+let test_budget_split_reclaim () =
+  let parent = Budget.create ~max_steps:12 () in
+  let kids = Budget.split parent ~n:3 in
+  (* each child got 4; spend 1 in the first, everything in the second,
+     nothing in the third *)
+  Budget.step kids.(0);
+  ignore (spend_until_exceeded kids.(1));
+  Array.iter (fun k -> Budget.reclaim parent k) kids;
+  (* unspent = 3 + 0 + 4 = 7 reclaimed, so the parent stands at 12 - 7 *)
+  Alcotest.(check int) "reclaim restores unspent steps" 5
+    (Budget.steps_used parent);
+  Alcotest.(check (option reject)) "parent usable again" None
+    (Budget.exceeded parent)
+
+let test_budget_split_unlimited () =
+  let kids = Budget.split Budget.unlimited ~n:2 in
+  Array.iter
+    (fun k ->
+      for _ = 1 to 1_000 do
+        Budget.step k
+      done;
+      Alcotest.(check (option reject)) "unlimited child never exceeds" None
+        (Budget.exceeded k))
+    kids;
+  (* spending in a child of [unlimited] must not mutate the shared
+     sentinel *)
+  Alcotest.(check int) "unlimited sentinel untouched" 0
+    (Budget.steps_used Budget.unlimited)
+
 let qcheck_bitvec_slice =
   QCheck.Test.make ~name:"bitvec: slice/concat roundtrip" ~count:200
     QCheck.(pair (int_bound 255) (int_range 1 7))
@@ -185,6 +257,14 @@ let suite =
     Alcotest.test_case "json minified non-finite" `Quick
       test_json_minified_nonfinite_in_list;
     Alcotest.test_case "tabulate render" `Quick test_tabulate_render;
+    Alcotest.test_case "budget split partitions remainder" `Quick
+      test_budget_split_partitions;
+    Alcotest.test_case "budget split of exhausted parent" `Quick
+      test_budget_split_exhausted_parent;
+    Alcotest.test_case "budget reclaim restores unspent" `Quick
+      test_budget_split_reclaim;
+    Alcotest.test_case "budget split of unlimited" `Quick
+      test_budget_split_unlimited;
     QCheck_alcotest.to_alcotest qcheck_bitvec_slice;
     QCheck_alcotest.to_alcotest qcheck_rng_float_range;
   ]
