@@ -755,8 +755,7 @@ let exp_traversal () =
       (List.length tour.Simcov_symbolic.Symtour.word)
       tour.Simcov_symbolic.Symtour.complete tour_s;
     add "}\n";
-    Out_channel.with_open_text "BENCH_symbolic.json" (fun oc ->
-        Out_channel.output_string oc (Buffer.contents buf));
+    Simcov_util.Durable.write_string "BENCH_symbolic.json" (Buffer.contents buf);
     print_endline "wrote BENCH_symbolic.json"
   end
 
@@ -1010,8 +1009,7 @@ let exp_campaign_wide e14_fragment =
       measured;
     add "    ]}\n";
     add "}\n";
-    Out_channel.with_open_text "BENCH_coverage.json" (fun oc ->
-        Out_channel.output_string oc (Buffer.contents buf));
+    Simcov_util.Durable.write_string "BENCH_coverage.json" (Buffer.contents buf);
     print_endline "wrote BENCH_coverage.json"
   end
 

@@ -11,7 +11,8 @@
 
    Exit codes: 0 success; 1 validation failed (bugs missed /
    certificate failed); 2 usage error; 3 resource limit exceeded;
-   4 malformed input file. *)
+   4 malformed input file; 5 campaign degraded by worker failures;
+   130 interrupted (SIGINT/SIGTERM) with a final checkpoint flushed. *)
 
 open Cmdliner
 module Budget = Simcov_util.Budget
@@ -23,6 +24,14 @@ let exits =
     Cmd.Exit.info 2 ~doc:"on command-line parsing errors.";
     Cmd.Exit.info 3 ~doc:"when a resource limit (--timeout, --max-nodes) is exceeded.";
     Cmd.Exit.info 4 ~doc:"on malformed input files.";
+    Cmd.Exit.info 5
+      ~doc:
+        "when a campaign completed degraded: one or more worker shards failed \
+         after retries (see the report's $(b,shard_failures)).";
+    Cmd.Exit.info 130
+      ~doc:
+        "when interrupted (SIGINT/SIGTERM) mid-campaign; with \
+         $(b,--checkpoint) a final snapshot is flushed first.";
   ]
 
 let cmd_info name ~doc = Cmd.info name ~doc ~exits
@@ -93,14 +102,20 @@ let with_obs (metrics, trace) f =
   let close_trace =
     match trace with
     | None -> fun () -> ()
+    | Some "-" ->
+        Obs.set_sink (Some print_endline);
+        fun () -> flush stdout
     | Some path ->
-        let oc = if path = "-" then stdout else open_out path in
+        (* published atomically at close: the destination never holds a
+           torn trace, only the previous one until commit *)
+        let w = Simcov_util.Durable.start path in
+        let oc = Simcov_util.Durable.channel w in
         Obs.set_sink
           (Some
              (fun line ->
                output_string oc line;
                output_char oc '\n'));
-        fun () -> if path = "-" then flush oc else close_out oc
+        fun () -> Simcov_util.Durable.commit w
   in
   Fun.protect
     ~finally:(fun () ->
@@ -114,7 +129,7 @@ let with_obs (metrics, trace) f =
             print_string doc;
             flush stdout
           end
-          else Out_channel.with_open_text path (fun oc -> output_string oc doc))
+          else Simcov_util.Durable.write_string path doc)
     f
 
 (* commands whose engines allocate no BDD nodes: a node allowance would
@@ -240,14 +255,13 @@ let tour config emit =
       (match emit with
       | None -> ()
       | Some path ->
-          let oc = open_out path in
-          List.iter
-            (fun (r, v) -> Printf.fprintf oc "# preload r%d = %ld\n" r v)
-            conc.Testmodel.preload_regs;
-          Array.iter
-            (fun i -> output_string oc (Isa.to_string i ^ "\n"))
-            conc.Testmodel.program;
-          close_out oc;
+          Simcov_util.Durable.write_file path (fun oc ->
+              List.iter
+                (fun (r, v) -> Printf.fprintf oc "# preload r%d = %ld\n" r v)
+                conc.Testmodel.preload_regs;
+              Array.iter
+                (fun i -> output_string oc (Isa.to_string i ^ "\n"))
+                conc.Testmodel.program);
           Printf.printf "program written to %s\n" path);
       0
 
@@ -564,10 +578,251 @@ let lint_cmd =
     (cmd_info "lint" ~doc)
     Term.(const lint $ model $ against $ json_out $ fail_on $ budget_term $ obs_term)
 
+(* ---- durable coverage databases (simcov-covdb/1) ---- *)
+
+module Covdb = Simcov_covdb.Covdb
+
+(* The campaign verdict <-> covdb status conversion is exact: the
+   driver guarantees [detected <=> detect_step] and
+   [excited <=> excite_step], so a verdict resumed from a snapshot is
+   byte-identical to the one the interrupted run computed. *)
+let status_of_verdict (v : Simcov_campaign.Campaign.verdict) =
+  match (v.Simcov_campaign.Campaign.detect_step, v.Simcov_campaign.Campaign.excite_step) with
+  | Some detect_step, excite_step -> Covdb.Detected { excite_step; detect_step }
+  | None, Some es -> Covdb.Excited es
+  | None, None -> Covdb.Undetected
+
+let verdict_of_status = function
+  | Covdb.Undetected ->
+      {
+        Simcov_campaign.Campaign.detected = false;
+        excited = false;
+        detect_step = None;
+        excite_step = None;
+      }
+  | Covdb.Excited es ->
+      {
+        Simcov_campaign.Campaign.detected = false;
+        excited = true;
+        detect_step = None;
+        excite_step = Some es;
+      }
+  | Covdb.Detected { excite_step; detect_step } ->
+      {
+        Simcov_campaign.Campaign.detected = true;
+        excited = excite_step <> None;
+        detect_step = Some detect_step;
+        excite_step;
+      }
+
+let hash_hex parts =
+  Simcov_util.Crc32.to_hex
+    (List.fold_left (fun c s -> Simcov_util.Crc32.update c (s ^ "\n")) 0l parts)
+
+(* the snapshot header's two fingerprints: [config_hash] identifies the
+   fault population (merge compatibility), [stim_hash] the stimulus
+   word (additionally required to resume — recorded step indices only
+   make sense against the same word) *)
+let config_hash ~backend ~model keys = hash_hex (backend :: model :: keys)
+let stim_hash_ints word = hash_hex (List.map string_of_int word)
+
+let stim_hash_bits word =
+  hash_hex
+    (List.map
+       (fun a ->
+         String.init (Array.length a) (fun i -> if a.(i) then '1' else '0'))
+       word)
+
+type persist_opts = {
+  checkpoint_file : string option;
+  checkpoint_every : int;
+  resume_file : string option;
+  chaos_kill_after : int option;
+}
+
+let persist_term =
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write a durable $(b,simcov-covdb/1) snapshot of per-fault \
+             results to $(docv) periodically and at exit (atomic temp-file + \
+             fsync + rename, CRC per record); a killed run resumes from it \
+             with $(b,--resume).")
+  in
+  let every =
+    Arg.(
+      value & opt int 1
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Flush the checkpoint after every $(docv) completed batches.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a $(b,simcov-covdb/1) snapshot: already-decided \
+             faults are retired without re-simulation, and the final report \
+             is identical to the uninterrupted run's. The snapshot must come \
+             from the same campaign configuration and stimulus (same model, \
+             fault population, $(b,--seed), $(b,--steps)). Unless \
+             $(b,--checkpoint) is also given, new snapshots overwrite \
+             $(docv).")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-kill-after" ] ~docv:"N"
+          ~doc:
+            "Testing hook for the chaos harness: SIGKILL this process right \
+             after the $(docv)-th checkpoint flush commits (requires \
+             $(b,--checkpoint)).")
+  in
+  Term.(
+    const (fun checkpoint_file checkpoint_every resume_file chaos_kill_after ->
+        { checkpoint_file; checkpoint_every; resume_file; chaos_kill_after })
+    $ checkpoint $ every $ resume $ chaos)
+
+(* Run one campaign crash-safely: validate and inject [--resume],
+   periodically flush [--checkpoint] snapshots, convert SIGINT/SIGTERM
+   into a clean batch-boundary stop, and always leave a final snapshot
+   behind (marked complete only when nothing was cut short). Returns
+   [Error exit_code] on an unusable resume snapshot. *)
+let run_persisted (type f) popts ~(hdr : Covdb.header) ~(key : f -> string)
+    ~(run :
+       ?resume:(f -> Simcov_campaign.Campaign.verdict option) ->
+       ?checkpoint:f Simcov_campaign.Campaign.checkpoint ->
+       should_stop:(unit -> bool) ->
+       unit ->
+       f Simcov_campaign.Campaign.outcome) =
+  let module Campaign = Simcov_campaign.Campaign in
+  let resume_db =
+    match popts.resume_file with
+    | None -> Ok None
+    | Some path -> (
+        match Covdb.load path with
+        | Error e -> Error (Printf.sprintf "%s: %s" path e)
+        | Ok { Covdb.db; salvaged } ->
+            let h = Covdb.header db in
+            if
+              h.Covdb.backend <> hdr.Covdb.backend
+              || h.Covdb.config_hash <> hdr.Covdb.config_hash
+            then
+              Error
+                (Printf.sprintf
+                   "%s: snapshot is for a different campaign configuration \
+                    (snapshot %s/%s, this run %s/%s)"
+                   path h.Covdb.backend h.Covdb.config_hash hdr.Covdb.backend
+                   hdr.Covdb.config_hash)
+            else if
+              h.Covdb.stim_hash <> hdr.Covdb.stim_hash
+              || h.Covdb.word_length <> hdr.Covdb.word_length
+            then
+              Error
+                (Printf.sprintf
+                   "%s: snapshot was recorded against a different stimulus \
+                    word; rerun with the producing run's --seed/--steps"
+                   path)
+            else begin
+              if salvaged then
+                Printf.eprintf
+                  "warning: %s: damaged snapshot; salvaged %d valid records\n%!"
+                  path (Covdb.n_records db);
+              Ok (Some db)
+            end)
+  in
+  match resume_db with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      Error 4
+  | Ok db_opt ->
+      let ck_file =
+        match popts.checkpoint_file with
+        | Some _ as f -> f
+        | None -> popts.resume_file
+      in
+      let save_snapshot ~complete ~truncated pairs =
+        match ck_file with
+        | None -> ()
+        | Some path ->
+            let db = Covdb.create hdr in
+            List.iter
+              (fun (f, v) -> Covdb.set db (key f) (status_of_verdict v))
+              pairs;
+            Covdb.set_complete db complete;
+            Covdb.set_truncated db truncated;
+            Covdb.save db path
+      in
+      let flushes = Atomic.make 0 in
+      let checkpoint =
+        match ck_file with
+        | None -> None
+        | Some _ ->
+            Some
+              {
+                Campaign.every = max 1 popts.checkpoint_every;
+                flush =
+                  (fun pairs ->
+                    save_snapshot ~complete:false ~truncated:None pairs;
+                    let n = 1 + Atomic.fetch_and_add flushes 1 in
+                    match popts.chaos_kill_after with
+                    | Some k when n >= k ->
+                        (* the chaos harness's deterministic crash
+                           point: an uncatchable kill right after a
+                           flush commits *)
+                        Unix.kill (Unix.getpid ()) Sys.sigkill
+                    | _ -> ());
+              }
+      in
+      let resume =
+        Option.map
+          (fun db f -> Option.map verdict_of_status (Covdb.find db (key f)))
+          db_opt
+      in
+      let interrupted = Atomic.make false in
+      let on_signal = Sys.Signal_handle (fun _ -> Atomic.set interrupted true) in
+      let prev_int = Sys.signal Sys.sigint on_signal in
+      let prev_term = Sys.signal Sys.sigterm on_signal in
+      let outcome =
+        Fun.protect
+          ~finally:(fun () ->
+            Sys.set_signal Sys.sigint prev_int;
+            Sys.set_signal Sys.sigterm prev_term)
+          (fun () ->
+            run ?resume ?checkpoint
+              ~should_stop:(fun () -> Atomic.get interrupted)
+              ())
+      in
+      let r = outcome.Campaign.report in
+      let complete =
+        (not (Atomic.get interrupted))
+        && r.Campaign.truncated = None
+        && r.Campaign.shard_failures = []
+        && r.Campaign.skipped = 0
+      in
+      save_snapshot ~complete
+        ~truncated:(Option.map Budget.resource_name r.Campaign.truncated)
+        outcome.Campaign.verdicts;
+      Ok (outcome, Atomic.get interrupted)
+
+(* exit-code priority for a campaign run: an interrupt outranks a
+   degraded-but-finished run, which outranks truncation, which
+   outranks a coverage threshold miss *)
+let campaign_exit ~fail_under ~interrupted ~pct
+    (r : _ Simcov_campaign.Campaign.report) =
+  if interrupted then 130
+  else if r.Simcov_campaign.Campaign.shard_failures <> [] then 5
+  else if r.Simcov_campaign.Campaign.truncated <> None then 3
+  else match fail_under with Some t when pct < t -> 1 | _ -> 0
+
 (* ---- coverage: fault campaigns through the shared engine ---- *)
 
 let coverage_run model kind json_out seed count steps fail_under progress
-    (jobs, lanes) budget obs =
+    (jobs, lanes) popts budget obs =
   guarded @@ fun () ->
   with_obs obs @@ fun () ->
   warn_inert_max_nodes budget;
@@ -582,17 +837,15 @@ let coverage_run model kind json_out seed count steps fail_under progress
   let module Circuit = Simcov_netlist.Circuit in
   let rng = Simcov_util.Rng.create seed in
   let on_batch =
+    (* progress goes to stderr only: stdout is reserved for the report
+       (the stdout-purity CI check pins this down) *)
     if progress then
       Some
         (fun (p : Campaign.progress) ->
-          Printf.eprintf
-            "batch %d/%d: %d/%d faults, %d detected, %d sim steps, %.2fs\n%!"
-            (p.Campaign.batch + 1) p.Campaign.batches p.Campaign.faults_done
-            p.Campaign.faults_total p.Campaign.detected_so_far p.Campaign.sim_steps
-            p.Campaign.elapsed_s)
+          Format.fprintf Format.err_formatter "%a@." Campaign.pp_progress p)
     else None
   in
-  let finish ~name ~word_length json pct truncated =
+  let finish ~name ~word_length json pct (r : _ Campaign.report) interrupted =
     if json_out then
       print_endline
         (Simcov_util.Json.to_string
@@ -600,10 +853,22 @@ let coverage_run model kind json_out seed count steps fail_under progress
               [
                 ("model", Simcov_util.Json.String name);
                 ("word_length", Simcov_util.Json.Int word_length);
-              ]))
-    else ();
-    if truncated then 3
-    else match fail_under with Some t when pct < t -> 1 | _ -> 0
+              ]));
+    List.iter
+      (fun (sf : Campaign.shard_failure) ->
+        Printf.eprintf "warning: shard %d (%d faults) failed: %s\n%!"
+          sf.Campaign.shard sf.Campaign.faults sf.Campaign.error)
+      r.Campaign.shard_failures;
+    if interrupted then
+      Printf.eprintf "interrupted: %s\n%!"
+        (match
+           ( popts.checkpoint_file,
+             popts.resume_file )
+         with
+        | Some f, _ | None, Some f ->
+            Printf.sprintf "final checkpoint flushed to %s; rerun with --resume %s" f f
+        | None, None -> "partial report above (no --checkpoint to resume from)");
+    campaign_exit ~fail_under ~interrupted ~pct r
   in
   let fsm_faults m =
     let n_outputs =
@@ -613,14 +878,33 @@ let coverage_run model kind json_out seed count steps fail_under progress
     @ Fault.sample_output_faults rng m ~n_outputs ~count
   in
   let run_fsm ~name m word =
-    let r = Detect.campaign ?on_batch ~budget ~lanes ~jobs m (fsm_faults m) word in
-    if not json_out then
-      Format.fprintf human_ppf "%s: FSM fault coverage over %d inputs@.  %a@." name
-        (List.length word) Detect.pp_report r;
-    finish ~name ~word_length:(List.length word)
-      (fun extra -> Detect.to_json ~extra r)
-      (Detect.coverage_pct r)
-      (r.Detect.truncated <> None)
+    let faults = fsm_faults m in
+    let hdr =
+      {
+        Covdb.backend = "fsm-fault";
+        run = Printf.sprintf "%s:fsm:seed%d" name seed;
+        config_hash =
+          config_hash ~backend:"fsm-fault" ~model:name (List.map Fault.key faults);
+        stim_hash = stim_hash_ints word;
+        word_length = List.length word;
+        total = List.length faults;
+      }
+    in
+    match
+      run_persisted popts ~hdr ~key:Fault.key
+        ~run:(fun ?resume ?checkpoint ~should_stop () ->
+          Detect.campaign_outcome ?on_batch ?resume ?checkpoint ~should_stop
+            ~budget ~lanes ~jobs m faults word)
+    with
+    | Error code -> code
+    | Ok (outcome, interrupted) ->
+        let r = outcome.Campaign.report in
+        if not json_out then
+          Format.fprintf human_ppf "%s: FSM fault coverage over %d inputs@.  %a@."
+            name (List.length word) Detect.pp_report r;
+        finish ~name ~word_length:(List.length word)
+          (fun extra -> Detect.to_json ~extra r)
+          (Detect.coverage_pct r) r interrupted
   in
   (* random constraint-respecting stimuli for a netlist: rejection
      sampling per step, giving up on a step (and ending the word) after
@@ -688,19 +972,37 @@ let coverage_run model kind json_out seed count steps fail_under progress
       | Error e ->
           Printf.eprintf "error: %s: %s\n" spec e;
           4
-      | Ok (c, name) ->
+      | Ok (c, name) -> (
           let word = random_circuit_word c ~steps in
-          let r =
-            Stuckat.campaign ?on_batch ~budget ~lanes ~jobs c
-              (Stuckat.all_faults c) word
+          let faults = Stuckat.all_faults c in
+          let hdr =
+            {
+              Covdb.backend = "stuck-at";
+              run = Printf.sprintf "%s:stuckat:seed%d" name seed;
+              config_hash =
+                config_hash ~backend:"stuck-at" ~model:name
+                  (List.map Stuckat.fault_key faults);
+              stim_hash = stim_hash_bits word;
+              word_length = List.length word;
+              total = List.length faults;
+            }
           in
-          if not json_out then
-            Format.fprintf human_ppf "%s: stuck-at coverage over %d vectors@.  %a@."
-              name (List.length word) Stuckat.pp_report r;
-          finish ~name ~word_length:(List.length word)
-            (fun extra -> Stuckat.to_json ~extra r)
-            (Stuckat.coverage_pct r)
-            (r.Stuckat.truncated <> None))
+          match
+            run_persisted popts ~hdr ~key:Stuckat.fault_key
+              ~run:(fun ?resume ?checkpoint ~should_stop () ->
+                Stuckat.campaign_outcome ?on_batch ?resume ?checkpoint
+                  ~should_stop ~budget ~lanes ~jobs c faults word)
+          with
+          | Error code -> code
+          | Ok (outcome, interrupted) ->
+              let r = outcome.Campaign.report in
+              if not json_out then
+                Format.fprintf human_ppf
+                  "%s: stuck-at coverage over %d vectors@.  %a@." name
+                  (List.length word) Stuckat.pp_report r;
+              finish ~name ~word_length:(List.length word)
+                (fun extra -> Stuckat.to_json ~extra r)
+                (Stuckat.coverage_pct r) r interrupted))
 
 let coverage_cmd =
   let doc =
@@ -758,7 +1060,161 @@ let coverage_cmd =
     (cmd_info "coverage" ~doc)
     Term.(
       const coverage_run $ model $ kind $ json_out $ seed_term $ count $ steps
-      $ fail_under $ progress $ parallel_term $ budget_term $ obs_term)
+      $ fail_under $ progress $ parallel_term $ persist_term $ budget_term
+      $ obs_term)
+
+(* ---- merge / minimize: offline aggregation of coverage snapshots ---- *)
+
+(* shared loader: salvage-tolerant (a damaged snapshot contributes its
+   valid prefix, with a warning), but an unreadable file or corrupt
+   header is exit 4 *)
+let load_dbs paths =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+        match Covdb.load p with
+        | Error e ->
+            Printf.eprintf "error: %s: %s\n" p e;
+            Error 4
+        | Ok { Covdb.db; salvaged } ->
+            if salvaged then
+              Printf.eprintf
+                "warning: %s: damaged snapshot; salvaged %d valid records\n" p
+                (Covdb.n_records db);
+            go ((p, db) :: acc) rest)
+  in
+  go [] paths
+
+let merge_run inputs output json_out =
+  guarded @@ fun () ->
+  match load_dbs inputs with
+  | Error code -> code
+  | Ok dbs -> (
+      match Covdb.merge (List.map snd dbs) with
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          4
+      | Ok out ->
+          Covdb.save out output;
+          let u, e, d = Covdb.counts out in
+          (if json_out then
+             let open Simcov_util.Json in
+             print_endline
+               (to_string
+                  (Obj
+                     [
+                       ("schema", String "simcov-merge/1");
+                       ( "inputs",
+                         List
+                           (List.map
+                              (fun (p, db) ->
+                                let _, _, di = Covdb.counts db in
+                                Obj
+                                  [
+                                    ("path", String p);
+                                    ("run", String (Covdb.header db).Covdb.run);
+                                    ("records", Int (Covdb.n_records db));
+                                    ("detected", Int di);
+                                    ("complete", Bool (Covdb.complete db));
+                                  ])
+                              dbs) );
+                       ("output", String output);
+                       ("records", Int (Covdb.n_records out));
+                       ("undetected", Int u);
+                       ("excited", Int e);
+                       ("detected", Int d);
+                       ("complete", Bool (Covdb.complete out));
+                     ]))
+           else
+             Printf.printf
+               "merged %d snapshots -> %s: %d records (%d detected, %d \
+                excited-only, %d undetected)%s\n"
+               (List.length dbs) output (Covdb.n_records out) d e u
+               (if Covdb.complete out then "" else " [incomplete]"));
+          0)
+
+let merge_cmd =
+  let doc =
+    "Union $(b,simcov-covdb/1) snapshots of the same campaign configuration \
+     (per fault, the strongest status and earliest steps win) into one \
+     durable snapshot."
+  in
+  let inputs =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Input $(b,simcov-covdb/1) snapshots.")
+  in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Merged snapshot destination.")
+  in
+  let json_out =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit a $(b,simcov-merge/1) summary as JSON.")
+  in
+  Cmd.v (cmd_info "merge" ~doc) Term.(const merge_run $ inputs $ output $ json_out)
+
+let minimize_run inputs json_out =
+  guarded @@ fun () ->
+  match load_dbs inputs with
+  | Error code -> code
+  | Ok dbs -> (
+      match Covdb.minimize dbs with
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          4
+      | Ok sel ->
+          (if json_out then
+             let open Simcov_util.Json in
+             print_endline
+               (to_string
+                  (Obj
+                     [
+                       ("schema", String "simcov-minimize/1");
+                       ( "selected",
+                         List
+                           (List.map
+                              (fun (path, gain) ->
+                                Obj
+                                  [
+                                    ("path", String path);
+                                    ("new_covered", Int gain);
+                                  ])
+                              sel.Covdb.chosen) );
+                       ("covered", Int sel.Covdb.covered);
+                       ("union_detected", Int sel.Covdb.union_detected);
+                     ]))
+           else begin
+             Printf.printf
+               "%d of %d runs cover %d/%d detected faults:\n"
+               (List.length sel.Covdb.chosen)
+               (List.length dbs) sel.Covdb.covered sel.Covdb.union_detected;
+             List.iter
+               (fun (path, gain) -> Printf.printf "  %s (+%d)\n" path gain)
+               sel.Covdb.chosen
+           end);
+          0)
+
+let minimize_cmd =
+  let doc =
+    "Greedy set-cover over $(b,simcov-covdb/1) snapshots: pick the smallest \
+     run subset (largest marginal detection first) that covers every fault \
+     the whole fleet detected — a minimal regression suite."
+  in
+  let inputs =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Input $(b,simcov-covdb/1) snapshots.")
+  in
+  let json_out =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit a $(b,simcov-minimize/1) report as JSON.")
+  in
+  Cmd.v (cmd_info "minimize" ~doc) Term.(const minimize_run $ inputs $ json_out)
 
 (* ---- main ---- *)
 
@@ -774,7 +1230,7 @@ let () =
     Cmd.group info
       [
         validate_cmd; tour_cmd; abstract_cmd; stats_cmd; fig2_cmd; run_cmd; dsp_cmd;
-        model_cmd; lint_cmd; coverage_cmd;
+        model_cmd; lint_cmd; coverage_cmd; merge_cmd; minimize_cmd;
       ]
   in
   exit (Cmd.eval' ~term_err:2 group)

@@ -7,6 +7,10 @@ let c_batches = Obs.counter "campaign.batches"
 let c_sim_steps = Obs.counter "campaign.sim_steps"
 let c_faults_evaluated = Obs.counter "campaign.faults_evaluated"
 let c_shards = Obs.counter "campaign.shards"
+let c_checkpoints = Obs.counter "campaign.checkpoints"
+let c_resumed = Obs.counter "campaign.resumed_faults"
+let c_shard_retries = Obs.counter "campaign.shard_retries"
+let c_shard_failures = Obs.counter "campaign.shard_failures"
 let tm_batch = Obs.timer "campaign.batch"
 let g_throughput = Obs.gauge "campaign.sim_steps_per_s"
 let g_jobs = Obs.gauge "campaign.jobs"
@@ -55,6 +59,8 @@ module type BACKEND_W = sig
   val step : batch -> active:L.t -> stim -> L.t lane_event
 end
 
+type shard_failure = { shard : int; faults : int; error : string }
+
 type 'f report = {
   backend : string;
   total : int;
@@ -64,6 +70,7 @@ type 'f report = {
   missed : 'f list;
   skipped : int;
   truncated : Budget.resource option;
+  shard_failures : shard_failure list;
 }
 
 let coverage_pct r =
@@ -75,11 +82,20 @@ let pp_report ppf r =
     "faults: %d total, %d effective, %d excited, %d detected (%.1f%%), %d missed"
     r.total r.effective r.excited r.detected (coverage_pct r)
     (List.length r.missed);
-  match r.truncated with
+  (match r.truncated with
   | None -> ()
   | Some res ->
       Format.fprintf ppf " [truncated: out of %s, %d skipped]"
-        (Budget.resource_name res) r.skipped
+        (Budget.resource_name res) r.skipped);
+  match r.shard_failures with
+  | [] -> ()
+  | fs ->
+      Format.fprintf ppf " [%d failed shard%s: %s]" (List.length fs)
+        (if List.length fs = 1 then "" else "s")
+        (String.concat "; "
+           (List.map
+              (fun f -> Printf.sprintf "shard %d (%d faults): %s" f.shard f.faults f.error)
+              fs))
 
 let to_json ?fault ?(extra = []) r =
   let base =
@@ -97,6 +113,17 @@ let to_json ?fault ?(extra = []) r =
         match r.truncated with
         | None -> Json.Null
         | Some res -> Json.String (Budget.resource_name res) );
+      ( "shard_failures",
+        Json.List
+          (List.map
+             (fun f ->
+               Json.Obj
+                 [
+                   ("shard", Json.Int f.shard);
+                   ("faults", Json.Int f.faults);
+                   ("error", Json.String f.error);
+                 ])
+             r.shard_failures) );
     ]
   in
   let missed_faults =
@@ -116,7 +143,18 @@ type progress = {
   elapsed_s : float;
 }
 
+let pp_progress ppf p =
+  Format.fprintf ppf "batch %d/%d: %d/%d faults, %d detected, %d sim steps, %.2fs"
+    (p.batch + 1) p.batches p.faults_done p.faults_total p.detected_so_far
+    p.sim_steps p.elapsed_s
+
 type 'f outcome = { report : 'f report; verdicts : ('f * verdict) list }
+
+(* Periodic persistence: [flush] receives every verdict decided so far
+   (including resumed ones) after each [every] completed batches. The
+   list is unordered and may contain duplicate faults when a retried
+   shard re-evaluates a batch — consumers key by fault. *)
+type 'f checkpoint = { every : int; flush : ('f * verdict) list -> unit }
 
 let ones n = if n >= Sys.int_size then -1 else (1 lsl n) - 1
 
@@ -164,9 +202,13 @@ module Make_wide (B : BACKEND_W) = struct
      fault array. [notify] fires after each completed batch with the
      shard-local batch index/total and that batch's increments; the
      caller decides whether those feed a global progress callback
-     directly (sequential run) or shared atomics (sharded run). *)
-  let run_shard ~budget ~notify ctx (eff : B.fault array) (stims : B.stim array)
-      =
+     directly (sequential run) or shared atomics (sharded run). [sink]
+     receives each completed batch's verdicts (checkpoint accumulation)
+     and [stop] is polled at every batch boundary (cooperative
+     interruption: the shard winds down exactly like budget exhaustion
+     but leaves [a_truncated] unset). *)
+  let run_shard ~budget ~notify ~stop ~sink ctx (eff : B.fault array)
+      (stims : B.stim array) =
     let n = Array.length eff in
     let width = max 1 (min B.max_lanes L.width) in
     let batches = if n = 0 then 0 else ((n - 1) / width) + 1 in
@@ -183,6 +225,7 @@ module Make_wide (B : BACKEND_W) = struct
     in
     (try
        for bi = 0 to batches - 1 do
+         if stop () then raise Stop_run;
          (match spend budget with
          | Some res ->
              acc.a_truncated <- Some res;
@@ -233,6 +276,7 @@ module Make_wide (B : BACKEND_W) = struct
           with Stop_batch -> ());
          acc.a_steps <- acc.a_steps + !batch_steps;
          let batch_det = ref 0 in
+         let bverd = ref [] in
          for l = 0 to bw - 1 do
            let v =
              {
@@ -248,48 +292,174 @@ module Make_wide (B : BACKEND_W) = struct
              Stdlib.incr batch_det
            end
            else if v.excited then acc.a_missed <- sub.(l) :: acc.a_missed;
-           acc.a_verdicts <- (sub.(l), v) :: acc.a_verdicts
+           acc.a_verdicts <- (sub.(l), v) :: acc.a_verdicts;
+           bverd := (sub.(l), v) :: !bverd
          done;
          acc.a_evaluated <- lo + bw;
          Obs.add c_faults_evaluated bw;
+         sink !bverd;
          notify acc ~batch:bi ~batches ~batch_faults:bw ~batch_det:!batch_det
            ~batch_steps:!batch_steps
        done
      with Stop_run -> ());
     acc
 
-  let run ?(budget = Budget.unlimited) ?(jobs = 1) ?on_batch ctx faults word =
+  let run ?(budget = Budget.unlimited) ?(jobs = 1) ?on_batch ?resume ?checkpoint
+      ?(should_stop = fun () -> false) ?(shard_retries = 1)
+      ?(retry_backoff_s = 0.05) ctx faults word =
     let t0 = Unix.gettimeofday () in
     let total = List.length faults in
     let eff = Array.of_list (List.filter (B.effective ctx) faults) in
-    let n = Array.length eff in
+    let n_eff = Array.length eff in
     let stims = Array.of_list word in
+    (* Resumed faults retire before batching: a verdict recorded by an
+       earlier (checkpointed) run is injected as-is and only undecided
+       faults are simulated. Verdicts are a pure function of
+       (fault, word), independent of batching and sharding, so the
+       assembled report matches an uninterrupted run exactly. *)
+    let pre =
+      match resume with
+      | None -> Array.make n_eff None
+      | Some f -> Array.map f eff
+    in
+    let n_pre = Array.fold_left (fun c v -> if v = None then c else c + 1) 0 pre in
+    if n_pre > 0 then begin
+      Obs.add c_resumed n_pre;
+      Obs.event "campaign.resume" ~fields:(fun () ->
+          [ ("faults", Json.Int n_pre); ("remaining", Json.Int (n_eff - n_pre)) ])
+    end;
+    let todo_idx = Array.make (n_eff - n_pre) 0 in
+    let ti = ref 0 in
+    Array.iteri
+      (fun i v ->
+        if v = None then begin
+          todo_idx.(!ti) <- i;
+          Stdlib.incr ti
+        end)
+      pre;
+    let todo = Array.map (fun i -> eff.(i)) todo_idx in
+    let n = Array.length todo in
     let jobs = max 1 (min jobs (max n 1)) in
     Obs.set g_jobs jobs;
     Obs.set g_lanes (max 1 (min B.max_lanes L.width));
-    let report_of ~excited ~detected ~missed ~verdicts ~evaluated ~truncated =
-      let report =
-        {
-          backend = B.name;
-          total;
-          effective = evaluated;
-          excited;
-          detected;
-          missed;
-          skipped = n - evaluated;
-          truncated;
-        }
-      in
-      { report; verdicts }
+    (* checkpoint accumulation, shared by every shard: each completed
+       batch appends its verdicts under the lock, and every [every]
+       batches the cumulative list (seeded with the resumed verdicts,
+       so a chain of interrupted runs never loses earlier decisions)
+       is handed to [flush] *)
+    let ck_lock = Mutex.create () in
+    let decided =
+      ref
+        (match checkpoint with
+        | None -> []
+        | Some _ ->
+            let l = ref [] in
+            Array.iteri
+              (fun i v ->
+                match v with Some v -> l := (eff.(i), v) :: !l | None -> ())
+              pre;
+            !l)
     in
-    let finish sim_steps =
+    let ck_batches = ref 0 in
+    let sink =
+      match checkpoint with
+      | None -> fun _ -> ()
+      | Some c ->
+          fun bvs ->
+            Mutex.lock ck_lock;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock ck_lock)
+              (fun () ->
+                decided := List.rev_append bvs !decided;
+                Stdlib.incr ck_batches;
+                if c.every > 0 && !ck_batches mod c.every = 0 then begin
+                  Obs.incr c_checkpoints;
+                  Obs.event "campaign.checkpoint" ~fields:(fun () ->
+                      [ ("decided", Json.Int (List.length !decided)) ]);
+                  c.flush !decided
+                end)
+    in
+    let ranges = shard_ranges ~n ~jobs in
+    let finish results =
+      let sim_steps =
+        Array.fold_left
+          (fun s -> function Ok a -> s + a.a_steps | Error _ -> s)
+          0 results
+      in
       let elapsed = Unix.gettimeofday () -. t0 in
       if elapsed > 1e-9 then
         Obs.set g_throughput (int_of_float (float_of_int sim_steps /. elapsed))
     in
+    (* Deterministic assembly, shared by the sequential and sharded
+       paths: verdicts land back at their fault's position in the
+       effective-fault order — resumed verdicts at theirs, each Ok
+       shard's evaluated prefix at its slice's — and every derived
+       count/list is read off that one array. Failed shards leave
+       holes, which surface as [skipped] plus a [shard_failures]
+       entry. *)
+    let assemble (results : (shard_acc, string) result array) =
+      let final = Array.copy pre in
+      Array.iteri
+        (fun s res ->
+          match res with
+          | Error _ -> ()
+          | Ok acc ->
+              let off, _ = ranges.(s) in
+              List.iteri
+                (fun j (_, v) -> final.(todo_idx.(off + j)) <- Some v)
+                (List.rev acc.a_verdicts))
+        results;
+      let excited = ref 0 and detected = ref 0 and evaluated = ref 0 in
+      let missed = ref [] and verdicts = ref [] in
+      for i = n_eff - 1 downto 0 do
+        match final.(i) with
+        | None -> ()
+        | Some v ->
+            Stdlib.incr evaluated;
+            if v.excited then Stdlib.incr excited;
+            if v.detected then Stdlib.incr detected
+            else if v.excited then missed := eff.(i) :: !missed;
+            verdicts := (eff.(i), v) :: !verdicts
+      done;
+      let truncated =
+        Array.fold_left
+          (fun t res ->
+            if t <> None then t
+            else match res with Ok a -> a.a_truncated | Error _ -> None)
+          None results
+      in
+      let shard_failures =
+        List.rev
+          (snd
+             (Array.fold_left
+                (fun (s, acc) res ->
+                  match res with
+                  | Ok _ -> (s + 1, acc)
+                  | Error error ->
+                      (s + 1, { shard = s; faults = snd ranges.(s); error } :: acc))
+                (0, []) results))
+      in
+      finish results;
+      {
+        report =
+          {
+            backend = B.name;
+            total;
+            effective = !evaluated;
+            excited = !excited;
+            detected = !detected;
+            missed = !missed;
+            skipped = n_eff - !evaluated;
+            truncated;
+            shard_failures;
+          };
+        verdicts = !verdicts;
+      }
+    in
     if jobs = 1 then begin
       (* sequential path: identical batch loop, progress reported with
-         global = shard-local indices *)
+         global = shard-local indices, exceptions propagate (there is
+         no pool to isolate them from) *)
       let notify acc ~batch ~batches ~batch_faults:_ ~batch_det:_
           ~batch_steps:_ =
         match on_batch with
@@ -306,15 +476,10 @@ module Make_wide (B : BACKEND_W) = struct
                 elapsed_s = Unix.gettimeofday () -. t0;
               }
       in
-      let acc = run_shard ~budget ~notify ctx eff stims in
-      finish acc.a_steps;
-      report_of ~excited:acc.a_excited ~detected:acc.a_detected
-        ~missed:(List.rev acc.a_missed)
-        ~verdicts:(List.rev acc.a_verdicts)
-        ~evaluated:acc.a_evaluated ~truncated:acc.a_truncated
+      let acc = run_shard ~budget ~notify ~stop:should_stop ~sink ctx todo stims in
+      assemble [| Ok acc |]
     end
     else begin
-      let ranges = shard_ranges ~n ~jobs in
       let width = max 1 (min B.max_lanes L.width) in
       let batches_total =
         Array.fold_left
@@ -354,61 +519,86 @@ module Make_wide (B : BACKEND_W) = struct
       in
       let run_one i =
         let off, len = ranges.(i) in
-        let slice = Array.sub eff off len in
+        let slice = Array.sub todo off len in
         Obs.incr c_shards;
-        run_shard ~budget:sub_budgets.(i) ~notify ctx slice stims
+        run_shard ~budget:sub_budgets.(i) ~notify ~stop:should_stop ~sink ctx
+          slice stims
+      in
+      (* Worker fault isolation: an exception in one shard must not
+         tear down the pool. The failing attempt is retried — each
+         retry on a freshly spawned domain (a worker poisoned by the
+         failure cannot contaminate it) after an exponentially growing
+         backoff, sharing the shard's remaining sub-budget — and a
+         shard that exhausts its retries degrades to an [Error] slot
+         that the assembly reports as a [shard_failure] instead of
+         aborting the campaign. *)
+      let attempt i =
+        let rec go k backoff first_err =
+          let res =
+            if k = 0 then
+              try Ok (run_one i) with e -> Error (Printexc.to_string e)
+            else begin
+              Unix.sleepf backoff;
+              Domain.join
+                (Domain.spawn (fun () ->
+                     try Ok (run_one i) with e -> Error (Printexc.to_string e)))
+            end
+          in
+          match res with
+          | Ok _ as ok -> ok
+          | Error msg ->
+              if k >= shard_retries then begin
+                Obs.incr c_shard_failures;
+                Obs.event "campaign.shard_failure" ~fields:(fun () ->
+                    [ ("shard", Json.Int i); ("error", Json.String msg) ]);
+                Error
+                  (match first_err with
+                  | Some f when f <> msg ->
+                      msg ^ " (first attempt: " ^ f ^ ")"
+                  | _ -> msg)
+              end
+              else begin
+                Obs.incr c_shard_retries;
+                Obs.event "campaign.shard_retry" ~fields:(fun () ->
+                    [
+                      ("shard", Json.Int i);
+                      ("attempt", Json.Int (k + 1));
+                      ("error", Json.String msg);
+                    ]);
+                go (k + 1) (backoff *. 2.)
+                  (Some (Option.value first_err ~default:msg))
+              end
+        in
+        go 0 retry_backoff_s None
       in
       (* [jobs] fixes the shard decomposition (and with it the report),
          while the number of concurrently running domains is capped at
          the hardware parallelism: shards are independent, so a worker
          pool draining them in any interleaving produces the same accs,
          and oversubscribing domains on too few cores only buys
-         stop-the-world handshake churn. Each [accs] slot is written by
-         exactly one claimant, and the joins order those writes before
-         the merge below. *)
-      let workers =
-        min jobs (max 1 (Domain.recommended_domain_count ()))
-      in
+         stop-the-world handshake churn. Each [results] slot is written
+         by exactly one claimant, and the joins order those writes
+         before the assembly below. *)
+      let workers = min jobs (max 1 (Domain.recommended_domain_count ())) in
       Obs.set g_workers workers;
-      let accs = Array.make jobs None in
+      let results = Array.make jobs None in
       let next = Atomic.make 0 in
       let drain () =
         let rec loop () =
           let i = Atomic.fetch_and_add next 1 in
           if i < jobs then begin
-            accs.(i) <- Some (run_one i);
+            results.(i) <- Some (attempt i);
             loop ()
           end
         in
         loop ()
       in
-      let domains =
-        Array.init (workers - 1) (fun _ -> Domain.spawn drain)
-      in
+      let domains = Array.init (workers - 1) (fun _ -> Domain.spawn drain) in
       drain ();
       Array.iter Domain.join domains;
-      let accs = Array.map Option.get accs in
+      let results = Array.map Option.get results in
       Array.iter (Budget.reclaim budget) sub_budgets;
-      (* deterministic merge: shard order = fault order, each shard's
-         evaluated faults are a prefix of that shard *)
-      let sum f = Array.fold_left (fun s a -> s + f a) 0 accs in
-      let truncated =
-        Array.fold_left
-          (fun t a -> if t <> None then t else a.a_truncated)
-          None accs
-      in
-      finish (sum (fun a -> a.a_steps));
-      report_of
-        ~excited:(sum (fun a -> a.a_excited))
-        ~detected:(sum (fun a -> a.a_detected))
-        ~missed:
-          (List.concat_map (fun a -> List.rev a.a_missed) (Array.to_list accs))
-        ~verdicts:
-          (List.concat_map
-             (fun a -> List.rev a.a_verdicts)
-             (Array.to_list accs))
-        ~evaluated:(sum (fun a -> a.a_evaluated))
-        ~truncated
+      assemble results
     end
 end
 

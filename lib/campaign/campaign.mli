@@ -133,6 +133,14 @@ end
 
 (** {1 Reports} *)
 
+type shard_failure = {
+  shard : int;  (** index into {!shard_ranges}'s decomposition *)
+  faults : int;  (** effective faults the failed shard was assigned *)
+  error : string;  (** [Printexc.to_string] of the last attempt's exception *)
+}
+(** A shard whose worker raised on every attempt (initial run plus
+    retries on fresh domains); its faults are counted in [skipped]. *)
+
 type 'f report = {
   backend : string;
   total : int;  (** faults submitted, including ineffective ones *)
@@ -144,6 +152,10 @@ type 'f report = {
   truncated : Budget.resource option;
       (** [Some r] when the budget ran out mid-campaign; the counters
           then describe the evaluated shard prefixes of the fault list *)
+  shard_failures : shard_failure list;
+      (** shards lost to worker faults, in shard order; empty on any
+          healthy run (and always on the sequential path, where there
+          is no pool to isolate an exception from) *)
 }
 
 val coverage_pct : 'f report -> float
@@ -175,12 +187,34 @@ type progress = {
   elapsed_s : float;
 }
 
+val pp_progress : Format.formatter -> progress -> unit
+(** One human-readable progress line (no trailing newline) — the
+    rendering the CLI writes to stderr. *)
+
 type 'f outcome = {
   report : 'f report;
   verdicts : ('f * verdict) list;
-      (** per-fault verdicts for the evaluated effective faults, in
-          fault-list order (shard-prefix order under truncation) *)
+      (** per-fault verdicts for the evaluated effective faults
+          (including resumed ones), in fault-list order *)
 }
+
+type 'f checkpoint = {
+  every : int;
+      (** flush after every [every] completed batches (counted across
+          all shards); [<= 0] disables periodic flushing *)
+  flush : ('f * verdict) list -> unit;
+      (** Receives every verdict decided so far — resumed verdicts
+          included, so a chain of interrupted runs never loses earlier
+          decisions. The list is unordered and may repeat a fault when
+          a retried shard re-evaluates a batch; consumers must key by
+          fault. Called under the checkpoint lock: keep it quick, and
+          never let it raise. *)
+}
+(** Periodic persistence hook, designed to feed [Covdb.save]: because a
+    verdict depends only on [(fault, stimulus word)], a snapshot taken
+    at any batch boundary can seed [?resume] of a later run — under any
+    [jobs]/lane-width configuration — and that run's final report is
+    identical to the uninterrupted one. *)
 
 (** {1 Lane-set helpers (for backends)} *)
 
@@ -204,6 +238,11 @@ module Make_wide (B : BACKEND_W) : sig
     ?budget:Budget.t ->
     ?jobs:int ->
     ?on_batch:(progress -> unit) ->
+    ?resume:(B.fault -> verdict option) ->
+    ?checkpoint:B.fault checkpoint ->
+    ?should_stop:(unit -> bool) ->
+    ?shard_retries:int ->
+    ?retry_backoff_s:float ->
     B.ctx ->
     B.fault list ->
     B.stim list ->
@@ -218,9 +257,34 @@ module Make_wide (B : BACKEND_W) : sig
       tagged [truncated]. Never raises [Budget_exceeded].
 
       [jobs > 1] shards the effective faults across that many domains
-      (clamped to the fault count), each with a sub-budget from
-      {!Budget.split}; reports are merged per the determinism contract
-      above and unspent sub-allowances are {!Budget.reclaim}ed. *)
+      (clamped to the undecided-fault count), each with a sub-budget
+      from {!Budget.split}; reports are merged per the determinism
+      contract above and unspent sub-allowances are
+      {!Budget.reclaim}ed.
+
+      {b Crash safety and isolation} (all default off):
+      - [resume] retires faults whose verdict a previous run already
+        recorded: [Some v] injects [v] verbatim and the fault is never
+        simulated, [None] leaves it for this run. Only undecided faults
+        are sharded, so resuming changes batching — but not verdicts,
+        which depend only on [(fault, word)]; the assembled report
+        equals the uninterrupted run's.
+      - [checkpoint] flushes cumulative verdicts every [every] batches
+        (see {!type-checkpoint}). The driver never flushes at the end
+        of the run — the caller persists the final outcome itself,
+        where it also knows completeness.
+      - [should_stop] is polled before each batch (and before each
+        budget spend); once true, every shard stops cleanly at its next
+        batch boundary. The report is then partial exactly as under
+        truncation, except [truncated] stays [None] — the caller
+        (e.g. a SIGINT handler) knows why it stopped.
+      - A worker exception aborts only its shard: the shard is retried
+        [shard_retries] times, each retry on a freshly spawned domain
+        after an exponentially growing backoff starting at
+        [retry_backoff_s] (sharing the shard's remaining sub-budget),
+        and a shard failing every attempt becomes a {!shard_failure}
+        entry, its faults counted in [skipped]. Sequential runs
+        ([jobs = 1]) propagate the exception instead. *)
 end
 
 module Make (B : BACKEND) : sig
@@ -228,6 +292,11 @@ module Make (B : BACKEND) : sig
     ?budget:Budget.t ->
     ?jobs:int ->
     ?on_batch:(progress -> unit) ->
+    ?resume:(B.fault -> verdict option) ->
+    ?checkpoint:B.fault checkpoint ->
+    ?should_stop:(unit -> bool) ->
+    ?shard_retries:int ->
+    ?retry_backoff_s:float ->
     B.ctx ->
     B.fault list ->
     B.stim list ->

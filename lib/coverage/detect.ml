@@ -58,6 +58,7 @@ type 'f campaign_report = 'f Campaign.report = {
   missed : 'f list;
   skipped : int;
   truncated : Simcov_util.Budget.resource option;
+  shard_failures : Campaign.shard_failure list;
 }
 
 type report = Fault.t campaign_report
@@ -468,14 +469,18 @@ end
 
 module Driver = Campaign.Make (Fsm_backend)
 
-let campaign_outcome ?budget ?lanes ?jobs ?on_batch golden faults word =
+let campaign_outcome ?budget ?lanes ?jobs ?on_batch ?resume ?checkpoint
+    ?should_stop ?shard_retries ?retry_backoff_s golden faults word =
   let ctx = { Fsm_backend.m = golden; tab = Fsm.tables golden } in
   match lanes with
   | Some w when w > Sys.int_size ->
       let module L = (val Simcov_util.Lanes.make w) in
       let module D = Campaign.Make_wide (Fsm_backend_w (L)) in
-      D.run ?budget ?jobs ?on_batch ctx faults word
-  | _ -> Driver.run ?budget ?jobs ?on_batch ctx faults word
+      D.run ?budget ?jobs ?on_batch ?resume ?checkpoint ?should_stop
+        ?shard_retries ?retry_backoff_s ctx faults word
+  | _ ->
+      Driver.run ?budget ?jobs ?on_batch ?resume ?checkpoint ?should_stop
+        ?shard_retries ?retry_backoff_s ctx faults word
 
 let campaign ?budget ?lanes ?jobs ?on_batch golden faults word =
   (campaign_outcome ?budget ?lanes ?jobs ?on_batch golden faults word)
@@ -510,6 +515,7 @@ let campaign_scalar golden faults word =
         missed = List.rev !missed;
         skipped = 0;
         truncated = None;
+        shard_failures = [];
       };
     verdicts = List.rev !verdicts;
   }

@@ -44,6 +44,9 @@ type 'f campaign_report = 'f Campaign.report = {
   missed : 'f list;  (** effective, excited, yet undetected *)
   skipped : int;  (** effective faults left unevaluated by truncation *)
   truncated : Simcov_util.Budget.resource option;
+  shard_failures : Campaign.shard_failure list;
+      (** shards lost to worker faults under [~jobs]; empty on healthy
+          runs *)
 }
 (** The shared campaign report, re-exported so existing field accesses
     ([r.Detect.total], …) keep working. *)
@@ -74,11 +77,21 @@ val campaign_outcome :
   ?lanes:int ->
   ?jobs:int ->
   ?on_batch:(Campaign.progress -> unit) ->
+  ?resume:(Fault.t -> Campaign.verdict option) ->
+  ?checkpoint:Fault.t Campaign.checkpoint ->
+  ?should_stop:(unit -> bool) ->
+  ?shard_retries:int ->
+  ?retry_backoff_s:float ->
   Fsm.t ->
   Fault.t list ->
   int list ->
   Fault.t Campaign.outcome
-(** As {!campaign}, additionally returning per-fault verdicts. *)
+(** As {!campaign}, additionally returning per-fault verdicts, and
+    exposing the driver's crash-safety hooks: [resume] retires
+    already-decided faults, [checkpoint] flushes cumulative verdicts
+    periodically, [should_stop] requests a clean early stop, and a
+    worker exception costs at most one shard (reported in
+    [shard_failures] after [shard_retries] fresh-domain retries). *)
 
 val campaign_scalar : Fsm.t -> Fault.t list -> int list -> Fault.t Campaign.outcome
 (** The scalar reference: one {!run_verdict} rerun per effective fault.

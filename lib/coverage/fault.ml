@@ -21,6 +21,14 @@ let pp ppf = function
 
 let equal = ( = )
 
+let key = function
+  | Transfer { state; input; wrong_next } ->
+      Printf.sprintf "t:%d:%d:%d" state input wrong_next
+  | Output { state; input; wrong_output } ->
+      Printf.sprintf "o:%d:%d:%d" state input wrong_output
+  | Conditional_output { state; input; wrong_output; prev = ps, pi } ->
+      Printf.sprintf "c:%d:%d:%d:%d:%d" state input wrong_output ps pi
+
 let to_json fault =
   let open Simcov_util.Json in
   match fault with

@@ -27,6 +27,11 @@ type t =
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
 
+val key : t -> string
+(** A stable, injective textual key (["t:s:i:w"], ["o:s:i:w"],
+    ["c:s:i:w:ps:pi"]) — the coverage-database record key: equal faults
+    have equal keys across runs and processes. *)
+
 val to_json : t -> Simcov_util.Json.t
 (** Structured rendering for campaign reports ([kind] plus the site and
     wrong-value fields). *)

@@ -280,13 +280,17 @@ end
 
 module Driver = Campaign.Make (Net_backend)
 
-let campaign_outcome ?budget ?lanes ?jobs ?on_batch c faults word =
+let campaign_outcome ?budget ?lanes ?jobs ?on_batch ?resume ?checkpoint
+    ?should_stop ?shard_retries ?retry_backoff_s c faults word =
   match lanes with
   | Some w when w > Sys.int_size ->
       let module L = (val Simcov_util.Lanes.make w) in
       let module D = Campaign.Make_wide (Net_backend_w (L)) in
-      D.run ?budget ?jobs ?on_batch c faults word
-  | _ -> Driver.run ?budget ?jobs ?on_batch c faults word
+      D.run ?budget ?jobs ?on_batch ?resume ?checkpoint ?should_stop
+        ?shard_retries ?retry_backoff_s c faults word
+  | _ ->
+      Driver.run ?budget ?jobs ?on_batch ?resume ?checkpoint ?should_stop
+        ?shard_retries ?retry_backoff_s c faults word
 
 let campaign ?budget ?lanes ?jobs ?on_batch c faults word =
   (campaign_outcome ?budget ?lanes ?jobs ?on_batch c faults word)
@@ -301,6 +305,7 @@ type 'f campaign_report = 'f Campaign.report = {
   missed : 'f list;
   skipped : int;
   truncated : Simcov_util.Budget.resource option;
+  shard_failures : Campaign.shard_failure list;
 }
 
 type report = fault campaign_report
@@ -318,6 +323,12 @@ let fault_to_json f =
   Obj (where @ [ ("stuck", Int (if f.stuck then 1 else 0)) ])
 
 let to_json ?extra r = Campaign.to_json ~fault:fault_to_json ?extra r
+
+let fault_key f =
+  let tag, i =
+    match f.site with Reg_output r -> ("r", r) | Primary_input i -> ("i", i)
+  in
+  Printf.sprintf "%s:%d:%d" tag i (if f.stuck then 1 else 0)
 
 let pp_fault ppf f =
   let where =

@@ -57,6 +57,9 @@ type 'f campaign_report = 'f Campaign.report = {
   missed : 'f list;
   skipped : int;
   truncated : Simcov_util.Budget.resource option;
+  shard_failures : Campaign.shard_failure list;
+      (** shards lost to worker faults under [~jobs]; empty on healthy
+          runs *)
 }
 
 type report = fault campaign_report
@@ -80,14 +83,27 @@ val campaign_outcome :
   ?lanes:int ->
   ?jobs:int ->
   ?on_batch:(Campaign.progress -> unit) ->
+  ?resume:(fault -> Campaign.verdict option) ->
+  ?checkpoint:fault Campaign.checkpoint ->
+  ?should_stop:(unit -> bool) ->
+  ?shard_retries:int ->
+  ?retry_backoff_s:float ->
   Circuit.t ->
   fault list ->
   bool array list ->
   fault Campaign.outcome
+(** As {!campaign}, additionally returning per-fault verdicts and the
+    driver's crash-safety hooks (resume / checkpoint / clean stop /
+    shard fault isolation — see {!Simcov_campaign.Campaign}). *)
 
 val coverage_pct : report -> float
 val pp_report : Format.formatter -> report -> unit
 val fault_to_json : fault -> Simcov_util.Json.t
+
+val fault_key : fault -> string
+(** A stable, injective textual key (["r:N:b"] / ["i:N:b"]) — the
+    coverage-database record key: equal faults have equal keys across
+    runs and processes. *)
 
 val to_json :
   ?extra:(string * Simcov_util.Json.t) list -> report -> Simcov_util.Json.t

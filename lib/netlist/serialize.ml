@@ -289,10 +289,7 @@ let of_string text =
   | exception exn ->
       Error { line = 0; col = 0; msg = "internal error: " ^ Printexc.to_string exn }
 
-let save c path =
-  let oc = open_out path in
-  output_string oc (to_string c);
-  close_out oc
+let save c path = Simcov_util.Durable.write_string path (to_string c)
 
 let load path =
   match In_channel.with_open_text path In_channel.input_all with

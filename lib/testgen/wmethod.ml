@@ -139,4 +139,5 @@ let campaign m faults words =
     missed = List.rev !missed;
     skipped = 0;
     truncated = None;
+    shard_failures = [];
   }

@@ -515,9 +515,174 @@ let test_json_schema () =
           Alcotest.(check bool) k true (List.mem_assoc k fields))
         [
           "backend"; "total"; "effective"; "excited"; "detected"; "missed";
-          "skipped"; "coverage_pct"; "truncated"; "missed_faults"; "model";
+          "skipped"; "coverage_pct"; "truncated"; "shard_failures";
+          "missed_faults"; "model";
         ]
   | _ -> Alcotest.fail "campaign JSON is not an object"
+
+(* ---- crash safety and shard isolation ---- *)
+
+(* A deterministic synthetic backend whose workers can be poisoned: a
+   batch containing a poisoned fault raises in [start] — every time, or
+   only on the first attempt ([fail_once]) to model a transient worker
+   fault that a retry on a fresh domain absorbs. *)
+module Synth = struct
+  type ctx = { poison : int -> bool; fail_once : bool Atomic.t option }
+  type fault = int
+  type stim = int
+
+  let name = "synthetic"
+  let max_lanes = 8
+  let effective _ _ = true
+
+  type batch = { faults : fault array; mutable t : int }
+
+  let start ctx faults =
+    if Array.exists ctx.poison faults then begin
+      let blow =
+        match ctx.fail_once with
+        | None -> true
+        | Some flag -> Atomic.compare_and_set flag false true
+      in
+      if blow then failwith "injected worker fault"
+    end;
+    { faults; t = 0 }
+
+  let step b ~active:_ x =
+    let exc = ref 0 and det = ref 0 in
+    Array.iteri
+      (fun l f ->
+        if (f + x) mod 5 = 0 then exc := !exc lor (1 lsl l);
+        if ((f * 7) + x + b.t) mod 11 = 0 then det := !det lor (1 lsl l))
+      b.faults;
+    b.t <- b.t + 1;
+    { Campaign.excited = !exc; detected = !det; halt = false }
+end
+
+module Synth_driver = Campaign.Make (Synth)
+
+let synth_ctx = { Synth.poison = (fun _ -> false); fail_once = None }
+let synth_faults = List.init 200 Fun.id
+let synth_word = List.init 60 (fun i -> i * 13 mod 29)
+
+let check_synth_outcomes_equal ~what (a : int Campaign.outcome)
+    (b : int Campaign.outcome) =
+  Alcotest.(check int)
+    (what ^ ": verdict count")
+    (List.length a.Campaign.verdicts)
+    (List.length b.Campaign.verdicts);
+  List.iter2
+    (fun (fa, va) (fb, vb) ->
+      Alcotest.(check int) (what ^ ": fault order") fa fb;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: verdict for fault %d" what fa)
+        true (verdict_eq va vb))
+    a.Campaign.verdicts b.Campaign.verdicts;
+  Alcotest.(check int)
+    (what ^ ": detected")
+    a.Campaign.report.Campaign.detected b.Campaign.report.Campaign.detected;
+  Alcotest.(check int)
+    (what ^ ": excited")
+    a.Campaign.report.Campaign.excited b.Campaign.report.Campaign.excited
+
+(* interrupt a sharded run via [should_stop] after a few checkpoint
+   flushes, then resume from the snapshot under different jobs counts:
+   the final outcome must equal the uninterrupted run exactly *)
+let test_checkpoint_resume_equivalence () =
+  let reference = Synth_driver.run synth_ctx synth_faults synth_word in
+  let flushed = Atomic.make 0 in
+  let latest = ref [] in
+  let interrupted =
+    Synth_driver.run ~jobs:2
+      ~checkpoint:
+        {
+          Campaign.every = 1;
+          flush =
+            (fun pairs ->
+              latest := pairs;
+              Atomic.incr flushed);
+        }
+      ~should_stop:(fun () -> Atomic.get flushed >= 5)
+      synth_ctx synth_faults synth_word
+  in
+  Alcotest.(check bool) "the stop actually cut the run short" true
+    (interrupted.Campaign.report.Campaign.skipped > 0);
+  Alcotest.(check (option string)) "a clean stop is not budget truncation" None
+    (Option.map Simcov_util.Budget.resource_name
+       interrupted.Campaign.report.Campaign.truncated);
+  let snapshot = Hashtbl.create 64 in
+  List.iter (fun (f, v) -> Hashtbl.replace snapshot f v) !latest;
+  Alcotest.(check bool) "the snapshot holds some decisions" true
+    (Hashtbl.length snapshot > 0);
+  List.iter
+    (fun jobs ->
+      let resumed =
+        Synth_driver.run ~jobs ~resume:(Hashtbl.find_opt snapshot) synth_ctx
+          synth_faults synth_word
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "resume jobs=%d reports resumed faults" jobs)
+        (Hashtbl.length snapshot)
+        (List.length
+           (List.filter
+              (fun (f, _) -> Hashtbl.mem snapshot f)
+              resumed.Campaign.verdicts));
+      check_synth_outcomes_equal
+        ~what:(Printf.sprintf "resume jobs=%d" jobs)
+        reference resumed)
+    [ 1; 3 ]
+
+(* one shard's worker raises every time: the campaign must survive,
+   report exactly that shard in [shard_failures], and the surviving
+   verdicts must match the healthy run *)
+let test_poisoned_shard_isolated () =
+  let reference = Synth_driver.run synth_ctx synth_faults synth_word in
+  let ctx = { Synth.poison = (fun f -> f = 60); fail_once = None } in
+  let r =
+    Synth_driver.run ~jobs:4 ~retry_backoff_s:0.001 ctx synth_faults synth_word
+  in
+  let rep = r.Campaign.report in
+  (match rep.Campaign.shard_failures with
+  | [ f ] ->
+      Alcotest.(check int) "the poisoned shard" 1 f.Campaign.shard;
+      Alcotest.(check int) "its fault count" 50 f.Campaign.faults;
+      Alcotest.(check bool) "the error is reported" true
+        (String.length f.Campaign.error > 0)
+  | l -> Alcotest.failf "expected one shard failure, got %d" (List.length l));
+  Alcotest.(check int) "the lost shard's faults are skipped" 50
+    rep.Campaign.skipped;
+  Alcotest.(check int) "surviving shards all evaluated" 150
+    (List.length r.Campaign.verdicts);
+  let ref_tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (f, v) -> Hashtbl.replace ref_tbl f v)
+    reference.Campaign.verdicts;
+  List.iter
+    (fun (f, v) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fault %d is outside the lost shard" f)
+        true
+        (f < 50 || f >= 100);
+      Alcotest.(check bool)
+        (Printf.sprintf "surviving verdict for fault %d" f)
+        true
+        (verdict_eq v (Hashtbl.find ref_tbl f)))
+    r.Campaign.verdicts
+
+(* a transient worker fault (raises once, succeeds on the retry
+   domain): no shard failure surfaces and the outcome is unchanged *)
+let test_transient_fault_retried () =
+  let reference = Synth_driver.run synth_ctx synth_faults synth_word in
+  let ctx =
+    { Synth.poison = (fun f -> f = 60); fail_once = Some (Atomic.make false) }
+  in
+  let r =
+    Synth_driver.run ~jobs:4 ~retry_backoff_s:0.001 ctx synth_faults synth_word
+  in
+  Alcotest.(check int) "no shard failures" 0
+    (List.length r.Campaign.report.Campaign.shard_failures);
+  Alcotest.(check int) "nothing skipped" 0 r.Campaign.report.Campaign.skipped;
+  check_synth_outcomes_equal ~what:"after transient fault" reference r
 
 let suite =
   [
@@ -546,4 +711,10 @@ let suite =
     Alcotest.test_case "bug campaign budget truncation" `Quick
       test_bug_campaign_budget_truncates;
     Alcotest.test_case "campaign JSON schema" `Quick test_json_schema;
+    Alcotest.test_case "checkpoint/resume equals uninterrupted" `Quick
+      test_checkpoint_resume_equivalence;
+    Alcotest.test_case "poisoned shard is isolated and reported" `Quick
+      test_poisoned_shard_isolated;
+    Alcotest.test_case "transient worker fault absorbed by retry" `Quick
+      test_transient_fault_retried;
   ]

@@ -1,3 +1,11 @@
+(* chaos-child mode: the kill/resume test re-executes this binary with
+   SIMCOV_CHAOS_CHILD set to run a checkpointing campaign it can kill
+   (Unix.fork is unavailable once domains exist) *)
+let () =
+  match Sys.getenv_opt "SIMCOV_CHAOS_CHILD" with
+  | Some path -> Test_robustness.chaos_child_main path
+  | None -> ()
+
 let () =
   Alcotest.run "simcov"
     [
@@ -28,4 +36,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("analysis", Test_analysis.suite);
       ("campaign", Test_campaign.suite);
+      ("covdb", Test_covdb.suite);
     ]

@@ -380,6 +380,172 @@ let test_serialize_fuzz () =
         Alcotest.failf "of_string raised %s on truncated dump" (Printexc.to_string e)
   done
 
+(* --- crash chaos: SIGKILL a checkpointing campaign, resume it --- *)
+
+module Campaign = Simcov_campaign.Campaign
+module Covdb = Simcov_covdb.Covdb
+module Detect = Simcov_coverage.Detect
+module Fault = Simcov_coverage.Fault
+
+let verdict_of_status = function
+  | Covdb.Undetected ->
+      {
+        Campaign.detected = false;
+        excited = false;
+        detect_step = None;
+        excite_step = None;
+      }
+  | Covdb.Excited e ->
+      {
+        Campaign.detected = false;
+        excited = true;
+        detect_step = None;
+        excite_step = Some e;
+      }
+  | Covdb.Detected { excite_step; detect_step } ->
+      {
+        Campaign.detected = true;
+        excited = excite_step <> None;
+        detect_step = Some detect_step;
+        excite_step;
+      }
+
+let status_of_verdict (v : Campaign.verdict) =
+  match (v.Campaign.detect_step, v.Campaign.excite_step) with
+  | Some ds, es -> Covdb.Detected { excite_step = es; detect_step = ds }
+  | None, Some es -> Covdb.Excited es
+  | None, None -> Covdb.Undetected
+
+let campaign_verdict_eq (a : Campaign.verdict) (b : Campaign.verdict) =
+  a.Campaign.detected = b.Campaign.detected
+  && a.Campaign.excited = b.Campaign.excited
+  && a.Campaign.detect_step = b.Campaign.detect_step
+  && a.Campaign.excite_step = b.Campaign.excite_step
+
+(* The tentpole's end-to-end durability claim, exercised with a real
+   [kill -9]. [Unix.fork] is off-limits once any test has spawned a
+   domain (OCaml 5 forbids mixing them), so the child is this very test
+   binary re-executed with [SIMCOV_CHAOS_CHILD=<path>] in its
+   environment: {!chaos_child_main} (dispatched from [test_main]
+   before Alcotest starts) runs an FSM-fault campaign flushing a
+   coverage snapshot after every batch. The parent kills it mid-run at
+   an arbitrary point, loads whatever snapshot made it to disk, and
+   resumes — the resumed run's verdicts must equal the uninterrupted
+   reference exactly. Because [Covdb.save] is atomic (temp + fsync +
+   rename), the parent can never observe a torn snapshot, only an
+   older complete one or none at all — and any kill time whatsoever
+   (before the first flush, mid-campaign, after completion) must
+   produce the same final report. *)
+
+(* parent and child rebuild the identical instance from the seed *)
+let chaos_instance () =
+  let rng = Rng.create 2026 in
+  let m =
+    Simcov_fsm.Fsm.tabulate
+      (Simcov_fsm.Fsm.random_connected rng ~n_states:12 ~n_inputs:3
+         ~n_outputs:3)
+  in
+  let faults =
+    Fault.sample_transfer_faults rng m ~count:80
+    @ Fault.sample_output_faults rng m ~n_outputs:3 ~count:80
+  in
+  let word = Simcov_testgen.Tour.random_word rng m ~length:120 in
+  (m, faults, word)
+
+let chaos_save_snapshot ~total path pairs =
+  let db =
+    Covdb.create
+      {
+        Covdb.backend = "fsm-fault";
+        run = "chaos";
+        config_hash = "0";
+        stim_hash = "0";
+        word_length = 120;
+        total;
+      }
+  in
+  List.iter
+    (fun (f, v) -> Covdb.set db (Fault.key f) (status_of_verdict v))
+    pairs;
+  Covdb.save db path
+
+let chaos_child_main path =
+  let m, faults, word = chaos_instance () in
+  (* small batches, a flush after every one, slowed down so the
+     parent's kill lands mid-campaign *)
+  ignore
+    (Detect.campaign_outcome ~lanes:8
+       ~on_batch:(fun _ -> Unix.sleepf 0.005)
+       ~checkpoint:
+         {
+           Campaign.every = 1;
+           flush = chaos_save_snapshot ~total:(List.length faults) path;
+         }
+       m faults word);
+  exit 0
+
+let test_kill_resume_equivalence () =
+  if not Sys.unix then ()
+  else begin
+    let m, faults, word = chaos_instance () in
+    let reference = Detect.campaign_outcome m faults word in
+    for trial = 1 to 3 do
+      let path = Filename.temp_file "simcov_chaos" ".covdb" in
+      Sys.remove path;
+      Fun.protect
+        ~finally:(fun () ->
+          (* the snapshot, plus any temp file orphaned by the kill *)
+          let dir = Filename.dirname path and base = Filename.basename path in
+          Array.iter
+            (fun f ->
+              if
+                String.length f >= String.length base
+                && String.sub f 0 (String.length base) = base
+              then try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+            (Sys.readdir dir))
+        (fun () ->
+          let env =
+            Array.append (Unix.environment ())
+              [| "SIMCOV_CHAOS_CHILD=" ^ path |]
+          in
+          let pid =
+            Unix.create_process_env Sys.executable_name
+              [| Sys.executable_name |]
+              env Unix.stdin Unix.stdout Unix.stderr
+          in
+          Unix.sleepf (0.02 *. float_of_int trial);
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid);
+          let snapshot = Hashtbl.create 128 in
+          (match Covdb.load path with
+          | Ok { Covdb.db; _ } ->
+              Covdb.iter db (fun k s ->
+                  Hashtbl.replace snapshot k (verdict_of_status s))
+          | Error _ -> () (* killed before the first flush *));
+          let resumed =
+            Detect.campaign_outcome
+              ~resume:(fun f -> Hashtbl.find_opt snapshot (Fault.key f))
+              m faults word
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "trial %d: verdict count" trial)
+            (List.length reference.Campaign.verdicts)
+            (List.length resumed.Campaign.verdicts);
+          List.iter2
+            (fun (fa, va) (fb, vb) ->
+              if not (Fault.equal fa fb) then
+                Alcotest.failf "trial %d: fault order differs" trial;
+              Alcotest.(check bool)
+                (Printf.sprintf "trial %d: verdict agrees" trial)
+                true (campaign_verdict_eq va vb))
+            reference.Campaign.verdicts resumed.Campaign.verdicts;
+          Alcotest.(check int)
+            (Printf.sprintf "trial %d: detected count" trial)
+            reference.Campaign.report.Campaign.detected
+            resumed.Campaign.report.Campaign.detected)
+    done
+  end
+
 let suite =
   [
     Alcotest.test_case "gc vs oracle (random ops)" `Quick test_gc_oracle;
@@ -395,4 +561,6 @@ let suite =
     Alcotest.test_case "ladder: unlimited agrees" `Quick test_ladder_unlimited_symbolic_agrees;
     Alcotest.test_case "validate chaos budgets" `Quick test_validate_chaos_budgets;
     Alcotest.test_case "serialize fuzz" `Quick test_serialize_fuzz;
+    Alcotest.test_case "kill -9 + resume equals uninterrupted" `Quick
+      test_kill_resume_equivalence;
   ]

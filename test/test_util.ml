@@ -234,6 +234,62 @@ let qcheck_rng_float_range =
       let f = Rng.float rng 3.0 in
       f >= 0.0 && f < 3.0)
 
+(* ---- crc32 ---- *)
+
+let test_crc32_known_answer () =
+  (* the standard check value for the IEEE polynomial *)
+  Alcotest.(check string) "crc32(\"123456789\")" "cbf43926"
+    (Crc32.to_hex (Crc32.string "123456789"));
+  Alcotest.(check string) "crc32(\"\")" "00000000"
+    (Crc32.to_hex (Crc32.string ""))
+
+let test_crc32_incremental () =
+  let whole = "the quick brown fox jumps over the lazy dog" in
+  Alcotest.(check int32) "update 0l s = string s" (Crc32.string whole)
+    (Crc32.update 0l whole);
+  let a = String.sub whole 0 17 and b = String.sub whole 17 (String.length whole - 17) in
+  Alcotest.(check int32) "incremental = whole" (Crc32.string whole)
+    (Crc32.update (Crc32.update 0l a) b);
+  Alcotest.(check int32) "substring agrees" (Crc32.string a)
+    (Crc32.substring whole ~pos:0 ~len:17)
+
+let qcheck_crc32_hex_roundtrip =
+  QCheck.Test.make ~name:"crc32: to_hex/of_hex round-trip (incl. high bit)"
+    ~count:200 QCheck.string (fun s ->
+      let c = Crc32.string s in
+      Crc32.of_hex (Crc32.to_hex c) = Some c)
+
+let test_crc32_of_hex_rejects () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true (Crc32.of_hex s = None))
+    [ ""; "cbf4392"; "cbf439260"; "cbf4392g"; "0xcbf439" ]
+
+(* ---- durable writes ---- *)
+
+let test_durable_write_is_atomic_on_raise () =
+  let path = Filename.temp_file "simcov_durable" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Durable.write_string path "original";
+      (match
+         Durable.write_file path (fun oc ->
+             output_string oc "partial garbage";
+             failwith "writer blew up")
+       with
+      | () -> Alcotest.fail "write_file swallowed the exception"
+      | exception Failure _ -> ());
+      Alcotest.(check string) "destination untouched" "original"
+        (In_channel.with_open_bin path In_channel.input_all);
+      let dir = Filename.dirname path and base = Filename.basename path in
+      Array.iter
+        (fun f ->
+          if String.length f > String.length base
+             && String.sub f 0 (String.length base) = base then
+            Alcotest.failf "leftover temp file %s" f)
+        (Sys.readdir dir))
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -267,4 +323,10 @@ let suite =
       test_budget_split_unlimited;
     QCheck_alcotest.to_alcotest qcheck_bitvec_slice;
     QCheck_alcotest.to_alcotest qcheck_rng_float_range;
+    Alcotest.test_case "crc32 known answer" `Quick test_crc32_known_answer;
+    Alcotest.test_case "crc32 incremental" `Quick test_crc32_incremental;
+    QCheck_alcotest.to_alcotest qcheck_crc32_hex_roundtrip;
+    Alcotest.test_case "crc32 of_hex rejects" `Quick test_crc32_of_hex_rejects;
+    Alcotest.test_case "durable write atomic on raise" `Quick
+      test_durable_write_is_atomic_on_raise;
   ]
