@@ -219,6 +219,11 @@ let validate_dlx config seed (jobs, lanes) budget obs =
   if Simcov_core.Methodology.campaigns_truncated report then 3
   else if
     report.Simcov_core.Methodology.lint_errors = []
+    (* FSM precondition gate: warnings are recorded, errors fail *)
+    && not
+         (Simcov_analysis.Fsm_lint.fails
+            report.Simcov_core.Methodology.fsm_lint
+            ~threshold:Simcov_analysis.Diag.Error)
     && report.Simcov_core.Methodology.n_bugs_detected
        = List.length report.Simcov_core.Methodology.bug_results
     && Result.is_ok report.Simcov_core.Methodology.certificate
@@ -497,55 +502,206 @@ let load_model spec =
       | Ok c -> Ok (c, Filename.basename path)
       | Error e -> Error (Simcov_netlist.Serialize.error_to_string e))
 
-let lint model against json_out fail_on budget obs =
+(* an FSM MODEL argument: the DLX / DSP test-model builtins, or any
+   circuit small enough for Circuit.to_fsm to enumerate *)
+let load_fsm_model spec =
+  match spec with
+  | "dlx" | "dlx-test" ->
+      Ok
+        ( Simcov_fsm.Fsm.tabulate (Simcov_dlx.Testmodel.build Simcov_dlx.Testmodel.default),
+          "dlx-test" )
+  | "dsp" -> Ok (Simcov_fsm.Fsm.tabulate (Simcov_dsp.Mac.Testmodel.build ()), "dsp")
+  | path -> (
+      match load_model path with
+      | Error e -> Error e
+      | Ok (c, name) -> (
+          match Simcov_netlist.Circuit.to_fsm c with
+          | exception Invalid_argument msg ->
+              Error (Printf.sprintf "cannot enumerate as an FSM (%s)" msg)
+          | m -> Ok (Simcov_fsm.Fsm.tabulate m, name)))
+
+(* suite file: one input word per line, symbols as space-separated
+   integer indices; '#' starts a comment *)
+let load_suite path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let words = ref [] and lno = ref 0 in
+        (try
+           while true do
+             incr lno;
+             let line = input_line ic in
+             let line =
+               match String.index_opt line '#' with
+               | Some i -> String.sub line 0 i
+               | None -> line
+             in
+             let toks =
+               String.split_on_char ' ' line
+               |> List.concat_map (String.split_on_char '\t')
+               |> List.filter (fun s -> s <> "")
+             in
+             if toks <> [] then
+               words :=
+                 List.map
+                   (fun t ->
+                     match int_of_string_opt t with
+                     | Some i -> i
+                     | None ->
+                         failwith
+                           (Printf.sprintf "line %d: '%s' is not an input index"
+                              !lno t))
+                   toks
+                 :: !words
+           done
+         with End_of_file -> ());
+        Ok (List.rev !words))
+  with
+  | Sys_error e -> Error e
+  | Failure e -> Error e
+
+let explain_code code =
+  match Simcov_analysis.Diag.explain code with
+  | Some e ->
+      Printf.printf "%s (%s)\n  %s\n  fix: %s\n" e.Simcov_analysis.Diag.entry_code
+        (Simcov_analysis.Diag.severity_name e.Simcov_analysis.Diag.default_severity)
+        e.Simcov_analysis.Diag.title e.Simcov_analysis.Diag.fix;
+      0
+  | None ->
+      Printf.eprintf "error: unknown diagnostic code '%s'\n" code;
+      4
+
+let lint model against fsm suite_file k_bound explain json_out fail_on budget obs =
   guarded @@ fun () ->
   with_obs obs @@ fun () ->
   warn_inert_max_nodes budget;
   let open Simcov_analysis in
-  match load_model model with
-  | Error e ->
-      Printf.eprintf "error: %s: %s\n" model e;
-      4
-  | Ok (c, name) -> (
-      let against_c =
-        match against with
-        | None -> Ok None
-        | Some spec -> (
-            match load_model spec with
-            | Ok (conc, _) -> Ok (Some conc)
+  match explain with
+  | Some code -> explain_code code
+  | None -> (
+      match model with
+      | None ->
+          prerr_endline "error: a MODEL argument is required (or use --explain CODE)";
+          4
+      | Some model ->
+          let finish ~truncated ~fails report_json report_pp =
+            (if json_out then print_endline (Simcov_util.Json.to_string report_json)
+             else
+               let ppf =
+                 if metrics_on_stdout obs then Format.err_formatter
+                 else Format.std_formatter
+               in
+               report_pp ppf);
+            if truncated then 3 else if fails then 1 else 0
+          in
+          if fsm then (
+            match load_fsm_model model with
             | Error e ->
-                Printf.eprintf "error: %s: %s\n" spec e;
-                Error 4)
-      in
-      match against_c with
-      | Error code -> code
-      | Ok against ->
-          let report = Lint.run ~budget ~name ?against c in
-          (if json_out then
-             print_endline (Simcov_util.Json.to_string (Lint.to_json report))
-           else
-             let ppf =
-               if metrics_on_stdout obs then Format.err_formatter
-               else Format.std_formatter
-             in
-             Format.fprintf ppf "%a@." Lint.pp report);
-          if report.Lint.truncated <> None then 3
-          else if Lint.fails report ~threshold:fail_on then 1
-          else 0)
+                Printf.eprintf "error: %s: %s\n" model e;
+                4
+            | Ok (m, name) -> (
+                let suite =
+                  match suite_file with
+                  | None -> Ok None
+                  | Some path -> (
+                      match load_suite path with
+                      | Ok words -> Ok (Some words)
+                      | Error e ->
+                          Printf.eprintf "error: %s: %s\n" path e;
+                          Error 4)
+                in
+                match suite with
+                | Error code -> code
+                | Ok suite ->
+                    let report = Fsm_lint.run ~budget ~name ~k_bound ?suite m in
+                    finish
+                      ~truncated:(report.Fsm_lint.truncated <> None)
+                      ~fails:(Fsm_lint.fails report ~threshold:fail_on)
+                      (Fsm_lint.to_json report)
+                      (fun ppf -> Format.fprintf ppf "%a@." Fsm_lint.pp report)))
+          else (
+            if suite_file <> None then
+              prerr_endline "warning: --suite only applies to --fsm; ignored";
+            match load_model model with
+            | Error e ->
+                Printf.eprintf "error: %s: %s\n" model e;
+                4
+            | Ok (c, name) -> (
+                let against_c =
+                  match against with
+                  | None -> Ok None
+                  | Some spec -> (
+                      match load_model spec with
+                      | Ok (conc, _) -> Ok (Some conc)
+                      | Error e ->
+                          Printf.eprintf "error: %s: %s\n" spec e;
+                          Error 4)
+                in
+                match against_c with
+                | Error code -> code
+                | Ok against ->
+                    let report = Lint.run ~budget ~name ?against c in
+                    finish
+                      ~truncated:(report.Lint.truncated <> None)
+                      ~fails:(Lint.fails report ~threshold:fail_on)
+                      (Lint.to_json report)
+                      (fun ppf -> Format.fprintf ppf "%a@." Lint.pp report))))
 
 let lint_cmd =
   let doc =
     "Statically analyze a model: structural lint, combinational cycles, \
-     ternary constants, dead logic, abstraction prechecks."
+     ternary constants, dead logic, abstraction prechecks — or, with \
+     $(b,--fsm), the FSM-level Theorem 1 precondition certification \
+     (connectivity, minimality, forall-k-distinguishability, R1/R4)."
   in
   let model =
     Arg.(
-      required
+      value
       & pos 0 (some string) None
       & info [] ~docv:"MODEL"
           ~doc:
             "Circuit file, or a builtin: $(b,dlx-control) (the pipelined DLX \
-             control implementation), $(b,dlx-test) (the derived test model).")
+             control implementation), $(b,dlx-test) (the derived test model). \
+             With $(b,--fsm): $(b,dlx-test) / $(b,dsp) (the explicit test \
+             models) or any circuit small enough to enumerate. Optional only \
+             with $(b,--explain).")
+  in
+  let fsm =
+    Arg.(
+      value & flag
+      & info [ "fsm" ]
+          ~doc:
+            "Lint $(i,MODEL) as an explicit Mealy machine (SA6xx passes; \
+             $(b,simcov-fsmlint/1) JSON) instead of as a netlist.")
+  in
+  let suite_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "suite" ] ~docv:"FILE"
+          ~doc:
+            "With $(b,--fsm): statically predict the state/transition coverage \
+             of the input words in $(docv) (one word per line, space-separated \
+             input indices, $(b,#) comments) and flag redundant words and \
+             missed transitions.")
+  in
+  let k_bound =
+    Arg.(
+      value
+      & opt (bounded_int ~name:"--k-bound" 1 64) 8
+      & info [ "k-bound" ] ~docv:"K"
+          ~doc:"With $(b,--fsm): bound of the forall-k-distinguishability search.")
+  in
+  let explain =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"CODE"
+          ~doc:
+            "Print the catalog entry (title, severity, suggested fix) for a \
+             stable diagnostic code such as $(b,SA101) or $(b,SA620), and exit.")
   in
   let against =
     Arg.(
@@ -576,7 +732,9 @@ let lint_cmd =
   in
   Cmd.v
     (cmd_info "lint" ~doc)
-    Term.(const lint $ model $ against $ json_out $ fail_on $ budget_term $ obs_term)
+    Term.(
+      const lint $ model $ against $ fsm $ suite_file $ k_bound $ explain
+      $ json_out $ fail_on $ budget_term $ obs_term)
 
 (* ---- durable coverage databases (simcov-covdb/1) ---- *)
 

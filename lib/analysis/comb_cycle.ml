@@ -7,26 +7,31 @@ module Scc = Simcov_graph.Scc
 let cycle_path dg comp comp_id start =
   let order = Hashtbl.create 8 in
   let path = ref [] in
-  let rec walk v len =
-    match Hashtbl.find_opt order v with
+  (* explicit loop (not recursion): SCCs of lowered netlists can span
+     the whole design, and the walk is as long as the component *)
+  let v = ref start and len = ref 0 and result = ref None in
+  while !result = None do
+    match Hashtbl.find_opt order !v with
     | Some first ->
         (* drop the lead-in before the first revisited net *)
         let cyc = List.filteri (fun i _ -> i >= first) (List.rev !path) in
-        cyc @ [ v ]
-    | None ->
-        Hashtbl.add order v len;
-        path := v :: !path;
+        result := Some (cyc @ [ !v ])
+    | None -> (
+        Hashtbl.add order !v !len;
+        path := !v :: !path;
         let next =
           List.find_map
             (fun (e : Digraph.edge) ->
               if comp.(e.Digraph.dst) = comp_id then Some e.Digraph.dst else None)
-            (Digraph.out_edges dg v)
+            (Digraph.out_edges dg !v)
         in
-        (match next with
-        | Some w -> walk w (len + 1)
-        | None -> [ v ] (* unreachable for a true SCC; defensive *))
-  in
-  walk start 0
+        match next with
+        | Some w ->
+            v := w;
+            incr len
+        | None -> result := Some [ !v ] (* unreachable for a true SCC; defensive *))
+  done;
+  Option.get !result
 
 let check_graph g =
   let dg = Netgraph.comb_digraph g in

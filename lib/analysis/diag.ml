@@ -7,6 +7,9 @@ type location =
   | Net of string
   | Primary_input of string
   | Output_port of string
+  | State of string
+  | Input_symbol of string
+  | Word of string
   | Whole_circuit
 
 type t = {
@@ -35,10 +38,14 @@ let loc_kind = function
   | Net _ -> "net"
   | Primary_input _ -> "input"
   | Output_port _ -> "output"
+  | State _ -> "state"
+  | Input_symbol _ -> "symbol"
+  | Word _ -> "word"
   | Whole_circuit -> "circuit"
 
 let loc_name = function
   | Register n | Net n | Primary_input n | Output_port n -> n
+  | State n | Input_symbol n | Word n -> n
   | Whole_circuit -> ""
 
 let compare a b =
@@ -103,6 +110,9 @@ let of_json j =
         | Some "net", Some n -> Ok (Net n)
         | Some "input", Some n -> Ok (Primary_input n)
         | Some "output", Some n -> Ok (Output_port n)
+        | Some "state", Some n -> Ok (State n)
+        | Some "symbol", Some n -> Ok (Input_symbol n)
+        | Some "word", Some n -> Ok (Word n)
         | Some "circuit", _ -> Ok Whole_circuit
         | _ -> Error "diagnostic: bad location")
   in
@@ -124,25 +134,86 @@ let of_json j =
   in
   Ok { code; severity; pass; loc; message; related }
 
+type catalog_entry = {
+  entry_code : string;
+  default_severity : severity;
+  title : string;
+  fix : string;
+}
+
+let entry entry_code default_severity title fix =
+  { entry_code; default_severity; title; fix }
+
 let catalog =
   [
-    ("SA101", Error, "combinational cycle through gate-level nets");
-    ("SA201", Warning, "register stuck at a constant (never leaves its reset value)");
-    ("SA202", Warning, "output port is constant under ternary propagation");
-    ("SA203", Warning, "register update is never enabled (hold mux select is constant)");
-    ("SA204", Info, "register hold mux is degenerate (update always enabled)");
-    ("SA205", Error, "input constraint is constant false (no valid input ever)");
-    ("SA301", Warning, "latch outside every primary-output cone (abstraction candidate)");
-    ("SA302", Info, "gates outside every primary-output cone");
-    ("SA401", Error, "floating net (read or observed but never driven)");
-    ("SA402", Error, "multiply-driven net");
-    ("SA403", Warning, "unused primary input");
-    ("SA404", Error, "duplicate declaration name");
-    ("SA405", Error, "expression references an out-of-range input/register index");
-    ("SA406", Warning, "indexed net family has gaps or duplicate indices");
-    ("SA501", Error, "homomorphism map image out of range");
-    ("SA502", Warning, "state map is not surjective onto the abstract states");
-    ("SA503", Warning, "input map is not surjective onto the abstract inputs");
-    ("SA504", Error, "merged states disagree on an abstract output (quotient cannot exist)");
-    ("SA505", Warning, "abstract register depends on state its concrete counterpart does not");
+    entry "SA101" Error "combinational cycle through gate-level nets"
+      "break the loop with a register or rewrite the feedback expression";
+    entry "SA201" Warning "register stuck at a constant (never leaves its reset value)"
+      "check the next-state expression; remove the register if intentional";
+    entry "SA202" Warning "output port is constant under ternary propagation"
+      "the port carries no information; wire it to live logic or drop it";
+    entry "SA203" Warning "register update is never enabled (hold mux select is constant)"
+      "fix the enable condition so the register can be written";
+    entry "SA204" Info "register hold mux is degenerate (update always enabled)"
+      "drop the mux and assign the next-state expression directly";
+    entry "SA205" Error "input constraint is constant false (no valid input ever)"
+      "relax the constraint; a machine with no valid input cannot be simulated";
+    entry "SA301" Warning "latch outside every primary-output cone (abstraction candidate)"
+      "abstract the latch away or add an output observing it";
+    entry "SA302" Info "gates outside every primary-output cone"
+      "dead logic; remove it or observe it through an output";
+    entry "SA401" Error "floating net (read or observed but never driven)"
+      "add a driver or delete the reference";
+    entry "SA402" Error "multiply-driven net"
+      "keep exactly one driver per net; mux the sources explicitly";
+    entry "SA403" Warning "unused primary input"
+      "remove the input or connect it to the logic it should influence";
+    entry "SA404" Error "duplicate declaration name"
+      "rename one of the declarations";
+    entry "SA405" Error "expression references an out-of-range input/register index"
+      "fix the index or declare the missing input/register";
+    entry "SA406" Warning "indexed net family has gaps or duplicate indices"
+      "renumber the family densely from 0";
+    entry "SA501" Error "homomorphism map image out of range"
+      "make the state/input maps land inside the abstract machine";
+    entry "SA502" Warning "state map is not surjective onto the abstract states"
+      "remove unreachable abstract states or extend the map";
+    entry "SA503" Warning "input map is not surjective onto the abstract inputs"
+      "remove unused abstract inputs or extend the map";
+    entry "SA504" Error "merged states disagree on an abstract output (quotient cannot exist)"
+      "refine the state map until merged states agree on every output";
+    entry "SA505" Warning "abstract register depends on state its concrete counterpart does not"
+      "tighten the abstraction or document the extra dependency";
+    (* SA6xx — fsm-lint: Theorem 1 precondition certification *)
+    entry "SA601" Error "reachable state has no valid input (dead end; no tour can continue)"
+      "relax the input constraint at the state or make it unreachable";
+    entry "SA602" Warning "state is unreachable from reset"
+      "delete the state or add transitions reaching it; coverage metrics exclude it";
+    entry "SA603" Warning "input symbol is never valid in any reachable state (dead input)"
+      "remove the symbol from the alphabet or fix the validity predicate";
+    entry "SA604" Error "valid reachable transition targets an out-of-range state or output"
+      "fix the next/output tables so every valid transition stays in range";
+    entry "SA605" Info "machine is partially specified (some state/input pairs invalid)"
+      "expected for constrained test models; make sure the constraint is intended";
+    entry "SA610" Error "machine is not strongly connected (no transition tour exists)"
+      "add return transitions along the reported condensation cut, or add a reset input";
+    entry "SA620" Error "equivalent state pair (machine is not minimal; tours lose their completeness guarantee)"
+      "merge the reported pair or add an output distinguishing them";
+    entry "SA630" Info "every reachable state pair is forall-k-distinguishable at the reported k"
+      "nothing to fix; record k as the Theorem 1 exposure-window bound";
+    entry "SA631" Error "state pair is not forall-k-distinguishable within the bound (a word masks the difference)"
+      "strengthen outputs along the masking word or raise the analysis bound";
+    entry "SA640" Warning "non-uniform output error can escape the transition tour (Requirement 1 violated)"
+      "a tour is not a complete test for this fault class; use a checking sequence or W-method suite";
+    entry "SA641" Warning "transfer error is masked on the transition tour (Requirement 4 violated)"
+      "extend the tour past the reported window or use a distinguishing suffix";
+    entry "SA650" Error "suite word applies an input that is invalid at the state it reaches"
+      "fix the word at the reported position; the remainder is unreachable by simulation";
+    entry "SA651" Warning "suite misses reachable transitions (no complete transition coverage)"
+      "append words covering the reported (state, input) pairs";
+    entry "SA652" Info "suite word covers no transition not already covered by earlier words"
+      "drop the word or reorder the suite if the redundancy is intentional";
   ]
+
+let explain code =
+  List.find_opt (fun e -> e.entry_code = code) catalog

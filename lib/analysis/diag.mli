@@ -13,7 +13,8 @@
     - [SA2xx] ternary-const: 0/1/X constant propagation
     - [SA3xx] dead-logic: primary-output cone analysis
     - [SA4xx] structural-lint: floating / multiply-driven / unused nets
-    - [SA5xx] homo-precheck: homomorphic-abstraction prechecks *)
+    - [SA5xx] homo-precheck: homomorphic-abstraction prechecks
+    - [SA6xx] fsm-lint: FSM-level precondition certification (Theorem 1) *)
 
 type severity = Info | Warning | Error
 
@@ -22,6 +23,9 @@ type location =
   | Net of string  (** an internal net of the gate-level graph *)
   | Primary_input of string
   | Output_port of string
+  | State of string  (** an explicit FSM state, by name *)
+  | Input_symbol of string  (** an FSM input symbol, by name *)
+  | Word of string  (** an input word, rendered as symbol names *)
   | Whole_circuit
 
 type t = {
@@ -57,6 +61,10 @@ val compare : t -> t -> int
 (** Sort key: descending severity, then code, then location, then
     message — a stable presentation order. *)
 
+val loc_kind : location -> string
+(** The JSON kind tag: ["register"], ["net"], ["input"], ["output"],
+    ["state"], ["symbol"], ["word"] or ["circuit"]. *)
+
 val loc_name : location -> string
 (** The name inside the location, or [""] for {!Whole_circuit}. *)
 
@@ -68,6 +76,18 @@ val to_json : t -> Simcov_util.Json.t
 val of_json : Simcov_util.Json.t -> (t, string) result
 (** Inverse of {!to_json} (used by the schema round-trip tests). *)
 
-val catalog : (string * severity * string) list
-(** Every stable code with its default severity and a one-line
-    description — the table DESIGN.md §7 documents. *)
+type catalog_entry = {
+  entry_code : string;  (** stable code, e.g. ["SA101"] *)
+  default_severity : severity;
+  title : string;  (** one-line description (the DESIGN.md table row) *)
+  fix : string;  (** suggested fix / remediation hint *)
+}
+
+val catalog : catalog_entry list
+(** Every stable code with its default severity, a one-line
+    description and a suggested fix — the single source of truth the
+    DESIGN.md §7/§11 tables and [simcov lint --explain] render. Codes
+    are unique (asserted by a unit test). *)
+
+val explain : string -> catalog_entry option
+(** [explain "SA101"] looks up the catalog entry for a stable code. *)

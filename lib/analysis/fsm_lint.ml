@@ -1,0 +1,880 @@
+open Simcov_fsm
+module Budget = Simcov_util.Budget
+module Json = Simcov_util.Json
+module Rng = Simcov_util.Rng
+module Digraph = Simcov_graph.Digraph
+module Scc = Simcov_graph.Scc
+module Fault = Simcov_coverage.Fault
+module Detect = Simcov_coverage.Detect
+module Tour = Simcov_testgen.Tour
+
+type stats = {
+  n_states : int;
+  n_reachable : int;
+  n_inputs : int;
+  n_transitions : int;
+  n_classes : int;
+  n_sccs : int;
+  certified_k : int option;
+}
+
+type suite_report = {
+  n_words : int;
+  suite_states : int;
+  suite_transitions : int;
+  redundant : int list;
+  missed : (int * int) list;
+}
+
+type report = {
+  name : string;
+  stats : stats;
+  passes : string list;
+  skipped : string list;
+  diags : Diag.t list;
+  suite : suite_report option;
+  truncated : Budget.resource option;
+}
+
+(* how many per-instance diagnostics a single check emits before
+   folding the rest into one summary line *)
+let cap = 8
+
+let word_name (m : Fsm.t) word =
+  String.concat " " (List.map m.Fsm.input_name word)
+
+let trans_name (m : Fsm.t) s i =
+  Printf.sprintf "%s -%s->" (m.Fsm.state_name s) (m.Fsm.input_name i)
+
+(* ---- well-formed ---- *)
+
+let check_well_formed (m : Fsm.t) seen =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let mk = Diag.make ~pass:"well-formed" in
+  (* unreachable states (capped) *)
+  let unreachable = ref [] in
+  for s = m.Fsm.n_states - 1 downto 0 do
+    if not seen.(s) then unreachable := s :: !unreachable
+  done;
+  let n_unreach = List.length !unreachable in
+  List.iteri
+    (fun idx s ->
+      if idx < cap then
+        add
+          (mk ~code:"SA602" ~severity:Diag.Warning
+             ~loc:(Diag.State (m.Fsm.state_name s))
+             "state is unreachable from reset"))
+    !unreachable;
+  if n_unreach > cap then
+    add
+      (mk ~code:"SA602" ~severity:Diag.Warning ~loc:Diag.Whole_circuit
+         (Printf.sprintf "%d more states are unreachable from reset" (n_unreach - cap)));
+  (* dead ends, range errors, dead inputs, partiality over the
+     reachable sub-machine *)
+  let input_live = Array.make m.Fsm.n_inputs false in
+  let invalid_pairs = ref 0 and valid_pairs = ref 0 in
+  let range_errs = ref 0 in
+  for s = 0 to m.Fsm.n_states - 1 do
+    if seen.(s) then begin
+      let any_valid = ref false in
+      for i = 0 to m.Fsm.n_inputs - 1 do
+        if m.Fsm.valid s i then begin
+          any_valid := true;
+          input_live.(i) <- true;
+          incr valid_pairs;
+          let n = m.Fsm.next s i and o = m.Fsm.output s i in
+          if n < 0 || n >= m.Fsm.n_states || o < 0 then begin
+            incr range_errs;
+            if !range_errs <= cap then
+              add
+                (mk ~code:"SA604" ~severity:Diag.Error
+                   ~loc:(Diag.State (m.Fsm.state_name s))
+                   ~related:[ m.Fsm.input_name i ]
+                   (Printf.sprintf
+                      "transition %s targets out-of-range %s (next=%d, output=%d, \
+                       n_states=%d)"
+                      (trans_name m s i)
+                      (if n < 0 || n >= m.Fsm.n_states then "state" else "output")
+                      n o m.Fsm.n_states))
+          end
+        end
+        else incr invalid_pairs
+      done;
+      if not !any_valid then
+        add
+          (mk ~code:"SA601" ~severity:Diag.Error
+             ~loc:(Diag.State (m.Fsm.state_name s))
+             "reachable state accepts no valid input: every word reaching it dies \
+              here, so no closed tour exists")
+    end
+  done;
+  if !range_errs > cap then
+    add
+      (mk ~code:"SA604" ~severity:Diag.Error ~loc:Diag.Whole_circuit
+         (Printf.sprintf "%d more out-of-range transitions" (!range_errs - cap)));
+  let dead_inputs = ref 0 in
+  for i = 0 to m.Fsm.n_inputs - 1 do
+    if not input_live.(i) then begin
+      incr dead_inputs;
+      if !dead_inputs <= cap then
+        add
+          (mk ~code:"SA603" ~severity:Diag.Warning
+             ~loc:(Diag.Input_symbol (m.Fsm.input_name i))
+             "input symbol is never valid in any reachable state")
+    end
+  done;
+  if !dead_inputs > cap then
+    add
+      (mk ~code:"SA603" ~severity:Diag.Warning ~loc:Diag.Whole_circuit
+         (Printf.sprintf
+            "%d more input symbols are never valid in any reachable state (a \
+             heavily constrained alphabet: %d of %d symbols are dead)"
+            (!dead_inputs - cap) !dead_inputs m.Fsm.n_inputs));
+  if !invalid_pairs > 0 then
+    add
+      (mk ~code:"SA605" ~severity:Diag.Info ~loc:Diag.Whole_circuit
+         (Printf.sprintf
+            "machine is partially specified: %d of %d reachable (state, input) \
+             pairs are invalid"
+            !invalid_pairs
+            (!invalid_pairs + !valid_pairs)));
+  List.rev !diags
+
+(* ---- connectivity ---- *)
+
+(* the reachable transition graph on densely renumbered vertices: SCC
+   analysis must not see unreachable states as isolated components *)
+let reachable_digraph (m : Fsm.t) seen =
+  let idx = Array.make m.Fsm.n_states (-1) in
+  let n = ref 0 in
+  for s = 0 to m.Fsm.n_states - 1 do
+    if seen.(s) then begin
+      idx.(s) <- !n;
+      incr n
+    end
+  done;
+  let back = Array.make !n 0 in
+  for s = 0 to m.Fsm.n_states - 1 do
+    if seen.(s) then back.(idx.(s)) <- s
+  done;
+  let g = Digraph.create !n in
+  for s = 0 to m.Fsm.n_states - 1 do
+    if seen.(s) then
+      List.iter
+        (fun i ->
+          let d = m.Fsm.next s i in
+          if d >= 0 && d < m.Fsm.n_states && seen.(d) then
+            ignore (Digraph.add_edge g ~src:idx.(s) ~dst:idx.(d) ~label:i ~cost:1))
+        (Fsm.valid_inputs m s)
+  done;
+  (g, idx, back)
+
+let check_connectivity (m : Fsm.t) seen =
+  let g, _idx, back = reachable_digraph m seen in
+  let comp, k, cross = Scc.condensation g in
+  if k <= 1 then ([], k)
+  else begin
+    (* witness: one representative concrete edge per condensation cut.
+       Since the condensation is a DAG, each cross edge (a, b) has no
+       return path b -> a: that missing direction is the cut. *)
+    let rep = Hashtbl.create 16 in
+    Digraph.iter_edges
+      (fun e ->
+        let a = comp.(e.Digraph.src) and b = comp.(e.Digraph.dst) in
+        if a <> b && not (Hashtbl.mem rep (a, b)) then
+          Hashtbl.add rep (a, b)
+            (Printf.sprintf "%s %s (no way back)"
+               (trans_name m back.(e.Digraph.src) e.Digraph.label)
+               (m.Fsm.state_name back.(e.Digraph.dst))))
+      g;
+    let related =
+      List.filteri (fun i _ -> i < cap) cross
+      |> List.filter_map (fun ab -> Hashtbl.find_opt rep ab)
+    in
+    let size = Array.make k 0 in
+    Array.iter (fun c -> size.(c) <- size.(c) + 1) comp;
+    let largest = Array.fold_left max 0 size in
+    ( [
+        Diag.make ~code:"SA610" ~severity:Diag.Error ~pass:"connectivity"
+          ~loc:Diag.Whole_circuit ~related
+          (Printf.sprintf
+             "reachable transition graph is not strongly connected: %d SCCs \
+              (largest %d of %d states), so no closed transition tour exists; \
+              the listed one-way condensation edges are the cuts"
+             k largest (Digraph.n_vertices g));
+      ],
+      k )
+  end
+
+(* ---- minimality ---- *)
+
+(* shortest word driving two equivalent states to one common state —
+   the concrete "these really are the same state" witness (outputs
+   agree along the way by equivalence) *)
+let merge_word (m : Fsm.t) s t =
+  let visited = Hashtbl.create 64 in
+  let q = Queue.create () in
+  Queue.add (s, t, []) q;
+  Hashtbl.add visited (s, t) ();
+  let result = ref None in
+  while !result = None && not (Queue.is_empty q) do
+    let a, b, w = Queue.pop q in
+    if a = b then result := Some (List.rev w)
+    else
+      List.iter
+        (fun i ->
+          if m.Fsm.valid b i then begin
+            let a' = m.Fsm.next a i and b' = m.Fsm.next b i in
+            if not (Hashtbl.mem visited (a', b')) then begin
+              Hashtbl.add visited (a', b') ();
+              Queue.add (a', b', i :: w) q
+            end
+          end)
+        (Fsm.valid_inputs m a)
+  done;
+  !result
+
+let check_minimality (m : Fsm.t) classes seen =
+  let groups = Hashtbl.create 16 in
+  for s = m.Fsm.n_states - 1 downto 0 do
+    if seen.(s) && classes.(s) >= 0 then
+      Hashtbl.replace groups classes.(s)
+        (s :: (Option.value ~default:[] (Hashtbl.find_opt groups classes.(s))))
+  done;
+  let diags = ref [] and n_pairs = ref 0 in
+  Hashtbl.iter
+    (fun _ members ->
+      match members with
+      | rep :: (_ :: _ as rest) ->
+          List.iter
+            (fun s ->
+              incr n_pairs;
+              if !n_pairs <= cap then begin
+                let witness =
+                  match merge_word m rep s with
+                  | Some w ->
+                      Printf.sprintf "word '%s' drives both to state %s"
+                        (word_name m w)
+                        (m.Fsm.state_name (Fsm.final_state { m with Fsm.reset = rep } w))
+                  | None -> "their output behaviors agree on every word"
+                in
+                diags :=
+                  Diag.make ~code:"SA620" ~severity:Diag.Error ~pass:"minimality"
+                    ~loc:(Diag.State (m.Fsm.state_name rep))
+                    ~related:[ m.Fsm.state_name s ]
+                    (Printf.sprintf
+                       "states %s and %s are equivalent (machine is not minimal; \
+                        tour completeness arguments do not apply): %s"
+                       (m.Fsm.state_name rep) (m.Fsm.state_name s) witness)
+                  :: !diags
+              end)
+            rest
+      | _ -> ())
+    groups;
+  let diags = List.rev !diags in
+  if !n_pairs > cap then
+    diags
+    @ [
+        Diag.make ~code:"SA620" ~severity:Diag.Error ~pass:"minimality"
+          ~loc:Diag.Whole_circuit
+          (Printf.sprintf "%d more equivalent state pairs" (!n_pairs - cap));
+      ]
+  else diags
+
+(* ---- ∀k-distinguishability ---- *)
+
+(* a length-k word valid from both states whose outputs agree
+   throughout — the mask that defeats ∀k-distinguishability *)
+let masking_word (m : Fsm.t) ~k s t =
+  let visited = Hashtbl.create 64 in
+  let rec go a b depth w =
+    if depth = k then Some (List.rev w)
+    else if Hashtbl.mem visited (a, b, depth) then None
+    else begin
+      Hashtbl.add visited (a, b, depth) ();
+      List.fold_left
+        (fun acc i ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if m.Fsm.valid b i && m.Fsm.output a i = m.Fsm.output b i then
+                go (m.Fsm.next a i) (m.Fsm.next b i) (depth + 1) (i :: w)
+              else None)
+        None (Fsm.valid_inputs m a)
+    end
+  in
+  go s t 0 []
+
+let check_distinguishability (m : Fsm.t) seen ~k_bound =
+  match Fsm.min_forall_k ~bound:k_bound m with
+  | Some k ->
+      ( [
+          Diag.make ~code:"SA630" ~severity:Diag.Info ~pass:"distinguishability"
+            ~loc:Diag.Whole_circuit
+            (Printf.sprintf
+               "every reachable state pair is forall-%d-distinguishable (Definition \
+                5): a tour padded by %d step%s exposes every excited error in the \
+                fault class"
+               k k
+               (if k = 1 then "" else "s"));
+        ],
+        Some k )
+  | None ->
+      (* name one offending pair and its masking word at the bound *)
+      let matrix = Fsm.forall_k_matrix m ~k:k_bound in
+      let offender = ref None in
+      for s = 0 to m.Fsm.n_states - 1 do
+        for t = s + 1 to m.Fsm.n_states - 1 do
+          if !offender = None && seen.(s) && seen.(t) && not matrix.(s).(t) then
+            offender := Some (s, t)
+        done
+      done;
+      let diag =
+        match !offender with
+        | Some (s, t) ->
+            let related =
+              match masking_word m ~k:k_bound s t with
+              | Some w -> [ word_name m w ]
+              | None -> []
+            in
+            Diag.make ~code:"SA631" ~severity:Diag.Error ~pass:"distinguishability"
+              ~loc:(Diag.State (m.Fsm.state_name s))
+              ~related:(m.Fsm.state_name t :: related)
+              (Printf.sprintf
+                 "states %s and %s are not forall-%d-distinguishable: the related \
+                  word masks the difference, so an error transferring between them \
+                  can survive a tour padded by %d steps"
+                 (m.Fsm.state_name s) (m.Fsm.state_name t) k_bound k_bound)
+        | None ->
+            (* minimal machine, no pair fails at the bound itself: the
+               bound was too small to certify a uniform k *)
+            Diag.make ~code:"SA631" ~severity:Diag.Error ~pass:"distinguishability"
+              ~loc:Diag.Whole_circuit
+              (Printf.sprintf
+                 "no uniform k <= %d makes every reachable pair \
+                  forall-k-distinguishable; raise the analysis bound"
+                 k_bound)
+      in
+      ([ diag ], None)
+
+(* ---- fault-structural (Requirements 1 and 4) ---- *)
+
+(* Theorem 1's test is the tour padded by k extra steps (the exposure
+   window): replaying faults against the unpadded word would flag
+   every fault excited within k steps of the end as masked *)
+let pad_word (m : Fsm.t) word ~k =
+  let s = ref (Fsm.final_state m word) in
+  let pad = ref [] in
+  (try
+     for _ = 1 to k do
+       match Fsm.valid_inputs m !s with
+       | i :: _ ->
+           pad := i :: !pad;
+           s := m.Fsm.next !s i
+       | [] -> raise Exit
+     done
+   with Exit -> ());
+  word @ List.rev !pad
+
+let check_fault_structural (m : Fsm.t) rng tour ~k =
+  let word = pad_word m tour.Tour.word ~k in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let transitions = Fsm.transitions m in
+  (* R1: non-uniform output errors (Definition 2 fails). A
+     Conditional_output fault at site (s, i) conditioned on
+     predecessor transition p fires only when the tour traverses
+     (s, i) immediately after p. The check is purely structural: one
+     replay of the tour collects, per site, the set of predecessor
+     contexts actually exercised; any graph predecessor outside that
+     set is a concrete escaping fault — no per-fault simulation
+     needed. *)
+  let contexts = Hashtbl.create 256 in
+  (* (site, prev) pairs the tour exercises *)
+  let prev = ref None in
+  let s = ref m.Fsm.reset in
+  List.iter
+    (fun i ->
+      if m.Fsm.valid !s i then begin
+        (match !prev with
+        | Some p -> Hashtbl.replace contexts ((!s, i), p) ()
+        | None -> ());
+        prev := Some (!s, i);
+        s := m.Fsm.next !s i
+      end)
+    word;
+  let incoming = Hashtbl.create 64 in
+  List.iter
+    (fun (s, i, s', _) ->
+      Hashtbl.replace incoming s'
+        ((s, i) :: (Option.value ~default:[] (Hashtbl.find_opt incoming s'))))
+    transitions;
+  let r1 = ref 0 and sites = ref 0 and example = ref None in
+  List.iter
+    (fun (s, i, _, o) ->
+      let preds = Option.value ~default:[] (Hashtbl.find_opt incoming s) in
+      if List.length preds >= 2 then begin
+        let escaping =
+          List.filter (fun p -> not (Hashtbl.mem contexts ((s, i), p))) preds
+        in
+        if escaping <> [] then begin
+          incr sites;
+          r1 := !r1 + List.length escaping;
+          if !example = None then
+            example := Some (s, i, o, List.hd escaping)
+        end
+      end)
+    transitions;
+  (match !example with
+  | Some (s, i, o, p) when !r1 > 0 ->
+      let fault =
+        Fault.Conditional_output { state = s; input = i; wrong_output = o + 1; prev = p }
+      in
+      (* sanity: the static claim agrees with lockstep simulation *)
+      let escapes =
+        (not (Fault.is_effective m fault)) || not (Detect.detects m fault word)
+      in
+      add
+        (Diag.make ~code:"SA640" ~severity:Diag.Warning ~pass:"fault-structural"
+           ~loc:(Diag.State (m.Fsm.state_name s))
+           ~related:[ Format.asprintf "%a" Fault.pp fault ]
+           (Printf.sprintf
+              "%d non-uniform output error%s at %d site%s escape%s the \
+               transition tour (Requirement 1): e.g. an error on %s firing \
+               only after %s is never excited — the tour takes that \
+               transition after a different predecessor%s"
+              !r1
+              (if !r1 = 1 then "" else "s")
+              !sites
+              (if !sites = 1 then "" else "s")
+              (if !r1 = 1 then "s" else "")
+              (trans_name m s i)
+              (trans_name m (fst p) (snd p))
+              (if escapes then "" else " (exposed elsewhere on this tour)")))
+  | _ -> ());
+  (* R4: masked transfer errors on the tour *)
+  let n_pop = List.length transitions * max 0 (Fsm.n_reachable m - 1) in
+  let faults =
+    if n_pop <= 2000 then Fault.all_transfer_faults m
+    else Fault.sample_transfer_faults rng m ~count:200
+  in
+  let r4 = ref 0 in
+  List.iter
+    (fun fault ->
+      match fault with
+      | Fault.Transfer { state = s; input = i; wrong_next } ->
+          let v = Detect.run_verdict m fault word in
+          if v.Detect.excited && not v.Detect.detected then begin
+            incr r4;
+            if !r4 <= cap then begin
+              let window =
+                match Detect.masked_windows m (Fault.apply m fault) word with
+                | (j, l) :: _ ->
+                    Printf.sprintf "masked over tour steps %d..%d" j l
+                | [] -> "never exposed before the tour ends"
+              in
+              add
+                (Diag.make ~code:"SA641" ~severity:Diag.Warning
+                   ~pass:"fault-structural"
+                   ~loc:(Diag.State (m.Fsm.state_name s))
+                   ~related:[ Format.asprintf "%a" Fault.pp fault ]
+                   (Printf.sprintf
+                      "transfer error %s to %s is excited but %s: Requirement 4 \
+                       (no masked transfer errors) does not hold on this tour"
+                      (trans_name m s i)
+                      (m.Fsm.state_name wrong_next)
+                      window))
+            end
+          end
+      | _ -> ())
+    faults;
+  if !r4 > cap then
+    add
+      (Diag.make ~code:"SA641" ~severity:Diag.Warning ~pass:"fault-structural"
+         ~loc:Diag.Whole_circuit
+         (Printf.sprintf "%d more masked transfer errors" (!r4 - cap)));
+  List.rev !diags
+
+(* ---- suite-cover ---- *)
+
+(* static prediction by graph walk: no lockstep fault simulation, just
+   the transition function. Matches Detect.transitions_covered's
+   semantics (coverage counts the prefix before the first invalid
+   input), with the invalid step additionally diagnosed. *)
+let check_suite (m : Fsm.t) words =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let covered = Hashtbl.create 256 in
+  let states = Hashtbl.create 64 in
+  Hashtbl.replace states m.Fsm.reset ();
+  let redundant = ref [] in
+  List.iteri
+    (fun wi word ->
+      let s = ref m.Fsm.reset in
+      let fresh = ref 0 and pos = ref 0 and stopped = ref false in
+      List.iter
+        (fun i ->
+          if not !stopped then begin
+            if i < 0 || i >= m.Fsm.n_inputs || not (m.Fsm.valid !s i) then begin
+              stopped := true;
+              add
+                (Diag.make ~code:"SA650" ~severity:Diag.Error ~pass:"suite-cover"
+                   ~loc:(Diag.Word (word_name m word))
+                   ~related:[ m.Fsm.state_name !s ]
+                   (Printf.sprintf
+                      "word %d applies input %s at position %d, invalid in state \
+                       %s: the rest of the word cannot execute"
+                      wi
+                      (if i >= 0 && i < m.Fsm.n_inputs then m.Fsm.input_name i
+                       else string_of_int i)
+                      !pos (m.Fsm.state_name !s)))
+            end
+            else begin
+              if not (Hashtbl.mem covered (!s, i)) then begin
+                Hashtbl.replace covered (!s, i) ();
+                incr fresh
+              end;
+              s := m.Fsm.next !s i;
+              Hashtbl.replace states !s ();
+              incr pos
+            end
+          end)
+        word;
+      if !fresh = 0 && not !stopped then begin
+        redundant := wi :: !redundant;
+        add
+          (Diag.make ~code:"SA652" ~severity:Diag.Info ~pass:"suite-cover"
+             ~loc:(Diag.Word (word_name m word))
+             (Printf.sprintf
+                "word %d covers no transition not already covered by earlier words"
+                wi))
+      end)
+    words;
+  let missed =
+    List.filter_map
+      (fun (s, i, _, _) -> if Hashtbl.mem covered (s, i) then None else Some (s, i))
+      (Fsm.transitions m)
+  in
+  if missed <> [] then begin
+    let related =
+      List.filteri (fun i _ -> i < cap) missed
+      |> List.map (fun (s, i) -> trans_name m s i)
+    in
+    add
+      (Diag.make ~code:"SA651" ~severity:Diag.Warning ~pass:"suite-cover"
+         ~loc:Diag.Whole_circuit ~related
+         (Printf.sprintf
+            "suite misses %d of %d reachable transitions: predicted coverage %.1f%%"
+            (List.length missed)
+            (Fsm.n_transitions m)
+            (100.0
+            *. float_of_int (Hashtbl.length covered)
+            /. float_of_int (max 1 (Fsm.n_transitions m)))))
+  end;
+  ( List.rev !diags,
+    {
+      n_words = List.length words;
+      suite_states = Hashtbl.length states;
+      suite_transitions = Hashtbl.length covered;
+      redundant = List.rev !redundant;
+      missed;
+    } )
+
+(* ---- orchestration ---- *)
+
+let run ?(budget = Budget.unlimited) ?(name = "fsm") ?(k_bound = 8) ?(seed = 7)
+    ?suite (m : Fsm.t) =
+  let diags = ref [] and passes = ref [] and skipped = ref [] in
+  let truncated = ref None in
+  let pass id f =
+    if !truncated <> None then skipped := id :: !skipped
+    else
+      try
+        Budget.step budget;
+        passes := id :: !passes;
+        diags := !diags @ f ()
+      with Budget.Budget_exceeded r ->
+        truncated := Some r;
+        (match !passes with p :: rest when p = id -> passes := rest | _ -> ());
+        skipped := id :: !skipped
+  in
+  let seen = Fsm.reachable m in
+  let n_sccs = ref 1 in
+  let certified_k = ref None in
+  let classes = ref [||] in
+  let n_classes = ref 0 in
+  let suite_out = ref None in
+  pass "well-formed" (fun () -> check_well_formed m seen);
+  let malformed = List.exists (fun d -> d.Diag.code = "SA604") !diags in
+  if not malformed then begin
+    pass "connectivity" (fun () ->
+        let ds, k = check_connectivity m seen in
+        n_sccs := k;
+        ds);
+    pass "minimality" (fun () ->
+        let _, cls = Fsm.minimize m in
+        classes := cls;
+        let reps = Hashtbl.create 16 in
+        Array.iter (fun c -> if c >= 0 then Hashtbl.replace reps c ()) cls;
+        n_classes := Hashtbl.length reps;
+        check_minimality m cls seen);
+    let minimal = not (List.exists (fun d -> d.Diag.code = "SA620") !diags) in
+    if minimal then
+      pass "distinguishability" (fun () ->
+          let ds, k = check_distinguishability m seen ~k_bound in
+          certified_k := k;
+          ds)
+    else
+      (* equivalent pairs defeat ∀k for every k: SA620 already says so;
+         a masking-word witness per pair would be noise *)
+      skipped := "distinguishability" :: !skipped;
+    (match Tour.transition_tour m with
+    | Some tour ->
+        pass "fault-structural" (fun () ->
+            let k = Option.value ~default:1 !certified_k in
+            check_fault_structural m (Rng.create seed) tour ~k)
+    | None ->
+        (* no tour to replay faults on; SA610/SA601 carry the reason *)
+        skipped := "fault-structural" :: !skipped);
+    match suite with
+    | None -> ()
+    | Some words ->
+        pass "suite-cover" (fun () ->
+            let ds, sr = check_suite m words in
+            suite_out := Some sr;
+            ds)
+  end;
+  let order id =
+    match id with
+    | "well-formed" -> 0
+    | "connectivity" -> 1
+    | "minimality" -> 2
+    | "distinguishability" -> 3
+    | "fault-structural" -> 4
+    | "suite-cover" -> 5
+    | _ -> 6
+  in
+  let by_order l = List.sort (fun a b -> Int.compare (order a) (order b)) l in
+  let passes = by_order (List.sort_uniq compare !passes) in
+  let skipped =
+    by_order
+      (List.sort_uniq compare !skipped
+      |> List.filter (fun s -> not (List.mem s passes)))
+  in
+  {
+    name;
+    stats =
+      {
+        n_states = m.Fsm.n_states;
+        n_reachable = Fsm.n_reachable m;
+        n_inputs = m.Fsm.n_inputs;
+        n_transitions = Fsm.n_transitions m;
+        n_classes = !n_classes;
+        n_sccs = !n_sccs;
+        certified_k = !certified_k;
+      };
+    passes;
+    skipped;
+    diags = List.sort Diag.compare !diags;
+    suite = !suite_out;
+    truncated = !truncated;
+  }
+
+let count r sev = List.length (List.filter (fun d -> d.Diag.severity = sev) r.diags)
+
+let worst r =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | Some s when Diag.severity_rank s >= Diag.severity_rank d.Diag.severity -> acc
+      | _ -> Some d.Diag.severity)
+    None r.diags
+
+let fails r ~threshold =
+  match worst r with
+  | None -> false
+  | Some w -> Diag.severity_rank w >= Diag.severity_rank threshold
+
+let schema_id = "simcov-fsmlint/1"
+
+let suite_to_json s =
+  Json.Obj
+    [
+      ("words", Json.Int s.n_words);
+      ("states_covered", Json.Int s.suite_states);
+      ("transitions_covered", Json.Int s.suite_transitions);
+      ("redundant", Json.List (List.map (fun i -> Json.Int i) s.redundant));
+      ( "missed",
+        Json.List
+          (List.map
+             (fun (s, i) ->
+               Json.Obj [ ("state", Json.Int s); ("input", Json.Int i) ])
+             s.missed) );
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema", Json.String schema_id);
+      ( "model",
+        Json.Obj
+          [
+            ("name", Json.String r.name);
+            ("states", Json.Int r.stats.n_states);
+            ("reachable", Json.Int r.stats.n_reachable);
+            ("inputs", Json.Int r.stats.n_inputs);
+            ("transitions", Json.Int r.stats.n_transitions);
+            ("classes", Json.Int r.stats.n_classes);
+            ("sccs", Json.Int r.stats.n_sccs);
+            ( "certified_k",
+              match r.stats.certified_k with
+              | None -> Json.Null
+              | Some k -> Json.Int k );
+          ] );
+      ("passes", Json.List (List.map (fun p -> Json.String p) r.passes));
+      ("skipped", Json.List (List.map (fun p -> Json.String p) r.skipped));
+      ("diagnostics", Json.List (List.map Diag.to_json r.diags));
+      ("suite", match r.suite with None -> Json.Null | Some s -> suite_to_json s);
+      ( "truncated",
+        match r.truncated with
+        | None -> Json.Null
+        | Some res -> Json.String (Budget.resource_name res) );
+    ]
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "fsmlint report: missing or ill-typed '%s'" name)
+
+let strings_of name j =
+  let* items = field name Json.to_list j in
+  List.fold_left
+    (fun acc p ->
+      let* acc = acc in
+      match Json.to_string_opt p with
+      | Some s -> Ok (s :: acc)
+      | None -> Error (Printf.sprintf "fsmlint report: '%s' entry is not a string" name))
+    (Ok []) items
+  |> Result.map List.rev
+
+let suite_of_json j =
+  let* n_words = field "words" Json.to_int_opt j in
+  let* suite_states = field "states_covered" Json.to_int_opt j in
+  let* suite_transitions = field "transitions_covered" Json.to_int_opt j in
+  let* red_js = field "redundant" Json.to_list j in
+  let* redundant =
+    List.fold_left
+      (fun acc x ->
+        let* acc = acc in
+        match Json.to_int_opt x with
+        | Some i -> Ok (i :: acc)
+        | None -> Error "fsmlint report: redundant entry is not an int")
+      (Ok []) red_js
+    |> Result.map List.rev
+  in
+  let* missed_js = field "missed" Json.to_list j in
+  let* missed =
+    List.fold_left
+      (fun acc x ->
+        let* acc = acc in
+        let* s = field "state" Json.to_int_opt x in
+        let* i = field "input" Json.to_int_opt x in
+        Ok ((s, i) :: acc))
+      (Ok []) missed_js
+    |> Result.map List.rev
+  in
+  Ok { n_words; suite_states; suite_transitions; redundant; missed }
+
+let of_json j =
+  let* schema = field "schema" Json.to_string_opt j in
+  if schema <> schema_id then
+    Error (Printf.sprintf "fsmlint report: unknown schema '%s'" schema)
+  else
+    let* model = field "model" Option.some j in
+    let* name = field "name" Json.to_string_opt model in
+    let* n_states = field "states" Json.to_int_opt model in
+    let* n_reachable = field "reachable" Json.to_int_opt model in
+    let* n_inputs = field "inputs" Json.to_int_opt model in
+    let* n_transitions = field "transitions" Json.to_int_opt model in
+    let* n_classes = field "classes" Json.to_int_opt model in
+    let* n_sccs = field "sccs" Json.to_int_opt model in
+    let* certified_k =
+      match Json.member "certified_k" model with
+      | None | Some Json.Null -> Ok None
+      | Some x -> (
+          match Json.to_int_opt x with
+          | Some k -> Ok (Some k)
+          | None -> Error "fsmlint report: ill-typed 'certified_k'")
+    in
+    let* passes = strings_of "passes" j in
+    let* skipped = strings_of "skipped" j in
+    let* diags_js = field "diagnostics" Json.to_list j in
+    let* diags =
+      List.fold_left
+        (fun acc d ->
+          let* acc = acc in
+          let* d = Diag.of_json d in
+          Ok (d :: acc))
+        (Ok []) diags_js
+      |> Result.map List.rev
+    in
+    let* suite =
+      match Json.member "suite" j with
+      | None | Some Json.Null -> Ok None
+      | Some s -> Result.map Option.some (suite_of_json s)
+    in
+    let* truncated =
+      match Json.member "truncated" j with
+      | None | Some Json.Null -> Ok None
+      | Some (Json.String "time") -> Ok (Some Budget.Time)
+      | Some (Json.String "steps") -> Ok (Some Budget.Steps)
+      | Some (Json.String "nodes") -> Ok (Some Budget.Nodes)
+      | Some _ -> Error "fsmlint report: ill-typed 'truncated'"
+    in
+    Ok
+      {
+        name;
+        stats =
+          { n_states; n_reachable; n_inputs; n_transitions; n_classes; n_sccs; certified_k };
+        passes;
+        skipped;
+        diags;
+        suite;
+        truncated;
+      }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>fsm-lint %s: %d states (%d reachable, %d classes), %d inputs, %d \
+     transitions, %d SCC%s@,"
+    r.name r.stats.n_states r.stats.n_reachable r.stats.n_classes r.stats.n_inputs
+    r.stats.n_transitions r.stats.n_sccs
+    (if r.stats.n_sccs = 1 then "" else "s");
+  (match r.stats.certified_k with
+  | Some k -> Format.fprintf fmt "certified: forall-%d-distinguishable@," k
+  | None -> ());
+  List.iter (fun d -> Format.fprintf fmt "%a@," Diag.pp d) r.diags;
+  (match r.suite with
+  | Some s ->
+      Format.fprintf fmt
+        "suite: %d words cover %d states, %d/%d transitions (%d redundant, %d \
+         missed)@,"
+        s.n_words s.suite_states s.suite_transitions r.stats.n_transitions
+        (List.length s.redundant) (List.length s.missed)
+  | None -> ());
+  (match r.truncated with
+  | Some res ->
+      Format.fprintf fmt "analysis truncated: %s budget exhausted%s@,"
+        (Budget.resource_name res)
+        (if r.skipped = [] then ""
+         else Printf.sprintf " (skipped: %s)" (String.concat ", " r.skipped))
+  | None -> ());
+  Format.fprintf fmt "%d error%s, %d warning%s, %d info@]"
+    (count r Diag.Error)
+    (if count r Diag.Error = 1 then "" else "s")
+    (count r Diag.Warning)
+    (if count r Diag.Warning = 1 then "" else "s")
+    (count r Diag.Info)

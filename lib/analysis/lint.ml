@@ -9,6 +9,7 @@ type report = {
   n_outputs : int;
   n_nets : int;
   passes : string list;
+  skipped : string list;
   diags : Diag.t list;
   hints : Deadlogic.hint list;
   truncated : Budget.resource option;
@@ -16,15 +17,22 @@ type report = {
 
 let run ?(budget = Budget.unlimited) ?(name = "circuit") ?against (c : Circuit.t) =
   let diags = ref [] and passes = ref [] and hints = ref [] in
+  let skipped = ref [] in
   let n_nets = ref 0 in
   let truncated = ref None in
   let pass id f =
-    if !truncated = None then
+    if !truncated <> None then skipped := id :: !skipped
+    else
       try
         Budget.step budget;
         passes := id :: !passes;
         diags := !diags @ f ()
-      with Budget.Budget_exceeded r -> truncated := Some r
+      with Budget.Budget_exceeded r ->
+        (* this invocation did not complete: report it as skipped, not
+           run (structural-lint runs twice, so drop only the head) *)
+        truncated := Some r;
+        (match !passes with p :: rest when p = id -> passes := rest | _ -> ());
+        skipped := id :: !skipped
   in
   pass "structural-lint" (fun () -> Structural.check_circuit c);
   let malformed = List.exists (fun d -> d.Diag.code = "SA405") !diags in
@@ -55,6 +63,11 @@ let run ?(budget = Budget.unlimited) ?(name = "circuit") ?against (c : Circuit.t
           Homo_precheck.check_circuits ~concrete ~abstract:c));
   (* structural-lint is stepped twice (circuit + graph level); list it once *)
   let passes = List.sort_uniq compare (List.rev !passes) in
+  let skipped =
+    (* a pass that partially ran stays in [passes]; don't double-list it *)
+    List.sort_uniq compare (List.rev !skipped)
+    |> List.filter (fun s -> not (List.mem s passes))
+  in
   let order id =
     match id with
     | "structural-lint" -> 0
@@ -70,6 +83,7 @@ let run ?(budget = Budget.unlimited) ?(name = "circuit") ?against (c : Circuit.t
     n_outputs = Array.length c.Circuit.outputs;
     n_nets = !n_nets;
     passes = List.sort (fun a b -> Int.compare (order a) (order b)) passes;
+    skipped = List.sort (fun a b -> Int.compare (order a) (order b)) skipped;
     diags = List.sort Diag.compare !diags;
     hints = !hints;
     truncated = !truncated;
@@ -106,6 +120,7 @@ let to_json r =
             ("nets", Json.Int r.n_nets);
           ] );
       ("passes", Json.List (List.map (fun p -> Json.String p) r.passes));
+      ("skipped", Json.List (List.map (fun p -> Json.String p) r.skipped));
       ("diagnostics", Json.List (List.map Diag.to_json r.diags));
       ("hints", Json.List (List.map Deadlogic.hint_to_json r.hints));
       ( "truncated",
@@ -157,6 +172,19 @@ let of_json j =
             (Json.to_string_opt p))
         passes_js
     in
+    let* skipped =
+      match Json.member "skipped" j with
+      | None -> Ok [] (* older reports predate the field *)
+      | Some s -> (
+          match Json.to_list s with
+          | None -> Error "lint report: 'skipped' is not a list"
+          | Some items ->
+              all_of
+                (fun p ->
+                  Option.to_result ~none:"lint report: skipped pass must be a string"
+                    (Json.to_string_opt p))
+                items)
+    in
     let* diags_js = field "diagnostics" Json.to_list j in
     let* diags = all_of Diag.of_json diags_js in
     let* hints_js = field "hints" Json.to_list j in
@@ -169,7 +197,7 @@ let of_json j =
       | Some (Json.String "nodes") -> Ok (Some Budget.Nodes)
       | Some _ -> Error "lint report: ill-typed 'truncated'"
     in
-    Ok { name; n_inputs; n_regs; n_outputs; n_nets; passes; diags; hints; truncated }
+    Ok { name; n_inputs; n_regs; n_outputs; n_nets; passes; skipped; diags; hints; truncated }
 
 let pp fmt r =
   Format.fprintf fmt "@[<v>lint %s: %d inputs, %d registers, %d outputs%s@,"
@@ -184,8 +212,10 @@ let pp fmt r =
     r.hints;
   (match r.truncated with
   | Some res ->
-      Format.fprintf fmt "analysis truncated: %s budget exhausted@,"
+      Format.fprintf fmt "analysis truncated: %s budget exhausted%s@,"
         (Budget.resource_name res)
+        (if r.skipped = [] then ""
+         else Printf.sprintf " (skipped: %s)" (String.concat ", " r.skipped))
   | None -> ());
   Format.fprintf fmt "%d error%s, %d warning%s, %d info@]"
     (count r Diag.Error)

@@ -22,6 +22,9 @@ type report = {
       (** hash-consed nets in the lowered graph; [0] when lowering was
           skipped because of [SA405] *)
   passes : string list;  (** pass ids actually run, in order *)
+  skipped : string list;
+      (** pass ids scheduled but not run (budget truncation); a pass
+          that completed one of its two phases stays in [passes] only *)
   diags : Diag.t list;  (** sorted with {!Diag.compare} *)
   hints : Deadlogic.hint list;
       (** dead-latch abstraction hints (empty when dead-logic was
@@ -48,8 +51,8 @@ val fails : report -> threshold:Diag.severity -> bool
 
 val to_json : report -> Simcov_util.Json.t
 (** The documented schema (DESIGN.md §7): an object with [schema]
-    (["simcov-lint/1"]), [model] stats, [passes], [diagnostics]
-    (see {!Diag.to_json}), [hints] and [truncated]. *)
+    (["simcov-lint/1"]), [model] stats, [passes], [skipped],
+    [diagnostics] (see {!Diag.to_json}), [hints] and [truncated]. *)
 
 val of_json : Simcov_util.Json.t -> (report, string) result
 (** Inverse of {!to_json}, used by the schema round-trip tests. *)

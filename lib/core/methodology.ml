@@ -84,6 +84,7 @@ let symbolic_figures ~budget model =
 type run_report = {
   config : Testmodel.config;
   lint_errors : Simcov_analysis.Diag.t list;
+  fsm_lint : Simcov_analysis.Fsm_lint.report;
   model_states : int;
   model_transitions : int;
   symbolic : symbolic_figures;
@@ -130,6 +131,15 @@ let validate_dlx ?(config = Testmodel.default) ?(seed = 2026)
   let lint_errors = timed "lint" (fun () -> lint_gate ~budget) in
   Budget.check budget;
   let model = timed "tabulate" (fun () -> Fsm.tabulate (Testmodel.build config)) in
+  Budget.check budget;
+  (* FSM-level precondition gate (Theorem 1): certify strong
+     connectivity, minimality and the ∀k bound on the machine the tour
+     will be generated from. Warnings are recorded, not fatal; the CLI
+     treats error-severity findings like lint_errors. *)
+  let fsm_lint =
+    timed "fsm_lint" (fun () ->
+        Simcov_analysis.Fsm_lint.run ~budget ~name:"dlx-test" ~seed model)
+  in
   Budget.check budget;
   let symbolic = timed "symbolic" (fun () -> symbolic_figures ~budget model) in
   Budget.check budget;
@@ -182,6 +192,7 @@ let validate_dlx ?(config = Testmodel.default) ?(seed = 2026)
   {
     config;
     lint_errors;
+    fsm_lint;
     model_states = Fsm.n_reachable model;
     model_transitions = Fsm.n_transitions model;
     symbolic;
@@ -273,6 +284,25 @@ let pp_run_report ppf r =
         errs);
   Format.fprintf ppf "test model: %d states, %d transitions@," r.model_states
     r.model_transitions;
+  (let module Fl = Simcov_analysis.Fsm_lint in
+   let fl = r.fsm_lint in
+   Format.fprintf ppf
+     "fsm precondition gate: %d SCC%s, %d classes, %s; %d error%s, %d warning%s@,"
+     fl.Fl.stats.Fl.n_sccs
+     (if fl.Fl.stats.Fl.n_sccs = 1 then "" else "s")
+     fl.Fl.stats.Fl.n_classes
+     (match fl.Fl.stats.Fl.certified_k with
+     | Some k -> Printf.sprintf "certified forall-%d-distinguishable" k
+     | None -> "forall-k UNCERTIFIED")
+     (Fl.count fl Simcov_analysis.Diag.Error)
+     (if Fl.count fl Simcov_analysis.Diag.Error = 1 then "" else "s")
+     (Fl.count fl Simcov_analysis.Diag.Warning)
+     (if Fl.count fl Simcov_analysis.Diag.Warning = 1 then "" else "s");
+   List.iter
+     (fun d ->
+       if d.Simcov_analysis.Diag.severity = Simcov_analysis.Diag.Error then
+         Format.fprintf ppf "  %a@," Simcov_analysis.Diag.pp d)
+     fl.Fl.diags);
   Format.fprintf ppf "state-space figures (%s): %.0f states, %.0f transitions@,"
     (tier_name r.symbolic.tier) r.symbolic.sym_states r.symbolic.sym_transitions;
   List.iter

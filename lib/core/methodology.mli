@@ -30,6 +30,12 @@ type run_report = {
       (** error-severity findings from the static-analysis front gate
           over the control netlists (warnings are not collected here;
           run [simcov lint] for the full report) *)
+  fsm_lint : Simcov_analysis.Fsm_lint.report;
+      (** the FSM-level precondition certification (SA6xx) of the
+          tabulated test model: strong connectivity, minimality, the
+          certified ∀k bound ([fsm_lint.stats.certified_k]) and the
+          R1/R4 structural fault checks. Warnings do not fail the run;
+          error-severity findings do (at the CLI, like [lint_errors]). *)
   model_states : int;
   model_transitions : int;
   symbolic : symbolic_figures;
@@ -49,9 +55,9 @@ type run_report = {
       (** FSM-level fault injection on the test model itself *)
   timings : (string * float) list;
       (** wall-clock seconds per phase, in run order (lint, tabulate,
-          symbolic, requirements, certificate, tour, concretize,
-          bug_campaign, fsm_campaign); the same durations are observed
-          on the [methodology.<phase>] metrics timers *)
+          fsm_lint, symbolic, requirements, certificate, tour,
+          concretize, bug_campaign, fsm_campaign); the same durations
+          are observed on the [methodology.<phase>] metrics timers *)
 }
 
 val campaigns_truncated : run_report -> bool

@@ -346,18 +346,23 @@ let minimize m =
         if m.valid s i then Some (m.output s i) else None)
   in
   let assign_classes signature =
+    (* snapshot every signature against the OLD classes before touching
+       [cls]: updating in place would let later states see predecessors'
+       already-renumbered classes, conflating old and new ids (which
+       over-splits — equivalent states land in different classes) *)
+    let keys = Array.init n (fun s -> if seen.(s) then Some (signature s) else None) in
     let tbl = Hashtbl.create 64 in
     let count = ref 0 in
     for s = 0 to n - 1 do
-      if seen.(s) then begin
-        let key = signature s in
-        match Hashtbl.find_opt tbl key with
-        | Some c -> cls.(s) <- c
-        | None ->
-            Hashtbl.add tbl key !count;
-            cls.(s) <- !count;
-            incr count
-      end
+      match keys.(s) with
+      | None -> ()
+      | Some key -> (
+          match Hashtbl.find_opt tbl key with
+          | Some c -> cls.(s) <- c
+          | None ->
+              Hashtbl.add tbl key !count;
+              cls.(s) <- !count;
+              incr count)
     done;
     !count
   in

@@ -60,6 +60,17 @@ let components g =
   done;
   (comp, !next_comp)
 
+let condensation g =
+  let comp, k = components g in
+  let edges = Hashtbl.create 16 in
+  Digraph.iter_edges
+    (fun e ->
+      let a = comp.(e.Digraph.src) and b = comp.(e.Digraph.dst) in
+      if a <> b then Hashtbl.replace edges (a, b) ())
+    g;
+  let cross = Hashtbl.fold (fun ab () acc -> ab :: acc) edges [] in
+  (comp, k, List.sort compare cross)
+
 let is_strongly_connected g =
   let n = Digraph.n_vertices g in
   if n <= 1 then true

@@ -10,6 +10,14 @@ val components : Digraph.t -> int array * int
     [u -> v] pointing forward; concretely, for any edge [u -> v] with
     [comp.(u) <> comp.(v)], [comp.(u) > comp.(v)]. *)
 
+val condensation : Digraph.t -> int array * int * (int * int) list
+(** [condensation g] is [(comp, k, edges)]: the {!components} result
+    plus the deduplicated cross-component edge list of the condensation
+    DAG, sorted. Each [(a, b)] with [a <> b] means some edge of [g]
+    leaves component [a] for component [b] (and, [g]'s condensation
+    being a DAG, [a > b] per the Tarjan numbering above). [k = 1] with
+    [edges = []] iff the graph is strongly connected. *)
+
 val is_strongly_connected : Digraph.t -> bool
 (** True when the whole vertex set forms a single component. For graphs
     with isolated vertices this is false unless [n <= 1]. *)

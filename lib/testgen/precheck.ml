@@ -1,0 +1,78 @@
+open Simcov_fsm
+module Scc = Simcov_graph.Scc
+module Digraph = Simcov_graph.Digraph
+
+type refusal = { code : string; reason : string }
+
+let pp fmt r = Format.fprintf fmt "%s: %s" r.code r.reason
+
+let connected (m : Fsm.t) =
+  let seen = Fsm.reachable m in
+  (* dense renumbering: unreachable states must not count as
+     components of their own *)
+  let idx = Array.make m.Fsm.n_states (-1) in
+  let n = ref 0 in
+  for s = 0 to m.Fsm.n_states - 1 do
+    if seen.(s) then begin
+      idx.(s) <- !n;
+      incr n
+    end
+  done;
+  let g = Digraph.create !n in
+  for s = 0 to m.Fsm.n_states - 1 do
+    if seen.(s) then
+      List.iter
+        (fun i ->
+          let d = m.Fsm.next s i in
+          if d >= 0 && d < m.Fsm.n_states && seen.(d) then
+            ignore (Digraph.add_edge g ~src:idx.(s) ~dst:idx.(d) ~label:i ~cost:1))
+        (Fsm.valid_inputs m s)
+  done;
+  if Scc.is_strongly_connected g then Ok ()
+  else
+    let _, k = Scc.components g in
+    Error
+      {
+        code = "SA610";
+        reason =
+          Printf.sprintf
+            "reachable transition graph has %d strongly connected components; no \
+             closed transition tour exists"
+            k;
+      }
+
+let minimal ?(scope = `Reachable) (m : Fsm.t) =
+  let pair s t =
+    Error
+      {
+        code = "SA620";
+        reason =
+          Printf.sprintf
+            "states %s and %s are equivalent: the machine is not minimal, so \
+             characterization-set-based suites are not complete"
+            (m.Fsm.state_name s) (m.Fsm.state_name t);
+      }
+  in
+  match scope with
+  | `Reachable ->
+      let _, classes = Fsm.minimize m in
+      let rep = Hashtbl.create 16 in
+      let result = ref (Ok ()) in
+      Array.iteri
+        (fun s c ->
+          if !result = Ok () && c >= 0 then
+            match Hashtbl.find_opt rep c with
+            | Some t -> result := pair t s
+            | None -> Hashtbl.add rep c s)
+        classes;
+      !result
+  | `All ->
+      let result = ref (Ok ()) in
+      for s = 0 to m.Fsm.n_states - 1 do
+        for t = s + 1 to m.Fsm.n_states - 1 do
+          if !result = Ok () && Fsm.distinguish m s t = None then result := pair s t
+        done
+      done;
+      !result
+
+let check ?scope m = Result.bind (connected m) (fun () -> minimal ?scope m)

@@ -1,0 +1,40 @@
+(** Machine-class preconditions for the test generators.
+
+    Every generator in this library assumes facts about the machine
+    that, when false, make its output garbage rather than an error:
+    the Chinese-postman tour needs strong connectivity (otherwise no
+    closed tour exists), and the W-method / UIO suites need a minimal
+    machine (equivalent states silently shrink the characterization
+    set, so the resulting suite is not complete for the advertised
+    fault domain). This module names those refusals with the stable
+    SA6xx codes of the fsm-lint catalog (see [Simcov_analysis.Diag]),
+    without depending on the analysis library.
+
+    The [*_checked] generator variants ([Tour.transition_tour_checked],
+    [Wmethod.suite_checked], [Uio.checking_sequence_checked]) run these
+    checks first and return [Error refusal] instead of a bogus
+    suite. *)
+
+open Simcov_fsm
+
+type refusal = {
+  code : string;  (** stable diagnostic code: ["SA610"] or ["SA620"] *)
+  reason : string;  (** human sentence with the concrete witness *)
+}
+
+val pp : Format.formatter -> refusal -> unit
+(** ["SA610: ..."] on one line. *)
+
+val connected : Fsm.t -> (unit, refusal) result
+(** [Error {code = "SA610"; _}] when the reachable transition graph is
+    not strongly connected (no closed transition tour exists). *)
+
+val minimal : ?scope:[ `Reachable | `All ] -> Fsm.t -> (unit, refusal) result
+(** [Error {code = "SA620"; _}] naming an equivalent state pair.
+    [`Reachable] (default) checks the reachable sub-machine (partition
+    refinement); [`All] checks every pair — the scope the W-method
+    uses when implementation faults can land in spec-unreachable
+    states. *)
+
+val check : ?scope:[ `Reachable | `All ] -> Fsm.t -> (unit, refusal) result
+(** {!connected} then {!minimal}: the full precondition gate. *)

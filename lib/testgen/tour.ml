@@ -16,6 +16,20 @@ let transition_tour m =
   let g = Fsm.transition_graph m in
   Option.map (of_cpp_tour g) (Cpp.solve g ~start:m.Fsm.reset)
 
+let transition_tour_checked m =
+  match Precheck.check m with
+  | Error r -> Error r
+  | Ok () -> (
+      match transition_tour m with
+      | Some t -> Ok t
+      | None ->
+          (* unreachable once Precheck.connected passed; defensive *)
+          Error
+            {
+              Precheck.code = "SA610";
+              reason = "no closed transition tour exists";
+            })
+
 let greedy_transition_tour m =
   let g = Fsm.transition_graph m in
   Option.map (of_cpp_tour g) (Cpp.greedy g ~start:m.Fsm.reset)

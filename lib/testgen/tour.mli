@@ -22,6 +22,12 @@ val transition_tour : Fsm.t -> result option
     when the reachable transition graph is not strongly connected, in
     which case no closed tour exists — see {!transition_cover}. *)
 
+val transition_tour_checked : Fsm.t -> (result, Precheck.refusal) Result.t
+(** {!transition_tour} behind the {!Precheck.check} gate: [Error]
+    carries the SA6xx refusal (disconnected — SA610 — or non-minimal —
+    SA620, under which Theorem 1's completeness claim for the tour is
+    void) instead of silently producing a tour that proves nothing. *)
+
 val greedy_transition_tour : Fsm.t -> result option
 (** Nearest-uncovered-transition heuristic; same coverage, usually
     longer. *)

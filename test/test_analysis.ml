@@ -425,10 +425,29 @@ let test_json_round_trip () =
           Alcotest.(check bool) "identical after round trip" true (r = r'))
 
 let test_diag_codes_in_catalog () =
-  let catalog_codes = List.map (fun (c, _, _) -> c) Diag.catalog in
-  Alcotest.(check int) "19 stable codes" 19 (List.length catalog_codes);
-  Alcotest.(check int) "codes are unique" 19
+  let catalog_codes =
+    List.map (fun e -> e.Diag.entry_code) Diag.catalog
+  in
+  Alcotest.(check int) "33 stable codes" 33 (List.length catalog_codes);
+  Alcotest.(check int) "codes are unique" 33
     (List.length (List.sort_uniq String.compare catalog_codes));
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has a title" e.Diag.entry_code)
+        true
+        (String.length e.Diag.title > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has a fix" e.Diag.entry_code)
+        true
+        (String.length e.Diag.fix > 0))
+    Diag.catalog;
+  (* explain is the single source of truth the CLI prints from *)
+  (match Diag.explain "SA610" with
+  | None -> Alcotest.fail "SA610 missing from catalog"
+  | Some e -> Alcotest.(check bool) "SA610 is an error" true (e.Diag.default_severity = Diag.Error));
+  Alcotest.(check bool) "unknown code not explained" true
+    (Diag.explain "SA999" = None);
   List.iter
     (fun fixture ->
       let r = Lint.run (load_fixture fixture) in
@@ -446,7 +465,28 @@ let test_budget_truncation () =
   let budget = Budget.create ~max_steps:1 () in
   let r = Lint.run ~budget ~name:"tight" c in
   Alcotest.(check bool) "truncation reported, not raised" true
-    (r.Lint.truncated = Some Budget.Steps)
+    (r.Lint.truncated = Some Budget.Steps);
+  (* truncation must name what was NOT checked, and the skipped list must
+     not claim passes that did complete *)
+  Alcotest.(check bool) "skipped passes recorded" true (r.Lint.skipped <> []);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s not both completed and skipped" p)
+        false
+        (List.mem p r.Lint.passes))
+    r.Lint.skipped;
+  (* skipped survives the JSON round trip *)
+  (match Json.parse (Json.to_string (Lint.to_json r)) with
+  | Error e -> Alcotest.failf "truncated report does not re-parse: %s" e
+  | Ok j -> (
+      match Lint.of_json j with
+      | Error e -> Alcotest.failf "schema mismatch: %s" e
+      | Ok r' ->
+          Alcotest.(check (list string))
+            "skipped round-trips" r.Lint.skipped r'.Lint.skipped));
+  let full = Lint.run ~name:"untight" c in
+  Alcotest.(check (list string)) "nothing skipped without budget" [] full.Lint.skipped
 
 let test_fail_on_thresholds () =
   let clean = Lint.run (load_fixture "dead_latch.circ") in
@@ -454,9 +494,14 @@ let test_fail_on_thresholds () =
     (Lint.fails clean ~threshold:Diag.Warning);
   Alcotest.(check bool) "warnings pass --fail-on error" false
     (Lint.fails clean ~threshold:Diag.Error);
+  Alcotest.(check bool) "warnings fail --fail-on info" true
+    (Lint.fails clean ~threshold:Diag.Info);
   let bad = Lint.run (load_fixture "multi_driven.circ") in
   Alcotest.(check bool) "errors fail --fail-on error" true
-    (Lint.fails bad ~threshold:Diag.Error)
+    (Lint.fails bad ~threshold:Diag.Error);
+  let empty = { clean with Lint.diags = [] } in
+  Alcotest.(check bool) "no diags never fails, even on info" false
+    (Lint.fails empty ~threshold:Diag.Info)
 
 let suite =
   [

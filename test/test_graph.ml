@@ -72,6 +72,45 @@ let test_scc_restrict_escapes () =
   Alcotest.(check bool) "reachable escapes component" true
     (Scc.restrict_strongly_connected g ~root:0 = None)
 
+let test_scc_condensation () =
+  (* two 2-cycles bridged by 1 -> 2, plus a parallel bridge 0 -> 3:
+     the condensation has one deduplicated cross edge *)
+  let g =
+    build_graph 4 [ (0, 1); (1, 0); (2, 3); (3, 2); (1, 2); (0, 3) ]
+  in
+  let comp, k, edges = Scc.condensation g in
+  Alcotest.(check int) "two components" 2 k;
+  Alcotest.(check (list (pair int int)))
+    "single deduplicated cut edge"
+    [ (comp.(1), comp.(2)) ]
+    edges;
+  (* strongly connected graph: no cross edges at all *)
+  let g = build_graph 3 [ (0, 1); (1, 2); (2, 0) ] in
+  let _, k, edges = Scc.condensation g in
+  Alcotest.(check int) "one component" 1 k;
+  Alcotest.(check (list (pair int int))) "no cut edges" [] edges
+
+let test_scc_large_no_overflow () =
+  (* a million-vertex cycle would blow the OCaml stack if Tarjan (or
+     the condensation walk) recursed per vertex; the iterative
+     implementation must survive it *)
+  let n = 1_000_000 in
+  let g = Digraph.create n in
+  for v = 0 to n - 1 do
+    ignore (Digraph.add_edge g ~src:v ~dst:((v + 1) mod n) ~label:0 ~cost:1)
+  done;
+  let _, k, edges = Scc.condensation g in
+  Alcotest.(check int) "one giant component" 1 k;
+  Alcotest.(check (list (pair int int))) "no cut edges" [] edges;
+  (* same size as a path: n singleton components, n-1 cut edges *)
+  let p = Digraph.create n in
+  for v = 0 to n - 2 do
+    ignore (Digraph.add_edge p ~src:v ~dst:(v + 1) ~label:0 ~cost:1)
+  done;
+  let _, k, edges = Scc.condensation p in
+  Alcotest.(check int) "all singleton" n k;
+  Alcotest.(check int) "n-1 cut edges" (n - 1) (List.length edges)
+
 let test_bfs () =
   let g = build_graph 4 [ (0, 1); (1, 2); (0, 2) ] in
   let d = Shortest.bfs g ~source:0 in
@@ -332,6 +371,8 @@ let suite =
     Alcotest.test_case "scc dag" `Quick test_scc_dag;
     Alcotest.test_case "scc restrict ok" `Quick test_scc_restrict_ok;
     Alcotest.test_case "scc restrict escapes" `Quick test_scc_restrict_escapes;
+    Alcotest.test_case "scc condensation" `Quick test_scc_condensation;
+    Alcotest.test_case "scc 1M vertices, no overflow" `Quick test_scc_large_no_overflow;
     Alcotest.test_case "bfs" `Quick test_bfs;
     Alcotest.test_case "dijkstra" `Quick test_dijkstra;
     Alcotest.test_case "dijkstra prefers cheap" `Quick test_dijkstra_prefers_cheap;

@@ -35,6 +35,7 @@ let () =
       ("fig2", Test_fig2.suite);
       ("robustness", Test_robustness.suite);
       ("analysis", Test_analysis.suite);
+      ("fsm_lint", Test_fsm_lint.suite);
       ("campaign", Test_campaign.suite);
       ("covdb", Test_covdb.suite);
     ]
