@@ -8,14 +8,28 @@
      stats          symbolic statistics of the derived control model
      fig2           the Figure 2 limitation demo
      run            assemble and co-simulate a DLX program
+     serve          job daemon on a Unix socket
+     submit / jobs  daemon clients
+
+   The heavy lifting lives in lib/service: each job-shaped subcommand
+   builds a Job.t and hands it to Service.run; this file only parses
+   flags and routes the outcome's report/human/notes to the right
+   stream. The same jobs go over the wire to `simcov serve`.
 
    Exit codes: 0 success; 1 validation failed (bugs missed /
    certificate failed); 2 usage error; 3 resource limit exceeded;
    4 malformed input file; 5 campaign degraded by worker failures;
-   130 interrupted (SIGINT/SIGTERM) with a final checkpoint flushed. *)
+   6 job rejected by the daemon (queue full or draining);
+   7 socket / protocol error; 130 interrupted (SIGINT/SIGTERM) with a
+   final checkpoint flushed. *)
 
 open Cmdliner
 module Budget = Simcov_util.Budget
+module Json = Simcov_util.Json
+module Obs = Simcov_obs.Obs
+module Job = Simcov_service.Job
+module Service = Simcov_service.Service
+module Daemon = Simcov_service.Daemon
 
 let exits =
   [
@@ -28,6 +42,11 @@ let exits =
       ~doc:
         "when a campaign completed degraded: one or more worker shards failed \
          after retries (see the report's $(b,shard_failures)).";
+    Cmd.Exit.info 6
+      ~doc:
+        "when the daemon rejected the job (queue full, or draining after \
+         SIGTERM).";
+    Cmd.Exit.info 7 ~doc:"on a socket or protocol error talking to the daemon.";
     Cmd.Exit.info 130
       ~doc:
         "when interrupted (SIGINT/SIGTERM) mid-campaign; with \
@@ -36,7 +55,20 @@ let exits =
 
 let cmd_info name ~doc = Cmd.info name ~doc ~exits
 
-let budget_term =
+(* ---- the shared common-options term ----
+
+   Every job-shaped subcommand takes the same resource and output
+   options; they are defined once here instead of per command. *)
+
+type common = {
+  timeout_s : float option;
+  max_nodes : int option;
+  metrics : string option;
+  trace : string option;
+  json : bool;
+}
+
+let common_term =
   let timeout =
     let doc = "Abort (exit 3) if the run exceeds $(docv) seconds of wall time." in
     Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SEC" ~doc)
@@ -48,29 +80,6 @@ let budget_term =
     in
     Arg.(value & opt (some int) None & info [ "max-nodes" ] ~docv:"N" ~doc)
   in
-  let build timeout_s max_nodes =
-    match (timeout_s, max_nodes) with
-    | None, None -> Budget.unlimited
-    | _ -> Budget.create ?timeout_s ?max_nodes ()
-  in
-  Term.(const build $ timeout $ max_nodes)
-
-(* map resource exhaustion escaping a subcommand to exit 3 *)
-let guarded f =
-  try f () with
-  | Budget.Budget_exceeded r ->
-      Printf.eprintf "error: resource limit exceeded (out of %s)\n"
-        (Budget.resource_name r);
-      3
-  | Simcov_bdd.Bdd.Node_limit live ->
-      Printf.eprintf "error: BDD node ceiling reached (%d nodes live)\n" live;
-      3
-
-(* ---- observability plumbing (--metrics / --trace) ---- *)
-
-module Obs = Simcov_obs.Obs
-
-let obs_term =
   let metrics =
     let doc =
       "Write a $(b,simcov-metrics/1) JSON snapshot (engine counters, gauges \
@@ -87,20 +96,50 @@ let obs_term =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  Term.(const (fun metrics trace -> (metrics, trace)) $ metrics $ trace)
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the machine-readable report as JSON.")
+  in
+  let build timeout_s max_nodes metrics trace json =
+    { timeout_s; max_nodes; metrics; trace; json }
+  in
+  Term.(const build $ timeout $ max_nodes $ metrics $ trace $ json)
+
+let budget_of_common c =
+  match (c.timeout_s, c.max_nodes) with
+  | None, None -> Budget.unlimited
+  | timeout_s, max_nodes -> Budget.create ?timeout_s ?max_nodes ()
+
+(* legacy budget term for the non-job commands (model) *)
+let budget_term =
+  Term.(const (fun c -> budget_of_common c) $ common_term)
+
+(* map resource exhaustion escaping a non-job subcommand to exit 3 *)
+let guarded f =
+  try f () with
+  | Budget.Budget_exceeded r ->
+      Printf.eprintf "error: resource limit exceeded (out of %s)\n"
+        (Budget.resource_name r);
+      3
+  | Simcov_bdd.Bdd.Node_limit live ->
+      Printf.eprintf "error: BDD node ceiling reached (%d nodes live)\n" live;
+      3
+
+(* ---- observability plumbing (--metrics / --trace) ---- *)
 
 (* metrics on stdout claims the machine-readable stream: callers route
    their human-readable report to stderr in that case *)
-let metrics_on_stdout (metrics, _trace) = metrics = Some "-"
+let metrics_on_stdout c = c.metrics = Some "-"
 
 (* Reset the metric registry, install the trace sink, run the command,
    and — whatever way it exits — tear the sink down and write the
    snapshot. The snapshot is written even on a resource-limit exit so a
    truncated run still reports what it spent. *)
-let with_obs (metrics, trace) f =
+let with_obs c f =
   Obs.reset ();
   let close_trace =
-    match trace with
+    match c.trace with
     | None -> fun () -> ()
     | Some "-" ->
         Obs.set_sink (Some print_endline);
@@ -121,10 +160,10 @@ let with_obs (metrics, trace) f =
     ~finally:(fun () ->
       Obs.set_sink None;
       close_trace ();
-      match metrics with
+      match c.metrics with
       | None -> ()
       | Some path ->
-          let doc = Simcov_util.Json.to_string (Obs.snapshot ()) ^ "\n" in
+          let doc = Json.to_string (Obs.snapshot ()) ^ "\n" in
           if path = "-" then begin
             print_string doc;
             flush stdout
@@ -134,11 +173,50 @@ let with_obs (metrics, trace) f =
 
 (* commands whose engines allocate no BDD nodes: a node allowance would
    be silently inert, so say so (budget.mli, "enforcement split") *)
-let warn_inert_max_nodes budget =
-  if Budget.max_nodes budget <> None then
+let warn_inert_max_nodes c =
+  if c.max_nodes <> None then
     prerr_endline
       "warning: --max-nodes has no effect here (this command runs no BDD \
        engine); use --timeout to bound the run"
+
+(* ---- running a job through the service ---- *)
+
+(* render a Service outcome the way the monolithic subcommands used to:
+   report JSON (with --json) or human text to stdout — stderr when
+   --metrics - claims stdout — and notes/errors to stderr *)
+let print_outcome c (o : Service.outcome) =
+  (match o.Service.error with
+  | Some e -> Printf.eprintf "error: %s\n" e
+  | None ->
+      if c.json then
+        match o.Service.report with
+        | Some r -> print_endline (Json.to_string r)
+        | None -> ()
+      else if o.Service.human <> "" then begin
+        let out = if metrics_on_stdout c then stderr else stdout in
+        output_string out o.Service.human;
+        flush out
+      end);
+  List.iter (fun n -> Printf.eprintf "%s\n%!" n) o.Service.notes;
+  o.Service.exit_code
+
+let run_job ?should_stop ?on_progress ?chaos_kill_after c job =
+  with_obs c @@ fun () ->
+  print_outcome c
+    (Service.run ?should_stop ?on_progress ?chaos_kill_after job)
+
+(* campaigns convert SIGINT/SIGTERM into a clean batch-boundary stop
+   with a final checkpoint flush; the handler scope is the run only *)
+let with_interrupt f =
+  let interrupted = Atomic.make false in
+  let on_signal = Sys.Signal_handle (fun _ -> Atomic.set interrupted true) in
+  let prev_int = Sys.signal Sys.sigint on_signal in
+  let prev_term = Sys.signal Sys.sigterm on_signal in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigint prev_int;
+      Sys.set_signal Sys.sigterm prev_term)
+    (fun () -> f (fun () -> Atomic.get interrupted))
 
 let config_term =
   let regs =
@@ -206,37 +284,26 @@ let parallel_term =
 
 (* ---- validate-dlx ---- *)
 
-let validate_dlx config seed (jobs, lanes) budget obs =
-  guarded @@ fun () ->
-  with_obs obs @@ fun () ->
-  let ppf =
-    if metrics_on_stdout obs then Format.err_formatter else Format.std_formatter
+let validate_dlx config seed (jobs, lanes) common =
+  let p =
+    {
+      Job.va_regs = config.Simcov_dlx.Testmodel.n_regs;
+      va_track_dest = config.Simcov_dlx.Testmodel.track_dest;
+      va_observable_dest = config.Simcov_dlx.Testmodel.observable_dest;
+      va_seed = seed;
+      va_lanes = lanes;
+      va_jobs = jobs;
+    }
   in
-  let report =
-    Simcov_core.Methodology.validate_dlx ~config ~seed ~budget ~lanes ~jobs ()
-  in
-  Format.fprintf ppf "%a@." Simcov_core.Methodology.pp_run_report report;
-  if Simcov_core.Methodology.campaigns_truncated report then 3
-  else if
-    report.Simcov_core.Methodology.lint_errors = []
-    (* FSM precondition gate: warnings are recorded, errors fail *)
-    && not
-         (Simcov_analysis.Fsm_lint.fails
-            report.Simcov_core.Methodology.fsm_lint
-            ~threshold:Simcov_analysis.Diag.Error)
-    && report.Simcov_core.Methodology.n_bugs_detected
-       = List.length report.Simcov_core.Methodology.bug_results
-    && Result.is_ok report.Simcov_core.Methodology.certificate
-  then 0
-  else 1
+  run_job common
+    (Job.make ?timeout_s:common.timeout_s ?max_nodes:common.max_nodes
+       (Job.Validate_dlx p))
 
 let validate_cmd =
   let doc = "Run the full validation methodology on the pipelined DLX." in
   Cmd.v
     (cmd_info "validate-dlx" ~doc)
-    Term.(
-      const validate_dlx $ config_term $ seed_term $ parallel_term $ budget_term
-      $ obs_term)
+    Term.(const validate_dlx $ config_term $ seed_term $ parallel_term $ common_term)
 
 (* ---- tour ---- *)
 
@@ -311,43 +378,13 @@ let abstract_cmd =
 
 (* ---- stats ---- *)
 
-let stats budget obs =
-  guarded @@ fun () ->
-  with_obs obs @@ fun () ->
-  let out = if metrics_on_stdout obs then stderr else stdout in
-  let ppf = Format.formatter_of_out_channel out in
-  let final, _ = Simcov_dlx.Control.derive_test_model () in
-  Format.fprintf ppf "%a@." Simcov_netlist.Circuit.pp_stats final;
-  let sym = Simcov_symbolic.Symfsm.of_circuit ~budget final in
-  let open Simcov_symbolic.Symfsm in
-  let tr = reachable_stats ~budget sym in
-  Printf.fprintf out "reachable states: %.0f of %.0f (in %d iterations, %.2fs)\n"
-    (count_states sym tr.reached) (state_space_size sym) tr.iterations
-    tr.total_time_s;
-  List.iter
-    (fun st ->
-      Printf.fprintf out
-        "  iter %d: frontier %.0f states (%d nodes), reached %d nodes, %d live, %.3fs\n"
-        st.iteration st.frontier_states st.frontier_nodes st.reached_nodes
-        st.live_nodes st.time_s)
-    tr.iter_stats;
-  if tr.gc_runs > 0 then
-    Printf.fprintf out "BDD garbage collections: %d (peak %d live nodes)\n" tr.gc_runs
-      tr.peak_live_nodes;
-  match tr.truncated with
-  | Some r ->
-      Printf.fprintf out "traversal truncated: out of %s after %d iterations\n"
-        (Budget.resource_name r) tr.iterations;
-      3
-  | None ->
-      Printf.fprintf out "valid input combinations: %.0f of %.0f\n"
-        (count_valid_inputs sym) (input_space_size sym);
-      Printf.fprintf out "transitions to cover: %.0f\n" (count_transitions sym);
-      0
+let stats common =
+  run_job common
+    (Job.make ?timeout_s:common.timeout_s ?max_nodes:common.max_nodes Job.Stats)
 
 let stats_cmd =
   let doc = "Symbolic (BDD) statistics of the derived control test model." in
-  Cmd.v (cmd_info "stats" ~doc) Term.(const stats $ budget_term $ obs_term)
+  Cmd.v (cmd_info "stats" ~doc) Term.(const stats $ common_term)
 
 (* ---- fig2 ---- *)
 
@@ -491,163 +528,74 @@ let model_cmd =
 
 (* ---- lint ---- *)
 
-(* a MODEL argument is a serialized-circuit path or a builtin name *)
-let load_model spec =
-  match spec with
-  | "dlx-control" -> Ok (Simcov_dlx.Control.build (), "dlx-control")
-  | "dlx-test" ->
-      Ok (fst (Simcov_dlx.Control.derive_test_model ()), "dlx-test")
-  | path -> (
-      match Simcov_netlist.Serialize.load path with
-      | Ok c -> Ok (c, Filename.basename path)
-      | Error e -> Error (Simcov_netlist.Serialize.error_to_string e))
+let catalog_json entries =
+  Json.Obj
+    [
+      ("schema", Json.String "simcov-diag-catalog/1");
+      ( "entries",
+        Json.List
+          (List.map
+             (fun (e : Simcov_analysis.Diag.catalog_entry) ->
+               Json.Obj
+                 [
+                   ("code", Json.String e.Simcov_analysis.Diag.entry_code);
+                   ( "severity",
+                     Json.String
+                       (Simcov_analysis.Diag.severity_name
+                          e.Simcov_analysis.Diag.default_severity) );
+                   ("title", Json.String e.Simcov_analysis.Diag.title);
+                   ("fix", Json.String e.Simcov_analysis.Diag.fix);
+                 ])
+             entries) );
+    ]
 
-(* an FSM MODEL argument: the DLX / DSP test-model builtins, or any
-   circuit small enough for Circuit.to_fsm to enumerate *)
-let load_fsm_model spec =
-  match spec with
-  | "dlx" | "dlx-test" ->
-      Ok
-        ( Simcov_fsm.Fsm.tabulate (Simcov_dlx.Testmodel.build Simcov_dlx.Testmodel.default),
-          "dlx-test" )
-  | "dsp" -> Ok (Simcov_fsm.Fsm.tabulate (Simcov_dsp.Mac.Testmodel.build ()), "dsp")
-  | path -> (
-      match load_model path with
-      | Error e -> Error e
-      | Ok (c, name) -> (
-          match Simcov_netlist.Circuit.to_fsm c with
-          | exception Invalid_argument msg ->
-              Error (Printf.sprintf "cannot enumerate as an FSM (%s)" msg)
-          | m -> Ok (Simcov_fsm.Fsm.tabulate m, name)))
+let print_entry (e : Simcov_analysis.Diag.catalog_entry) =
+  Printf.printf "%s (%s)\n  %s\n  fix: %s\n" e.Simcov_analysis.Diag.entry_code
+    (Simcov_analysis.Diag.severity_name e.Simcov_analysis.Diag.default_severity)
+    e.Simcov_analysis.Diag.title e.Simcov_analysis.Diag.fix
 
-(* suite file: one input word per line, symbols as space-separated
-   integer indices; '#' starts a comment *)
-let load_suite path =
-  try
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let words = ref [] and lno = ref 0 in
-        (try
-           while true do
-             incr lno;
-             let line = input_line ic in
-             let line =
-               match String.index_opt line '#' with
-               | Some i -> String.sub line 0 i
-               | None -> line
-             in
-             let toks =
-               String.split_on_char ' ' line
-               |> List.concat_map (String.split_on_char '\t')
-               |> List.filter (fun s -> s <> "")
-             in
-             if toks <> [] then
-               words :=
-                 List.map
-                   (fun t ->
-                     match int_of_string_opt t with
-                     | Some i -> i
-                     | None ->
-                         failwith
-                           (Printf.sprintf "line %d: '%s' is not an input index"
-                              !lno t))
-                   toks
-                 :: !words
-           done
-         with End_of_file -> ());
-        Ok (List.rev !words))
-  with
-  | Sys_error e -> Error e
-  | Failure e -> Error e
-
-let explain_code code =
-  match Simcov_analysis.Diag.explain code with
-  | Some e ->
-      Printf.printf "%s (%s)\n  %s\n  fix: %s\n" e.Simcov_analysis.Diag.entry_code
-        (Simcov_analysis.Diag.severity_name e.Simcov_analysis.Diag.default_severity)
-        e.Simcov_analysis.Diag.title e.Simcov_analysis.Diag.fix;
+(* --explain CODE prints one catalog entry; bare --explain (or
+   --explain all) walks the whole catalog *)
+let explain_code ~json code =
+  match code with
+  | "all" ->
+      let entries = Simcov_analysis.Diag.catalog in
+      if json then print_endline (Json.to_string (catalog_json entries))
+      else List.iter print_entry entries;
       0
-  | None ->
-      Printf.eprintf "error: unknown diagnostic code '%s'\n" code;
-      4
+  | code -> (
+      match Simcov_analysis.Diag.explain code with
+      | Some e ->
+          if json then print_endline (Json.to_string (catalog_json [ e ]))
+          else print_entry e;
+          0
+      | None ->
+          Printf.eprintf "error: unknown diagnostic code '%s'\n" code;
+          4)
 
-let lint model against fsm suite_file k_bound explain json_out fail_on budget obs =
-  guarded @@ fun () ->
-  with_obs obs @@ fun () ->
-  warn_inert_max_nodes budget;
-  let open Simcov_analysis in
+let lint model against fsm suite_file k_bound explain fail_on common =
   match explain with
-  | Some code -> explain_code code
+  | Some code -> explain_code ~json:common.json code
   | None -> (
       match model with
       | None ->
           prerr_endline "error: a MODEL argument is required (or use --explain CODE)";
           4
       | Some model ->
-          let finish ~truncated ~fails report_json report_pp =
-            (if json_out then print_endline (Simcov_util.Json.to_string report_json)
-             else
-               let ppf =
-                 if metrics_on_stdout obs then Format.err_formatter
-                 else Format.std_formatter
-               in
-               report_pp ppf);
-            if truncated then 3 else if fails then 1 else 0
+          warn_inert_max_nodes common;
+          let p =
+            {
+              Job.li_model = model;
+              li_against = against;
+              li_fsm = fsm;
+              li_suite = suite_file;
+              li_k_bound = k_bound;
+              li_fail_on = fail_on;
+            }
           in
-          if fsm then (
-            match load_fsm_model model with
-            | Error e ->
-                Printf.eprintf "error: %s: %s\n" model e;
-                4
-            | Ok (m, name) -> (
-                let suite =
-                  match suite_file with
-                  | None -> Ok None
-                  | Some path -> (
-                      match load_suite path with
-                      | Ok words -> Ok (Some words)
-                      | Error e ->
-                          Printf.eprintf "error: %s: %s\n" path e;
-                          Error 4)
-                in
-                match suite with
-                | Error code -> code
-                | Ok suite ->
-                    let report = Fsm_lint.run ~budget ~name ~k_bound ?suite m in
-                    finish
-                      ~truncated:(report.Fsm_lint.truncated <> None)
-                      ~fails:(Fsm_lint.fails report ~threshold:fail_on)
-                      (Fsm_lint.to_json report)
-                      (fun ppf -> Format.fprintf ppf "%a@." Fsm_lint.pp report)))
-          else (
-            if suite_file <> None then
-              prerr_endline "warning: --suite only applies to --fsm; ignored";
-            match load_model model with
-            | Error e ->
-                Printf.eprintf "error: %s: %s\n" model e;
-                4
-            | Ok (c, name) -> (
-                let against_c =
-                  match against with
-                  | None -> Ok None
-                  | Some spec -> (
-                      match load_model spec with
-                      | Ok (conc, _) -> Ok (Some conc)
-                      | Error e ->
-                          Printf.eprintf "error: %s: %s\n" spec e;
-                          Error 4)
-                in
-                match against_c with
-                | Error code -> code
-                | Ok against ->
-                    let report = Lint.run ~budget ~name ?against c in
-                    finish
-                      ~truncated:(report.Lint.truncated <> None)
-                      ~fails:(Lint.fails report ~threshold:fail_on)
-                      (Lint.to_json report)
-                      (fun ppf -> Format.fprintf ppf "%a@." Lint.pp report))))
+          run_job common
+            (Job.make ?timeout_s:common.timeout_s ?max_nodes:common.max_nodes
+               (Job.Lint p)))
 
 let lint_cmd =
   let doc =
@@ -697,11 +645,13 @@ let lint_cmd =
   let explain =
     Arg.(
       value
-      & opt (some string) None
+      & opt ~vopt:(Some "all") (some string) None
       & info [ "explain" ] ~docv:"CODE"
           ~doc:
             "Print the catalog entry (title, severity, suggested fix) for a \
-             stable diagnostic code such as $(b,SA101) or $(b,SA620), and exit.")
+             stable diagnostic code such as $(b,SA101) or $(b,SA620), and \
+             exit; bare $(b,--explain) (or $(b,--explain all)) lists the \
+             whole catalog.")
   in
   let against =
     Arg.(
@@ -711,9 +661,6 @@ let lint_cmd =
           ~doc:
             "Concrete model $(i,MODEL) was abstracted from; enables the \
              homomorphism cone-compatibility precheck.")
-  in
-  let json_out =
-    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
   in
   let fail_on =
     let sev =
@@ -734,69 +681,9 @@ let lint_cmd =
     (cmd_info "lint" ~doc)
     Term.(
       const lint $ model $ against $ fsm $ suite_file $ k_bound $ explain
-      $ json_out $ fail_on $ budget_term $ obs_term)
+      $ fail_on $ common_term)
 
-(* ---- durable coverage databases (simcov-covdb/1) ---- *)
-
-module Covdb = Simcov_covdb.Covdb
-
-(* The campaign verdict <-> covdb status conversion is exact: the
-   driver guarantees [detected <=> detect_step] and
-   [excited <=> excite_step], so a verdict resumed from a snapshot is
-   byte-identical to the one the interrupted run computed. *)
-let status_of_verdict (v : Simcov_campaign.Campaign.verdict) =
-  match (v.Simcov_campaign.Campaign.detect_step, v.Simcov_campaign.Campaign.excite_step) with
-  | Some detect_step, excite_step -> Covdb.Detected { excite_step; detect_step }
-  | None, Some es -> Covdb.Excited es
-  | None, None -> Covdb.Undetected
-
-let verdict_of_status = function
-  | Covdb.Undetected ->
-      {
-        Simcov_campaign.Campaign.detected = false;
-        excited = false;
-        detect_step = None;
-        excite_step = None;
-      }
-  | Covdb.Excited es ->
-      {
-        Simcov_campaign.Campaign.detected = false;
-        excited = true;
-        detect_step = None;
-        excite_step = Some es;
-      }
-  | Covdb.Detected { excite_step; detect_step } ->
-      {
-        Simcov_campaign.Campaign.detected = true;
-        excited = excite_step <> None;
-        detect_step = Some detect_step;
-        excite_step;
-      }
-
-let hash_hex parts =
-  Simcov_util.Crc32.to_hex
-    (List.fold_left (fun c s -> Simcov_util.Crc32.update c (s ^ "\n")) 0l parts)
-
-(* the snapshot header's two fingerprints: [config_hash] identifies the
-   fault population (merge compatibility), [stim_hash] the stimulus
-   word (additionally required to resume — recorded step indices only
-   make sense against the same word) *)
-let config_hash ~backend ~model keys = hash_hex (backend :: model :: keys)
-let stim_hash_ints word = hash_hex (List.map string_of_int word)
-
-let stim_hash_bits word =
-  hash_hex
-    (List.map
-       (fun a ->
-         String.init (Array.length a) (fun i -> if a.(i) then '1' else '0'))
-       word)
-
-type persist_opts = {
-  checkpoint_file : string option;
-  checkpoint_every : int;
-  resume_file : string option;
-  chaos_kill_after : int option;
-}
+(* ---- coverage: fault campaigns through the service engine ---- *)
 
 let persist_term =
   let checkpoint =
@@ -841,326 +728,41 @@ let persist_term =
              $(b,--checkpoint)).")
   in
   Term.(
-    const (fun checkpoint_file checkpoint_every resume_file chaos_kill_after ->
-        { checkpoint_file; checkpoint_every; resume_file; chaos_kill_after })
+    const (fun checkpoint every resume chaos -> (checkpoint, every, resume, chaos))
     $ checkpoint $ every $ resume $ chaos)
 
-(* Run one campaign crash-safely: validate and inject [--resume],
-   periodically flush [--checkpoint] snapshots, convert SIGINT/SIGTERM
-   into a clean batch-boundary stop, and always leave a final snapshot
-   behind (marked complete only when nothing was cut short). Returns
-   [Error exit_code] on an unusable resume snapshot. *)
-let run_persisted (type f) popts ~(hdr : Covdb.header) ~(key : f -> string)
-    ~(run :
-       ?resume:(f -> Simcov_campaign.Campaign.verdict option) ->
-       ?checkpoint:f Simcov_campaign.Campaign.checkpoint ->
-       should_stop:(unit -> bool) ->
-       unit ->
-       f Simcov_campaign.Campaign.outcome) =
-  let module Campaign = Simcov_campaign.Campaign in
-  let resume_db =
-    match popts.resume_file with
-    | None -> Ok None
-    | Some path -> (
-        match Covdb.load path with
-        | Error e -> Error (Printf.sprintf "%s: %s" path e)
-        | Ok { Covdb.db; salvaged } ->
-            let h = Covdb.header db in
-            if
-              h.Covdb.backend <> hdr.Covdb.backend
-              || h.Covdb.config_hash <> hdr.Covdb.config_hash
-            then
-              Error
-                (Printf.sprintf
-                   "%s: snapshot is for a different campaign configuration \
-                    (snapshot %s/%s, this run %s/%s)"
-                   path h.Covdb.backend h.Covdb.config_hash hdr.Covdb.backend
-                   hdr.Covdb.config_hash)
-            else if
-              h.Covdb.stim_hash <> hdr.Covdb.stim_hash
-              || h.Covdb.word_length <> hdr.Covdb.word_length
-            then
-              Error
-                (Printf.sprintf
-                   "%s: snapshot was recorded against a different stimulus \
-                    word; rerun with the producing run's --seed/--steps"
-                   path)
-            else begin
-              if salvaged then
-                Printf.eprintf
-                  "warning: %s: damaged snapshot; salvaged %d valid records\n%!"
-                  path (Covdb.n_records db);
-              Ok (Some db)
-            end)
+let coverage_run model kind seed count steps fail_under progress (jobs, lanes)
+    (checkpoint, checkpoint_every, resume, chaos_kill_after) common =
+  warn_inert_max_nodes common;
+  let p =
+    {
+      Job.cov_model = model;
+      cov_faults = (match kind with `Fsm -> Job.Fsm_faults | `Stuckat -> Job.Stuckat_faults);
+      cov_seed = seed;
+      cov_count = count;
+      cov_steps = steps;
+      cov_fail_under = fail_under;
+      cov_lanes = lanes;
+      cov_jobs = jobs;
+      cov_checkpoint = checkpoint;
+      cov_checkpoint_every = checkpoint_every;
+      cov_resume = resume;
+    }
   in
-  match resume_db with
-  | Error e ->
-      Printf.eprintf "error: %s\n" e;
-      Error 4
-  | Ok db_opt ->
-      let ck_file =
-        match popts.checkpoint_file with
-        | Some _ as f -> f
-        | None -> popts.resume_file
-      in
-      let save_snapshot ~complete ~truncated pairs =
-        match ck_file with
-        | None -> ()
-        | Some path ->
-            let db = Covdb.create hdr in
-            List.iter
-              (fun (f, v) -> Covdb.set db (key f) (status_of_verdict v))
-              pairs;
-            Covdb.set_complete db complete;
-            Covdb.set_truncated db truncated;
-            Covdb.save db path
-      in
-      let flushes = Atomic.make 0 in
-      let checkpoint =
-        match ck_file with
-        | None -> None
-        | Some _ ->
-            Some
-              {
-                Campaign.every = max 1 popts.checkpoint_every;
-                flush =
-                  (fun pairs ->
-                    save_snapshot ~complete:false ~truncated:None pairs;
-                    let n = 1 + Atomic.fetch_and_add flushes 1 in
-                    match popts.chaos_kill_after with
-                    | Some k when n >= k ->
-                        (* the chaos harness's deterministic crash
-                           point: an uncatchable kill right after a
-                           flush commits *)
-                        Unix.kill (Unix.getpid ()) Sys.sigkill
-                    | _ -> ());
-              }
-      in
-      let resume =
-        Option.map
-          (fun db f -> Option.map verdict_of_status (Covdb.find db (key f)))
-          db_opt
-      in
-      let interrupted = Atomic.make false in
-      let on_signal = Sys.Signal_handle (fun _ -> Atomic.set interrupted true) in
-      let prev_int = Sys.signal Sys.sigint on_signal in
-      let prev_term = Sys.signal Sys.sigterm on_signal in
-      let outcome =
-        Fun.protect
-          ~finally:(fun () ->
-            Sys.set_signal Sys.sigint prev_int;
-            Sys.set_signal Sys.sigterm prev_term)
-          (fun () ->
-            run ?resume ?checkpoint
-              ~should_stop:(fun () -> Atomic.get interrupted)
-              ())
-      in
-      let r = outcome.Campaign.report in
-      let complete =
-        (not (Atomic.get interrupted))
-        && r.Campaign.truncated = None
-        && r.Campaign.shard_failures = []
-        && r.Campaign.skipped = 0
-      in
-      save_snapshot ~complete
-        ~truncated:(Option.map Budget.resource_name r.Campaign.truncated)
-        outcome.Campaign.verdicts;
-      Ok (outcome, Atomic.get interrupted)
-
-(* exit-code priority for a campaign run: an interrupt outranks a
-   degraded-but-finished run, which outranks truncation, which
-   outranks a coverage threshold miss *)
-let campaign_exit ~fail_under ~interrupted ~pct
-    (r : _ Simcov_campaign.Campaign.report) =
-  if interrupted then 130
-  else if r.Simcov_campaign.Campaign.shard_failures <> [] then 5
-  else if r.Simcov_campaign.Campaign.truncated <> None then 3
-  else match fail_under with Some t when pct < t -> 1 | _ -> 0
-
-(* ---- coverage: fault campaigns through the shared engine ---- *)
-
-let coverage_run model kind json_out seed count steps fail_under progress
-    (jobs, lanes) popts budget obs =
-  guarded @@ fun () ->
-  with_obs obs @@ fun () ->
-  warn_inert_max_nodes budget;
-  let human_ppf =
-    if metrics_on_stdout obs then Format.err_formatter else Format.std_formatter
-  in
-  let module Campaign = Simcov_campaign.Campaign in
-  let module Detect = Simcov_coverage.Detect in
-  let module Stuckat = Simcov_coverage.Stuckat in
-  let module Fault = Simcov_coverage.Fault in
-  let module Fsm = Simcov_fsm.Fsm in
-  let module Circuit = Simcov_netlist.Circuit in
-  let rng = Simcov_util.Rng.create seed in
-  let on_batch =
+  let on_progress =
     (* progress goes to stderr only: stdout is reserved for the report
        (the stdout-purity CI check pins this down) *)
     if progress then
       Some
-        (fun (p : Campaign.progress) ->
-          Format.fprintf Format.err_formatter "%a@." Campaign.pp_progress p)
+        (fun (pr : Simcov_campaign.Campaign.progress) ->
+          Format.fprintf Format.err_formatter "%a@."
+            Simcov_campaign.Campaign.pp_progress pr)
     else None
   in
-  let finish ~name ~word_length json pct (r : _ Campaign.report) interrupted =
-    if json_out then
-      print_endline
-        (Simcov_util.Json.to_string
-           (json
-              [
-                ("model", Simcov_util.Json.String name);
-                ("word_length", Simcov_util.Json.Int word_length);
-              ]));
-    List.iter
-      (fun (sf : Campaign.shard_failure) ->
-        Printf.eprintf "warning: shard %d (%d faults) failed: %s\n%!"
-          sf.Campaign.shard sf.Campaign.faults sf.Campaign.error)
-      r.Campaign.shard_failures;
-    if interrupted then
-      Printf.eprintf "interrupted: %s\n%!"
-        (match
-           ( popts.checkpoint_file,
-             popts.resume_file )
-         with
-        | Some f, _ | None, Some f ->
-            Printf.sprintf "final checkpoint flushed to %s; rerun with --resume %s" f f
-        | None, None -> "partial report above (no --checkpoint to resume from)");
-    campaign_exit ~fail_under ~interrupted ~pct r
-  in
-  let fsm_faults m =
-    let n_outputs =
-      List.fold_left (fun acc (_, _, _, o) -> max acc (o + 1)) 1 (Fsm.transitions m)
-    in
-    Fault.sample_transfer_faults rng m ~count
-    @ Fault.sample_output_faults rng m ~n_outputs ~count
-  in
-  let run_fsm ~name m word =
-    let faults = fsm_faults m in
-    let hdr =
-      {
-        Covdb.backend = "fsm-fault";
-        run = Printf.sprintf "%s:fsm:seed%d" name seed;
-        config_hash =
-          config_hash ~backend:"fsm-fault" ~model:name (List.map Fault.key faults);
-        stim_hash = stim_hash_ints word;
-        word_length = List.length word;
-        total = List.length faults;
-      }
-    in
-    match
-      run_persisted popts ~hdr ~key:Fault.key
-        ~run:(fun ?resume ?checkpoint ~should_stop () ->
-          Detect.campaign_outcome ?on_batch ?resume ?checkpoint ~should_stop
-            ~budget ~lanes ~jobs m faults word)
-    with
-    | Error code -> code
-    | Ok (outcome, interrupted) ->
-        let r = outcome.Campaign.report in
-        if not json_out then
-          Format.fprintf human_ppf "%s: FSM fault coverage over %d inputs@.  %a@."
-            name (List.length word) Detect.pp_report r;
-        finish ~name ~word_length:(List.length word)
-          (fun extra -> Detect.to_json ~extra r)
-          (Detect.coverage_pct r) r interrupted
-  in
-  (* random constraint-respecting stimuli for a netlist: rejection
-     sampling per step, giving up on a step (and ending the word) after
-     too many invalid draws *)
-  let random_circuit_word c ~steps =
-    let ni = Circuit.n_inputs c in
-    let state = ref (Circuit.initial_state c) in
-    let acc = ref [] in
-    (try
-       for _ = 1 to steps do
-         let tries = ref 0 and found = ref None in
-         while !found = None && !tries < 1000 do
-           let iv = Array.init ni (fun _ -> Simcov_util.Rng.bool rng) in
-           if Circuit.input_valid c !state iv then found := Some iv;
-           incr tries
-         done;
-         match !found with
-         | None -> raise Exit
-         | Some iv ->
-             acc := iv :: !acc;
-             let s', _ = Circuit.step c !state iv in
-             state := s'
-       done
-     with Exit -> ());
-    List.rev !acc
-  in
-  match kind with
-  | `Fsm -> (
-      if model = "dlx" then begin
-        (* the DLX test model with its certified transition tour — the
-           same campaign validate-dlx embeds, standalone *)
-        let m = Fsm.tabulate (Simcov_dlx.Testmodel.build Simcov_dlx.Testmodel.default) in
-        let word =
-          match Simcov_core.Completeness.certify m with
-          | Ok cert -> Simcov_core.Completeness.padded_tour m cert
-          | Error _ -> (
-              match Simcov_testgen.Tour.greedy_transition_tour m with
-              | Some t -> t.Simcov_testgen.Tour.word
-              | None -> (Simcov_testgen.Tour.transition_cover m).Simcov_testgen.Tour.word)
-        in
-        run_fsm ~name:"dlx" m word
-      end
-      else
-        match load_model model with
-        | Error e ->
-            Printf.eprintf "error: %s: %s\n" model e;
-            4
-        | Ok (c, name) -> (
-            match Circuit.to_fsm c with
-            | exception Invalid_argument msg ->
-                Printf.eprintf "error: %s: cannot enumerate as an FSM (%s)\n" name msg;
-                4
-            | m ->
-                let m = Fsm.tabulate m in
-                let word =
-                  match Simcov_testgen.Tour.greedy_transition_tour m with
-                  | Some t -> t.Simcov_testgen.Tour.word
-                  | None ->
-                      (Simcov_testgen.Tour.transition_cover m).Simcov_testgen.Tour.word
-                in
-                run_fsm ~name m word))
-  | `Stuckat -> (
-      let spec = if model = "dlx" then "dlx-test" else model in
-      match load_model spec with
-      | Error e ->
-          Printf.eprintf "error: %s: %s\n" spec e;
-          4
-      | Ok (c, name) -> (
-          let word = random_circuit_word c ~steps in
-          let faults = Stuckat.all_faults c in
-          let hdr =
-            {
-              Covdb.backend = "stuck-at";
-              run = Printf.sprintf "%s:stuckat:seed%d" name seed;
-              config_hash =
-                config_hash ~backend:"stuck-at" ~model:name
-                  (List.map Stuckat.fault_key faults);
-              stim_hash = stim_hash_bits word;
-              word_length = List.length word;
-              total = List.length faults;
-            }
-          in
-          match
-            run_persisted popts ~hdr ~key:Stuckat.fault_key
-              ~run:(fun ?resume ?checkpoint ~should_stop () ->
-                Stuckat.campaign_outcome ?on_batch ?resume ?checkpoint
-                  ~should_stop ~budget ~lanes ~jobs c faults word)
-          with
-          | Error code -> code
-          | Ok (outcome, interrupted) ->
-              let r = outcome.Campaign.report in
-              if not json_out then
-                Format.fprintf human_ppf
-                  "%s: stuck-at coverage over %d vectors@.  %a@." name
-                  (List.length word) Stuckat.pp_report r;
-              finish ~name ~word_length:(List.length word)
-                (fun extra -> Stuckat.to_json ~extra r)
-                (Stuckat.coverage_pct r) r interrupted))
+  with_interrupt @@ fun should_stop ->
+  run_job ~should_stop ?on_progress ?chaos_kill_after common
+    (Job.make ?timeout_s:common.timeout_s ?max_nodes:common.max_nodes
+       (Job.Coverage p))
 
 let coverage_cmd =
   let doc =
@@ -1185,11 +787,6 @@ let coverage_cmd =
             "Fault model: $(b,fsm) (transfer + output error-model mutants on the \
              enumerated machine) or $(b,stuckat) (netlist stuck-at faults under \
              random constraint-respecting stimuli).")
-  in
-  let json_out =
-    Arg.(
-      value & flag
-      & info [ "json" ] ~doc:"Emit the $(b,simcov-campaign/1) report as JSON.")
   in
   let count =
     Arg.(
@@ -1217,79 +814,13 @@ let coverage_cmd =
   Cmd.v
     (cmd_info "coverage" ~doc)
     Term.(
-      const coverage_run $ model $ kind $ json_out $ seed_term $ count $ steps
-      $ fail_under $ progress $ parallel_term $ persist_term $ budget_term
-      $ obs_term)
+      const coverage_run $ model $ kind $ seed_term $ count $ steps $ fail_under
+      $ progress $ parallel_term $ persist_term $ common_term)
 
 (* ---- merge / minimize: offline aggregation of coverage snapshots ---- *)
 
-(* shared loader: salvage-tolerant (a damaged snapshot contributes its
-   valid prefix, with a warning), but an unreadable file or corrupt
-   header is exit 4 *)
-let load_dbs paths =
-  let rec go acc = function
-    | [] -> Ok (List.rev acc)
-    | p :: rest -> (
-        match Covdb.load p with
-        | Error e ->
-            Printf.eprintf "error: %s: %s\n" p e;
-            Error 4
-        | Ok { Covdb.db; salvaged } ->
-            if salvaged then
-              Printf.eprintf
-                "warning: %s: damaged snapshot; salvaged %d valid records\n" p
-                (Covdb.n_records db);
-            go ((p, db) :: acc) rest)
-  in
-  go [] paths
-
-let merge_run inputs output json_out =
-  guarded @@ fun () ->
-  match load_dbs inputs with
-  | Error code -> code
-  | Ok dbs -> (
-      match Covdb.merge (List.map snd dbs) with
-      | Error e ->
-          Printf.eprintf "error: %s\n" e;
-          4
-      | Ok out ->
-          Covdb.save out output;
-          let u, e, d = Covdb.counts out in
-          (if json_out then
-             let open Simcov_util.Json in
-             print_endline
-               (to_string
-                  (Obj
-                     [
-                       ("schema", String "simcov-merge/1");
-                       ( "inputs",
-                         List
-                           (List.map
-                              (fun (p, db) ->
-                                let _, _, di = Covdb.counts db in
-                                Obj
-                                  [
-                                    ("path", String p);
-                                    ("run", String (Covdb.header db).Covdb.run);
-                                    ("records", Int (Covdb.n_records db));
-                                    ("detected", Int di);
-                                    ("complete", Bool (Covdb.complete db));
-                                  ])
-                              dbs) );
-                       ("output", String output);
-                       ("records", Int (Covdb.n_records out));
-                       ("undetected", Int u);
-                       ("excited", Int e);
-                       ("detected", Int d);
-                       ("complete", Bool (Covdb.complete out));
-                     ]))
-           else
-             Printf.printf
-               "merged %d snapshots -> %s: %d records (%d detected, %d \
-                excited-only, %d undetected)%s\n"
-               (List.length dbs) output (Covdb.n_records out) d e u
-               (if Covdb.complete out then "" else " [incomplete]"));
-          0)
+let merge_run inputs output common =
+  run_job common (Job.make (Job.Merge { inputs; output }))
 
 let merge_cmd =
   let doc =
@@ -1308,53 +839,10 @@ let merge_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Merged snapshot destination.")
   in
-  let json_out =
-    Arg.(
-      value & flag
-      & info [ "json" ] ~doc:"Emit a $(b,simcov-merge/1) summary as JSON.")
-  in
-  Cmd.v (cmd_info "merge" ~doc) Term.(const merge_run $ inputs $ output $ json_out)
+  Cmd.v (cmd_info "merge" ~doc) Term.(const merge_run $ inputs $ output $ common_term)
 
-let minimize_run inputs json_out =
-  guarded @@ fun () ->
-  match load_dbs inputs with
-  | Error code -> code
-  | Ok dbs -> (
-      match Covdb.minimize dbs with
-      | Error e ->
-          Printf.eprintf "error: %s\n" e;
-          4
-      | Ok sel ->
-          (if json_out then
-             let open Simcov_util.Json in
-             print_endline
-               (to_string
-                  (Obj
-                     [
-                       ("schema", String "simcov-minimize/1");
-                       ( "selected",
-                         List
-                           (List.map
-                              (fun (path, gain) ->
-                                Obj
-                                  [
-                                    ("path", String path);
-                                    ("new_covered", Int gain);
-                                  ])
-                              sel.Covdb.chosen) );
-                       ("covered", Int sel.Covdb.covered);
-                       ("union_detected", Int sel.Covdb.union_detected);
-                     ]))
-           else begin
-             Printf.printf
-               "%d of %d runs cover %d/%d detected faults:\n"
-               (List.length sel.Covdb.chosen)
-               (List.length dbs) sel.Covdb.covered sel.Covdb.union_detected;
-             List.iter
-               (fun (path, gain) -> Printf.printf "  %s (+%d)\n" path gain)
-               sel.Covdb.chosen
-           end);
-          0)
+let minimize_run inputs common =
+  run_job common (Job.make (Job.Minimize { inputs }))
 
 let minimize_cmd =
   let doc =
@@ -1367,12 +855,209 @@ let minimize_cmd =
       non_empty & pos_all file []
       & info [] ~docv:"FILE" ~doc:"Input $(b,simcov-covdb/1) snapshots.")
   in
-  let json_out =
+  Cmd.v (cmd_info "minimize" ~doc) Term.(const minimize_run $ inputs $ common_term)
+
+(* ---- serve / submit / jobs: the daemon front-end ---- *)
+
+let socket_term =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve socket queue_limit workers =
+  match Daemon.serve ~socket ~queue_limit ~workers () with
+  | Ok () -> 0
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      7
+
+let serve_cmd =
+  let doc =
+    "Run the job daemon: accept newline-delimited $(b,simcov-job/1) requests \
+     over a Unix socket, stream $(b,simcov-metrics/1) snapshots and JSONL \
+     trace events while each job runs, then the result envelope. SIGTERM \
+     drains the queue through the durable checkpoint path and exits 0."
+  in
+  let queue_limit =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:"Reject new jobs (exit 6 at the client) beyond $(docv) queued.")
+  in
+  let workers =
+    Arg.(
+      value & opt (bounded_int ~name:"--workers" 1 64) 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Concurrent job worker domains.")
+  in
+  Cmd.v
+    (cmd_info "serve" ~doc)
+    Term.(const serve $ socket_term $ queue_limit $ workers)
+
+(* a --param KEY=VALUE becomes a params field; values parse as JSON
+   scalars when they look like one, strings otherwise *)
+let param_value s =
+  match Json.parse s with
+  | Ok ((Json.Int _ | Json.Float _ | Json.Bool _ | Json.Null) as v) -> v
+  | _ -> Json.String s
+
+let build_job_json kind id timeout_s max_nodes params =
+  let fields =
+    List.map
+      (fun kv ->
+        match String.index_opt kv '=' with
+        | Some i ->
+            ( String.sub kv 0 i,
+              param_value (String.sub kv (i + 1) (String.length kv - i - 1)) )
+        | None -> (kv, Json.Bool true))
+      params
+  in
+  Json.Obj
+    ([ ("schema", Json.String Job.schema_id); ("kind", Json.String kind) ]
+    @ (match id with Some i -> [ ("id", Json.String i) ] | None -> [])
+    @ (match timeout_s with Some t -> [ ("timeout_s", Json.Float t) ] | None -> [])
+    @ (match max_nodes with Some n -> [ ("max_nodes", Json.Int n) ] | None -> [])
+    @ [ ("params", Json.Obj fields) ])
+
+let submit socket kind file id params quiet report_only common =
+  let job_json =
+    match file with
+    | Some path -> (
+        let read () =
+          if path = "-" then Ok (In_channel.input_all stdin)
+          else
+            try Ok (In_channel.with_open_text path In_channel.input_all)
+            with Sys_error e -> Error e
+        in
+        match read () with
+        | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            Error 4
+        | Ok text -> (
+            match Json.parse text with
+            | Error e ->
+                Printf.eprintf "error: %s: %s\n" path e;
+                Error 4
+            | Ok j -> Ok j))
+    | None -> (
+        match kind with
+        | Some kind ->
+            Ok (build_job_json kind id common.timeout_s common.max_nodes params)
+        | None ->
+            prerr_endline "error: a job KIND (or --file JOB.json) is required";
+            Error 2)
+  in
+  match job_json with
+  | Error code -> code
+  | Ok j -> (
+      match Job.of_json j with
+      | Error e ->
+          Printf.eprintf "error: invalid job: %s\n" e;
+          4
+      | Ok job -> (
+          let on_event ev =
+            if not quiet then Printf.eprintf "%s\n%!" (Json.to_string ~indent:0 ev)
+          in
+          match Daemon.submit ~socket ~on_event job with
+          | Error e ->
+              Printf.eprintf "error: %s\n" e;
+              7
+          | Ok envelope ->
+              (* re-rendering the parsed report with the library
+                 renderer reproduces the one-shot CLI output byte for
+                 byte (parse ∘ render is the identity on its image) *)
+              (if report_only then
+                 match Json.member "report" envelope with
+                 | Some r -> print_endline (Json.to_string r)
+                 | None -> ()
+               else print_endline (Json.to_string envelope));
+              (match Json.member "exit_code" envelope with
+              | Some (Json.Int c) -> c
+              | _ -> 7)))
+
+let submit_cmd =
+  let doc =
+    "Submit a job to a running $(b,simcov serve) daemon and stream its \
+     progress: trace/metrics events to stderr, the $(b,simcov-job/1) result \
+     envelope to stdout; exits with the job's exit code."
+  in
+  let kind =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"KIND"
+          ~doc:
+            "Job kind: $(b,validate-dlx), $(b,lint), $(b,coverage), \
+             $(b,merge), $(b,minimize) or $(b,stats).")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:"Read the full $(b,simcov-job/1) request from $(docv) ($(b,-) for stdin).")
+  in
+  let id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID" ~doc:"Job id echoed in the envelope.")
+  in
+  let params =
+    Arg.(
+      value & opt_all string []
+      & info [ "param"; "p" ] ~docv:"KEY=VALUE"
+          ~doc:
+            "A job parameter, e.g. $(b,-p model=dlx -p jobs=2); repeatable. \
+             Values parse as JSON scalars when they look like one.")
+  in
+  let quiet =
     Arg.(
       value & flag
-      & info [ "json" ] ~doc:"Emit a $(b,simcov-minimize/1) report as JSON.")
+      & info [ "quiet"; "q" ] ~doc:"Do not echo streamed events to stderr.")
   in
-  Cmd.v (cmd_info "minimize" ~doc) Term.(const minimize_run $ inputs $ json_out)
+  let report_only =
+    Arg.(
+      value & flag
+      & info [ "report-only" ]
+          ~doc:
+            "Print only the envelope's $(b,report) member — byte-identical \
+             to the one-shot subcommand's $(b,--json) output.")
+  in
+  Cmd.v
+    (cmd_info "submit" ~doc)
+    Term.(
+      const submit $ socket_term $ kind $ file $ id $ params $ quiet
+      $ report_only $ common_term)
+
+let jobs_cmd_run socket cancel =
+  match cancel with
+  | Some id -> (
+      match Daemon.cancel_job ~socket ~id with
+      | Ok reply ->
+          print_endline (Json.to_string reply);
+          0
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          7)
+  | None -> (
+      match Daemon.list_jobs ~socket with
+      | Ok reply ->
+          print_endline (Json.to_string reply);
+          0
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          7)
+
+let jobs_cmd =
+  let doc = "List (or cancel) jobs on a running $(b,simcov serve) daemon." in
+  let cancel =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cancel" ] ~docv:"ID" ~doc:"Cancel the job with id $(docv).")
+  in
+  Cmd.v (cmd_info "jobs" ~doc) Term.(const jobs_cmd_run $ socket_term $ cancel)
 
 (* ---- main ---- *)
 
@@ -1388,7 +1073,8 @@ let () =
     Cmd.group info
       [
         validate_cmd; tour_cmd; abstract_cmd; stats_cmd; fig2_cmd; run_cmd; dsp_cmd;
-        model_cmd; lint_cmd; coverage_cmd; merge_cmd; minimize_cmd;
+        model_cmd; lint_cmd; coverage_cmd; merge_cmd; minimize_cmd; serve_cmd;
+        submit_cmd; jobs_cmd;
       ]
   in
   exit (Cmd.eval' ~term_err:2 group)

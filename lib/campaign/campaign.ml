@@ -304,9 +304,9 @@ module Make_wide (B : BACKEND_W) = struct
      with Stop_run -> ());
     acc
 
-  let run ?(budget = Budget.unlimited) ?(jobs = 1) ?on_batch ?resume ?checkpoint
-      ?(should_stop = fun () -> false) ?(shard_retries = 1)
-      ?(retry_backoff_s = 0.05) ctx faults word =
+  let run ?(budget = Budget.unlimited) ?(jobs = 1) ?(max_workers = max_int)
+      ?on_batch ?resume ?checkpoint ?(should_stop = fun () -> false)
+      ?(shard_retries = 1) ?(retry_backoff_s = 0.05) ctx faults word =
     let t0 = Unix.gettimeofday () in
     let total = List.length faults in
     let eff = Array.of_list (List.filter (B.effective ctx) faults) in
@@ -539,9 +539,15 @@ module Make_wide (B : BACKEND_W) = struct
               try Ok (run_one i) with e -> Error (Printexc.to_string e)
             else begin
               Unix.sleepf backoff;
+              (* the fresh retry domain starts in the default Obs
+                 registry: re-install the campaign's scope so a scoped
+                 job's retries keep counting into its own snapshot *)
+              let reg = Obs.current () in
               Domain.join
                 (Domain.spawn (fun () ->
-                     try Ok (run_one i) with e -> Error (Printexc.to_string e)))
+                     Obs.with_registry reg (fun () ->
+                         try Ok (run_one i)
+                         with e -> Error (Printexc.to_string e))))
             end
           in
           match res with
@@ -579,7 +585,9 @@ module Make_wide (B : BACKEND_W) = struct
          stop-the-world handshake churn. Each [results] slot is written
          by exactly one claimant, and the joins order those writes
          before the assembly below. *)
-      let workers = min jobs (max 1 (Domain.recommended_domain_count ())) in
+      let workers =
+        min jobs (max 1 (min max_workers (Domain.recommended_domain_count ())))
+      in
       Obs.set g_workers workers;
       let results = Array.make jobs None in
       let next = Atomic.make 0 in
@@ -593,7 +601,14 @@ module Make_wide (B : BACKEND_W) = struct
         in
         loop ()
       in
-      let domains = Array.init (workers - 1) (fun _ -> Domain.spawn drain) in
+      (* workers inherit the caller's Obs registry: a scoped job's
+         shard metrics must land in that job's snapshot, not in the
+         default registry a fresh domain starts in *)
+      let reg = Obs.current () in
+      let domains =
+        Array.init (workers - 1) (fun _ ->
+            Domain.spawn (fun () -> Obs.with_registry reg drain))
+      in
       drain ();
       Array.iter Domain.join domains;
       let results = Array.map Option.get results in

@@ -237,6 +237,7 @@ module Make_wide (B : BACKEND_W) : sig
   val run :
     ?budget:Budget.t ->
     ?jobs:int ->
+    ?max_workers:int ->
     ?on_batch:(progress -> unit) ->
     ?resume:(B.fault -> verdict option) ->
     ?checkpoint:B.fault checkpoint ->
@@ -261,6 +262,14 @@ module Make_wide (B : BACKEND_W) : sig
       from {!Budget.split}; reports are merged per the determinism
       contract above and unspent sub-allowances are
       {!Budget.reclaim}ed.
+
+      [max_workers] additionally caps the number of {e concurrently
+      running} worker domains (the shard decomposition — and with it
+      the report — stays a function of [jobs] alone): a scheduler
+      running several campaigns at once hands each a slice of one
+      global domain budget this way, so a wide campaign cannot
+      oversubscribe the cores other jobs are using. The default is the
+      hardware parallelism cap alone.
 
       {b Crash safety and isolation} (all default off):
       - [resume] retires faults whose verdict a previous run already
@@ -291,6 +300,7 @@ module Make (B : BACKEND) : sig
   val run :
     ?budget:Budget.t ->
     ?jobs:int ->
+    ?max_workers:int ->
     ?on_batch:(progress -> unit) ->
     ?resume:(B.fault -> verdict option) ->
     ?checkpoint:B.fault checkpoint ->

@@ -469,18 +469,18 @@ end
 
 module Driver = Campaign.Make (Fsm_backend)
 
-let campaign_outcome ?budget ?lanes ?jobs ?on_batch ?resume ?checkpoint
-    ?should_stop ?shard_retries ?retry_backoff_s golden faults word =
+let campaign_outcome ?budget ?lanes ?jobs ?max_workers ?on_batch ?resume
+    ?checkpoint ?should_stop ?shard_retries ?retry_backoff_s golden faults word =
   let ctx = { Fsm_backend.m = golden; tab = Fsm.tables golden } in
   match lanes with
   | Some w when w > Sys.int_size ->
       let module L = (val Simcov_util.Lanes.make w) in
       let module D = Campaign.Make_wide (Fsm_backend_w (L)) in
-      D.run ?budget ?jobs ?on_batch ?resume ?checkpoint ?should_stop
-        ?shard_retries ?retry_backoff_s ctx faults word
+      D.run ?budget ?jobs ?max_workers ?on_batch ?resume ?checkpoint
+        ?should_stop ?shard_retries ?retry_backoff_s ctx faults word
   | _ ->
-      Driver.run ?budget ?jobs ?on_batch ?resume ?checkpoint ?should_stop
-        ?shard_retries ?retry_backoff_s ctx faults word
+      Driver.run ?budget ?jobs ?max_workers ?on_batch ?resume ?checkpoint
+        ?should_stop ?shard_retries ?retry_backoff_s ctx faults word
 
 let campaign ?budget ?lanes ?jobs ?on_batch golden faults word =
   (campaign_outcome ?budget ?lanes ?jobs ?on_batch golden faults word)

@@ -76,6 +76,7 @@ val campaign_outcome :
   ?budget:Simcov_util.Budget.t ->
   ?lanes:int ->
   ?jobs:int ->
+  ?max_workers:int ->
   ?on_batch:(Campaign.progress -> unit) ->
   ?resume:(Fault.t -> Campaign.verdict option) ->
   ?checkpoint:Fault.t Campaign.checkpoint ->

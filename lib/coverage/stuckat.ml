@@ -280,17 +280,17 @@ end
 
 module Driver = Campaign.Make (Net_backend)
 
-let campaign_outcome ?budget ?lanes ?jobs ?on_batch ?resume ?checkpoint
-    ?should_stop ?shard_retries ?retry_backoff_s c faults word =
+let campaign_outcome ?budget ?lanes ?jobs ?max_workers ?on_batch ?resume
+    ?checkpoint ?should_stop ?shard_retries ?retry_backoff_s c faults word =
   match lanes with
   | Some w when w > Sys.int_size ->
       let module L = (val Simcov_util.Lanes.make w) in
       let module D = Campaign.Make_wide (Net_backend_w (L)) in
-      D.run ?budget ?jobs ?on_batch ?resume ?checkpoint ?should_stop
-        ?shard_retries ?retry_backoff_s c faults word
+      D.run ?budget ?jobs ?max_workers ?on_batch ?resume ?checkpoint
+        ?should_stop ?shard_retries ?retry_backoff_s c faults word
   | _ ->
-      Driver.run ?budget ?jobs ?on_batch ?resume ?checkpoint ?should_stop
-        ?shard_retries ?retry_backoff_s c faults word
+      Driver.run ?budget ?jobs ?max_workers ?on_batch ?resume ?checkpoint
+        ?should_stop ?shard_retries ?retry_backoff_s c faults word
 
 let campaign ?budget ?lanes ?jobs ?on_batch c faults word =
   (campaign_outcome ?budget ?lanes ?jobs ?on_batch c faults word)

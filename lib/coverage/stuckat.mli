@@ -82,6 +82,7 @@ val campaign_outcome :
   ?budget:Simcov_util.Budget.t ->
   ?lanes:int ->
   ?jobs:int ->
+  ?max_workers:int ->
   ?on_batch:(Campaign.progress -> unit) ->
   ?resume:(fault -> Campaign.verdict option) ->
   ?checkpoint:fault Campaign.checkpoint ->

@@ -1,28 +1,92 @@
 module Json = Simcov_util.Json
 
-type counter = int Atomic.t
-type gauge = int Atomic.t
+(* ---- registries ----
 
-type timer = {
-  t_name : string;
-  mutable spans : int;
-  mutable total_s : float;
+   A registry is one isolated metric/trace namespace. The process
+   always has the [default] registry (the one-shot CLI path); a
+   long-running service creates one labeled registry per job and runs
+   the job under it, so two concurrent jobs never interleave counters
+   in one snapshot. The current registry is domain-local: engines keep
+   incrementing the same static handles, and the handle resolves to a
+   per-registry cell on use. *)
+
+type timer_cell = { mutable tc_spans : int; mutable tc_total_s : float }
+
+type registry = {
+  label : string;
+  r_counters : (string, int Atomic.t) Hashtbl.t;
+  r_gauges : (string, int Atomic.t) Hashtbl.t;
+  r_timers : (string, timer_cell) Hashtbl.t;
+  mutable r_sink : (string -> unit) option;
+  mutable r_trace_epoch : float;
+  mutable r_clock_epoch : float;
 }
 
-(* One process-wide lock for every cold path: registry creation,
-   timer accumulation, trace emission, snapshot/reset. The hot paths
-   (incr/add/set/set_max) are lock-free atomics so sharded campaign
-   domains never serialize on a counter bump. *)
+(* One process-wide lock for every cold path: handle/cell creation,
+   timer accumulation, trace emission, snapshot/reset, release. The hot
+   paths (incr/add/set/set_max) are lock-free atomics so sharded
+   campaign domains never serialize on a counter bump. *)
 let lock = Mutex.create ()
 
 let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-(* Registries keyed by name. Metrics are created once (typically at
-   module-init of the instrumented engine) and live for the process;
-   snapshot output is sorted by name so it does not depend on link or
-   creation order. *)
+let make_registry label =
+  {
+    label;
+    r_counters = Hashtbl.create 64;
+    r_gauges = Hashtbl.create 32;
+    r_timers = Hashtbl.create 32;
+    r_sink = None;
+    r_trace_epoch = Unix.gettimeofday ();
+    r_clock_epoch = Unix.gettimeofday ();
+  }
+
+let default_registry = make_registry ""
+let registry ~label = make_registry label
+let registry_label r = r.label
+
+(* the current registry is per-domain: a campaign worker spawned under
+   a scoped job inherits the scope explicitly (the driver installs the
+   parent's registry in the worker body) *)
+let current_key : registry Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> default_registry)
+
+let current () = Domain.DLS.get current_key
+
+let with_registry r f =
+  let prev = Domain.DLS.get current_key in
+  Domain.DLS.set current_key r;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current_key prev) f
+
+(* ---- handles ----
+
+   A handle is the static object an engine holds ([Obs.counter "x"] at
+   module init). It resolves to the current registry's cell through a
+   copy-on-write (registry, cell) assoc read without the lock: the
+   common case (one or two registries ever seen by this handle) is a
+   pointer-equality scan of a tiny immutable list, a few ns on top of
+   the atomic bump. *)
+
+type counter = {
+  c_name : string;
+  mutable c_cells : (registry * int Atomic.t) list;
+}
+
+type gauge = {
+  g_name : string;
+  mutable g_cells : (registry * int Atomic.t) list;
+}
+
+type timer = {
+  t_name : string;
+  mutable t_cells : (registry * timer_cell) list;
+}
+
+(* global handle tables: same name -> same handle, and the name set of
+   a snapshot is stable for a given binary (every metric ever
+   registered appears, untouched ones at zero) *)
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
 let timers : (string, timer) Hashtbl.t = Hashtbl.create 32
@@ -40,47 +104,137 @@ let intern tbl name make =
               Hashtbl.add tbl name v;
               v)
 
-let counter name = intern counters name (fun () -> Atomic.make 0)
-let gauge name = intern gauges name (fun () -> Atomic.make 0)
+let counter name = intern counters name (fun () -> { c_name = name; c_cells = [] })
+let gauge name = intern gauges name (fun () -> { g_name = name; g_cells = [] })
+let timer name = intern timers name (fun () -> { t_name = name; t_cells = [] })
 
-let timer name =
-  intern timers name (fun () -> { t_name = name; spans = 0; total_s = 0.0 })
+let rec assq_phys r = function
+  | [] -> None
+  | (r', v) :: tl -> if r' == r then Some v else assq_phys r tl
 
-let[@inline] incr c = ignore (Atomic.fetch_and_add c 1)
-let[@inline] add c n = ignore (Atomic.fetch_and_add c n)
-let[@inline] set g v = Atomic.set g v
+(* cell resolution: lock-free fast path over the COW list, lock-guarded
+   slow path that creates the cell in the registry and publishes the
+   extended list (cons of immutable pairs — readers racing the publish
+   see either list, both correct) *)
+let c_cell h =
+  let r = current () in
+  match assq_phys r h.c_cells with
+  | Some c -> c
+  | None ->
+      locked (fun () ->
+          match assq_phys r h.c_cells with
+          | Some c -> c
+          | None ->
+              let c =
+                match Hashtbl.find_opt r.r_counters h.c_name with
+                | Some c -> c
+                | None ->
+                    let c = Atomic.make 0 in
+                    Hashtbl.add r.r_counters h.c_name c;
+                    c
+              in
+              h.c_cells <- (r, c) :: h.c_cells;
+              c)
 
-let rec set_max g v =
-  let cur = Atomic.get g in
-  if v > cur && not (Atomic.compare_and_set g cur v) then set_max g v
+let g_cell h =
+  let r = current () in
+  match assq_phys r h.g_cells with
+  | Some c -> c
+  | None ->
+      locked (fun () ->
+          match assq_phys r h.g_cells with
+          | Some c -> c
+          | None ->
+              let c =
+                match Hashtbl.find_opt r.r_gauges h.g_name with
+                | Some c -> c
+                | None ->
+                    let c = Atomic.make 0 in
+                    Hashtbl.add r.r_gauges h.g_name c;
+                    c
+              in
+              h.g_cells <- (r, c) :: h.g_cells;
+              c)
 
-let count c = Atomic.get c
-let value g = Atomic.get g
+let t_cell h =
+  let r = current () in
+  match assq_phys r h.t_cells with
+  | Some c -> c
+  | None ->
+      locked (fun () ->
+          match assq_phys r h.t_cells with
+          | Some c -> c
+          | None ->
+              let c =
+                match Hashtbl.find_opt r.r_timers h.t_name with
+                | Some c -> c
+                | None ->
+                    let c = { tc_spans = 0; tc_total_s = 0.0 } in
+                    Hashtbl.add r.r_timers h.t_name c;
+                    c
+              in
+              h.t_cells <- (r, c) :: h.t_cells;
+              c)
+
+let release r =
+  if r != default_registry then
+    locked (fun () ->
+        let drop_c (h : counter) =
+          h.c_cells <- List.filter (fun (r', _) -> r' != r) h.c_cells
+        in
+        let drop_g (h : gauge) =
+          h.g_cells <- List.filter (fun (r', _) -> r' != r) h.g_cells
+        in
+        let drop_t (h : timer) =
+          h.t_cells <- List.filter (fun (r', _) -> r' != r) h.t_cells
+        in
+        Hashtbl.iter (fun _ h -> drop_c h) counters;
+        Hashtbl.iter (fun _ h -> drop_g h) gauges;
+        Hashtbl.iter (fun _ h -> drop_t h) timers)
+
+let[@inline] incr c = ignore (Atomic.fetch_and_add (c_cell c) 1)
+let[@inline] add c n = ignore (Atomic.fetch_and_add (c_cell c) n)
+let[@inline] set g v = Atomic.set (g_cell g) v
+
+let set_max g v =
+  let cell = g_cell g in
+  let rec go () =
+    let cur = Atomic.get cell in
+    if v > cur && not (Atomic.compare_and_set cell cur v) then go ()
+  in
+  go ()
+
+let count c = Atomic.get (c_cell c)
+let value g = Atomic.get (g_cell g)
 
 let observe t dt =
+  let c = t_cell t in
   locked (fun () ->
-      t.spans <- t.spans + 1;
-      t.total_s <- t.total_s +. dt)
+      c.tc_spans <- c.tc_spans + 1;
+      c.tc_total_s <- c.tc_total_s +. dt)
 
-let spans t = locked (fun () -> t.spans)
-let total_s t = locked (fun () -> t.total_s)
+let spans t =
+  let c = t_cell t in
+  locked (fun () -> c.tc_spans)
+
+let total_s t =
+  let c = t_cell t in
+  locked (fun () -> c.tc_total_s)
 
 (* ---- tracing ---- *)
 
-let sink : (string -> unit) option ref = ref None
-let trace_epoch = ref (Unix.gettimeofday ())
-
 let set_sink s =
-  (match s with Some _ -> trace_epoch := Unix.gettimeofday () | None -> ());
-  sink := s
+  let r = current () in
+  (match s with Some _ -> r.r_trace_epoch <- Unix.gettimeofday () | None -> ());
+  r.r_sink <- s
 
-let tracing () = !sink <> None
+let tracing () = (current ()).r_sink <> None
 
-let emit name extra_fields fields =
-  match !sink with
+let emit r name extra_fields fields =
+  match r.r_sink with
   | None -> ()
   | Some emit ->
-      let t_s = Unix.gettimeofday () -. !trace_epoch in
+      let t_s = Unix.gettimeofday () -. r.r_trace_epoch in
       let line =
         Json.to_string ~indent:0
           (Json.Obj
@@ -93,7 +247,8 @@ let emit name extra_fields fields =
       locked (fun () -> emit line)
 
 let event ?(fields = fun () -> []) name =
-  if !sink <> None then emit name [] fields
+  let r = current () in
+  if r.r_sink <> None then emit r name [] fields
 
 let span t ?(fields = fun () -> []) f =
   let t0 = Unix.gettimeofday () in
@@ -101,54 +256,71 @@ let span t ?(fields = fun () -> []) f =
     ~finally:(fun () ->
       let dt = Unix.gettimeofday () -. t0 in
       observe t dt;
-      if !sink <> None then emit t.t_name [ ("dur_s", Json.Float dt) ] fields)
+      let r = current () in
+      if r.r_sink <> None then emit r t.t_name [ ("dur_s", Json.Float dt) ] fields)
     f
 
 (* ---- snapshot ---- *)
 
-let clock_epoch = ref (Unix.gettimeofday ())
-
-let sorted tbl =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+let sorted_names tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
 
 let snapshot ?(extra = []) () =
+  let r = current () in
   locked (fun () ->
+      let counter_fields =
+        List.map
+          (fun name ->
+            let v =
+              match Hashtbl.find_opt r.r_counters name with
+              | Some c -> Atomic.get c
+              | None -> 0
+            in
+            (name, Json.Int v))
+          (sorted_names counters)
+      in
+      let gauge_fields =
+        List.map
+          (fun name ->
+            let v =
+              match Hashtbl.find_opt r.r_gauges name with
+              | Some g -> Atomic.get g
+              | None -> 0
+            in
+            (name, Json.Int v))
+          (sorted_names gauges)
+      in
+      let timer_fields =
+        List.map
+          (fun name ->
+            let s, tt =
+              match Hashtbl.find_opt r.r_timers name with
+              | Some t -> (t.tc_spans, t.tc_total_s)
+              | None -> (0, 0.0)
+            in
+            ( name,
+              Json.Obj
+                [ ("count", Json.Int s); ("total_s", Json.Float tt) ] ))
+          (sorted_names timers)
+      in
       Json.Obj
         ([
            ("schema", Json.String "simcov-metrics/1");
-           ("wall_clock_s", Json.Float (Unix.gettimeofday () -. !clock_epoch));
-           ( "counters",
-             Json.Obj
-               (List.map
-                  (fun (k, c) -> (k, Json.Int (Atomic.get c)))
-                  (sorted counters)) );
-           ( "gauges",
-             Json.Obj
-               (List.map
-                  (fun (k, g) -> (k, Json.Int (Atomic.get g)))
-                  (sorted gauges)) );
-           ( "timers",
-             Json.Obj
-               (List.map
-                  (fun (k, t) ->
-                    ( k,
-                      Json.Obj
-                        [
-                          ("count", Json.Int t.spans);
-                          ("total_s", Json.Float t.total_s);
-                        ] ))
-                  (sorted timers)) );
+           ("wall_clock_s", Json.Float (Unix.gettimeofday () -. r.r_clock_epoch));
+           ("counters", Json.Obj counter_fields);
+           ("gauges", Json.Obj gauge_fields);
+           ("timers", Json.Obj timer_fields);
          ]
         @ extra))
 
 let reset () =
+  let r = current () in
   locked (fun () ->
-      Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
-      Hashtbl.iter (fun _ g -> Atomic.set g 0) gauges;
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) r.r_counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g 0) r.r_gauges;
       Hashtbl.iter
         (fun _ t ->
-          t.spans <- 0;
-          t.total_s <- 0.0)
-        timers;
-      clock_epoch := Unix.gettimeofday ())
+          t.tc_spans <- 0;
+          t.tc_total_s <- 0.0)
+        r.r_timers;
+      r.r_clock_epoch <- Unix.gettimeofday ())

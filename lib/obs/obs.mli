@@ -10,9 +10,11 @@
 
     {b Overhead contract.} The layer must be near-free when nobody is
     looking:
-    - {!incr} / {!add} / {!set} / {!set_max} are single atomic
-      read-modify-writes on a preallocated cell — no allocation, no
-      lock, no branch on an "enabled" flag. These are safe in the
+    - {!incr} / {!add} / {!set} / {!set_max} are a single atomic
+      read-modify-write on a preallocated cell — no allocation, no
+      lock, no branch on an "enabled" flag — plus the cell resolution:
+      one domain-local read and a pointer-equality scan of the
+      handle's (tiny, immutable) registry cache. These are safe in the
       hottest loops (BDD cache probes).
     - {!observe} adds a float to an accumulator; {!span} additionally
       pays two clock reads. Use them at batch/iteration granularity,
@@ -22,22 +24,65 @@
       lists are only computed (and JSON only rendered) when a sink is
       present.
 
-    Metric state is global to the process: callers that want a
-    per-command view call {!reset} first (the CLI does, once per
-    subcommand).
+    Metric state lives in a {!registry}. The process has one
+    {!default_registry} — the one-shot CLI path, where callers that
+    want a per-command view call {!reset} first — and a long-running
+    service creates one labeled registry per job ({!registry}) and
+    runs the job under it ({!with_registry}), so two concurrent jobs
+    never interleave counters in one [simcov-metrics/1] snapshot.
+    Handles stay static: the {e current} registry is domain-local, and
+    a handle resolves to the current registry's cell on use through a
+    lock-free one-or-two-entry cache (a pointer-equality scan of an
+    immutable list), so scoping costs a few ns on the hot paths and
+    nothing changes for engines.
 
-    {b Domain safety.} The registry is shared by every domain of the
+    {b Domain safety.} A registry may be shared by every domain of the
     process. Counters and gauges are [Atomic]-backed, so concurrent
     {!incr} / {!add} / {!set_max} from sharded campaign workers lose
-    no updates and take no lock; timer accumulation, registry
+    no updates and take no lock; timer accumulation, cell/handle
     creation, trace emission and {!snapshot} serialize on one internal
     mutex (they run at batch granularity, where a lock is free). A
     snapshot taken after the workers are joined therefore reflects
-    every increment exactly once. *)
+    every increment exactly once. The current registry is per-domain
+    ([Domain.DLS]): a freshly spawned domain starts in the default
+    registry, so drivers that shard scoped work across domains install
+    the parent's registry in the worker body (the campaign driver
+    does). *)
 
 type counter
 type gauge
 type timer
+
+(** {1 Registries} *)
+
+type registry
+(** An isolated metric/trace namespace: its own counter/gauge/timer
+    cells and its own trace sink. *)
+
+val default_registry : registry
+(** The process-wide default — what every call operates on unless a
+    scope is installed. *)
+
+val registry : label:string -> registry
+(** A fresh, empty, labeled registry (e.g. one per service job). *)
+
+val registry_label : registry -> string
+(** The label given at creation; [""] for {!default_registry}. *)
+
+val current : unit -> registry
+(** This domain's current registry. *)
+
+val with_registry : registry -> (unit -> 'a) -> 'a
+(** [with_registry r f] runs [f] with [r] as this domain's current
+    registry, restoring the previous one afterwards (also on raise).
+    Every {!incr} / {!event} / {!snapshot} / {!set_sink} inside [f]
+    operates on [r]. *)
+
+val release : registry -> unit
+(** Drop a retired registry's cells from every handle's resolution
+    cache so a service creating one registry per job does not grow
+    handle caches without bound. Call it once the registry will no
+    longer be used; no-op on {!default_registry}. *)
 
 val counter : string -> counter
 (** [counter name] returns the registered counter for [name], creating
@@ -88,8 +133,8 @@ val span :
     Spans add ["dur_s"]. *)
 
 val set_sink : (string -> unit) option -> unit
-(** Install ([Some emit]) or remove ([None]) the process-wide trace
-    sink. Installing resets the trace clock. *)
+(** Install ([Some emit]) or remove ([None]) the current registry's
+    trace sink. Installing resets that registry's trace clock. *)
 
 val tracing : unit -> bool
 
@@ -110,5 +155,5 @@ val snapshot : ?extra:(string * Simcov_util.Json.t) list -> unit -> Simcov_util.
     set is stable for a given binary. *)
 
 val reset : unit -> unit
-(** Zero every registered metric and restart the snapshot clock. Does
-    not touch the trace sink. *)
+(** Zero every metric of the current registry and restart its snapshot
+    clock. Does not touch the trace sink. *)

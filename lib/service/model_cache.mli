@@ -1,0 +1,89 @@
+(** Content-hash-keyed cache of resolved models and static-analysis
+    verdicts.
+
+    The service resolves the same MODEL arguments over and over — the
+    DLX builtins, a circuit file submitted by every job of a sweep —
+    and parsing, tabulating and linting them dominates small-job
+    latency. This cache memoizes the three expensive resolution steps
+    behind content fingerprints:
+
+    - {e circuits}: a file is keyed by the CRC-32 of its raw bytes
+      ([file:<crc>]), a builtin by its name ([builtin:<name>]), so an
+      edited file misses while an unchanged one skips the parse. Each
+      cached circuit also carries its {e canonical key} — the CRC-32 of
+      its canonical serialization — which identifies the circuit by
+      content regardless of how it was named or formatted.
+    - {e tabulated FSMs}: keyed by the canonical key of the circuit
+      they were enumerated from ([fsm:<canonical>]), or by builtin name
+      for the explicit test models.
+    - {e lint verdicts}: netlist reports keyed
+      [lint:<canonical>:<against-canonical|->], FSM reports
+      [fsmlint:<fsm-key>:k<bound>]. Only untruncated reports are
+      cached — a verdict cut short by one job's budget must not be
+      served to a job with a larger one. Suite-carrying FSM lint runs
+      are never cached (the suite file is outside the key).
+
+    Entries are bounded by total estimated bytes and entry count and
+    evicted least-recently-used. Hits, misses and evictions are
+    counted on the [service.cache.*] metrics of the {e current}
+    {!Simcov_obs.Obs} registry — under the service's per-job scoping,
+    each job's snapshot shows its own cache traffic.
+
+    All operations are domain-safe (one internal mutex); concurrent
+    misses on the same key may both compute, last store wins. *)
+
+module Budget = Simcov_util.Budget
+
+type t
+
+val create : ?max_bytes:int -> ?max_entries:int -> unit -> t
+(** Defaults: 64 MiB, 256 entries. *)
+
+val shared : t
+(** The process-wide cache the service uses by default. *)
+
+val circuit_of_spec :
+  t -> string -> (Simcov_netlist.Circuit.t * string * string, string) result
+(** [circuit_of_spec cache spec] resolves a MODEL argument exactly like
+    the CLI: [dlx-control] / [dlx-test] builtins, anything else a
+    serialized-circuit path. Returns
+    [(circuit, display_name, canonical_key)]; [Error msg] on an
+    unreadable or malformed file. *)
+
+val fsm_of_spec :
+  t -> string -> (Simcov_fsm.Fsm.t * string * string, string) result
+(** An FSM MODEL argument: [dlx] / [dlx-test] / [dsp] builtins, or any
+    circuit small enough for [Circuit.to_fsm] to enumerate. Returns the
+    tabulated machine, its display name and its cache key. *)
+
+val lint :
+  t ->
+  budget:Budget.t ->
+  name:string ->
+  key:string ->
+  ?against:Simcov_netlist.Circuit.t * string ->
+  Simcov_netlist.Circuit.t ->
+  Simcov_analysis.Lint.report
+(** Cached [Lint.run]. [key] is the circuit's canonical key (from
+    {!circuit_of_spec}); [against] carries the concrete circuit and
+    {e its} canonical key. *)
+
+val fsm_lint :
+  t ->
+  budget:Budget.t ->
+  name:string ->
+  key:string ->
+  k_bound:int ->
+  ?suite:int list list ->
+  Simcov_fsm.Fsm.t ->
+  Simcov_analysis.Fsm_lint.report
+(** Cached [Fsm_lint.run]. [key] is the machine's cache key (from
+    {!fsm_of_spec}). Runs with [?suite] bypass the cache. *)
+
+val counts : t -> int * int * int
+(** [(hits, misses, evictions)] since creation — the same totals the
+    [service.cache.*] metrics accumulate per registry, aggregated
+    process-wide for tests. *)
+
+val stats : t -> int * int
+(** [(entries, bytes)] currently held. *)

@@ -38,4 +38,5 @@ let () =
       ("fsm_lint", Test_fsm_lint.suite);
       ("campaign", Test_campaign.suite);
       ("covdb", Test_covdb.suite);
+      ("service", Test_service.suite);
     ]

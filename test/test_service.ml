@@ -1,0 +1,408 @@
+(* Service layer: job schema round-trips, the content-hash model
+   cache, the shared execution engine, the pool scheduler, and the
+   socket daemon. The load-bearing properties: a job that goes over
+   the wire produces the same bytes as the one-shot CLI path, a warm
+   cache is observably hit without changing any report, and
+   cancellation mid-campaign leaves a loadable simcov-covdb/1
+   checkpoint a resumed run completes from exactly. *)
+
+open Alcotest
+module Json = Simcov_util.Json
+module Obs = Simcov_obs.Obs
+module Job = Simcov_service.Job
+module Model_cache = Simcov_service.Model_cache
+module Service = Simcov_service.Service
+module Pool = Simcov_service.Pool
+module Daemon = Simcov_service.Daemon
+module Covdb = Simcov_covdb.Covdb
+
+(* naive substring search: enough for asserting on rendered JSON *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let coverage_job ?checkpoint ?(count = 40) ?(jobs = 1) () =
+  Job.make
+    (Job.Coverage
+       {
+         (Job.default_coverage ~model:"dlx") with
+         Job.cov_seed = 7;
+         cov_count = count;
+         cov_jobs = jobs;
+         cov_checkpoint = checkpoint;
+       })
+
+(* ---- simcov-job/1 round-trips ---- *)
+
+let test_job_roundtrip () =
+  let specs =
+    [
+      Job.Validate_dlx { Job.default_validate with Job.va_seed = 11; va_jobs = 3 };
+      Job.Lint
+        {
+          (Job.default_lint ~model:"dlx-test") with
+          Job.li_fsm = true;
+          li_k_bound = 4;
+          li_fail_on = Simcov_analysis.Diag.Warning;
+        };
+      Job.Coverage
+        {
+          (Job.default_coverage ~model:"dlx") with
+          Job.cov_faults = Job.Stuckat_faults;
+          cov_checkpoint = Some "cp.covdb";
+          cov_resume = Some "old.covdb";
+          cov_fail_under = Some 95.5;
+        };
+      Job.Merge { inputs = [ "a.covdb"; "b.covdb" ]; output = "out.covdb" };
+      Job.Minimize { inputs = [ "a.covdb" ] };
+      Job.Stats;
+    ]
+  in
+  List.iter
+    (fun spec ->
+      let j = Job.make ~id:"t-1" ~timeout_s:30. ~max_nodes:1000 spec in
+      match Job.of_json (Job.to_json j) with
+      | Ok j' ->
+          check string "kind survives" (Job.kind j) (Job.kind j');
+          check string "round-trip is exact"
+            (Json.to_string (Job.to_json j))
+            (Json.to_string (Job.to_json j'))
+      | Error e -> failf "round-trip of %s failed: %s" (Job.kind j) e)
+    specs
+
+let test_job_defaults_and_errors () =
+  (* the minimal request: every param takes its CLI default *)
+  (match Job.of_json (Json.Obj [ ("kind", Json.String "coverage") ]) with
+  | Ok { Job.spec = Job.Coverage p; _ } ->
+      check int "default seed" 2026 p.Job.cov_seed;
+      check int "default count" 150 p.Job.cov_count;
+      check int "default jobs" 1 p.Job.cov_jobs
+  | Ok _ -> fail "parsed to the wrong kind"
+  | Error e -> failf "minimal job rejected: %s" e);
+  let rejected j =
+    match Job.of_json j with Ok _ -> false | Error _ -> true
+  in
+  check bool "unknown kind rejected" true
+    (rejected (Json.Obj [ ("kind", Json.String "frobnicate") ]));
+  check bool "missing kind rejected" true (rejected (Json.Obj []));
+  check bool "wrong schema rejected" true
+    (rejected
+       (Json.Obj
+          [ ("schema", Json.String "simcov-job/999"); ("kind", Json.String "stats") ]));
+  check bool "ill-typed param rejected" true
+    (rejected
+       (Json.Obj
+          [
+            ("kind", Json.String "coverage");
+            ("params", Json.Obj [ ("seed", Json.String "tuesday") ]);
+          ]));
+  check bool "lint without model rejected" true
+    (rejected (Json.Obj [ ("kind", Json.String "lint") ]))
+
+let test_envelope_shape () =
+  let env =
+    Job.envelope ~id:"j1" ~kind:"coverage" ~status:Job.Interrupted ~exit_code:130
+      ~error:"stopped" ()
+  in
+  check bool "has status" true (Json.member "status" env <> None);
+  check (option string) "status name" (Some "interrupted")
+    (Option.bind (Json.member "status" env) Json.to_string_opt);
+  check (option int) "exit code" (Some 130)
+    (Option.bind (Json.member "exit_code" env) Json.to_int_opt);
+  (* a request never carries status: the stream demultiplexes on it *)
+  check bool "request has no status" true
+    (Json.member "status" (Job.to_json (coverage_job ())) = None)
+
+(* ---- model cache ---- *)
+
+let test_cache_hits_and_eviction () =
+  let c = Model_cache.create () in
+  let resolve () =
+    match Model_cache.circuit_of_spec c "dlx-control" with
+    | Ok (_, name, _) -> name
+    | Error e -> failf "resolve failed: %s" e
+  in
+  ignore (resolve ());
+  ignore (resolve ());
+  let hits, misses, _ = Model_cache.counts c in
+  check int "one miss" 1 misses;
+  check int "one hit" 1 hits;
+  let entries, bytes = Model_cache.stats c in
+  check int "one entry" 1 entries;
+  check bool "entry is costed" true (bytes > 0);
+  (* a one-entry cache thrashes: alternating keys always evict *)
+  let tiny = Model_cache.create ~max_entries:1 () in
+  ignore (Model_cache.circuit_of_spec tiny "dlx-control");
+  ignore (Model_cache.circuit_of_spec tiny "dlx-test");
+  ignore (Model_cache.circuit_of_spec tiny "dlx-control");
+  let hits, misses, evictions = Model_cache.counts tiny in
+  check int "no hits under thrash" 0 hits;
+  check int "three misses" 3 misses;
+  check bool "evictions counted" true (evictions >= 2);
+  let entries, _ = Model_cache.stats tiny in
+  check int "bounded to one entry" 1 entries
+
+let test_cache_observable_in_metrics () =
+  let reg = Obs.registry ~label:"cache-metrics" in
+  Obs.with_registry reg (fun () ->
+      let c = Model_cache.create () in
+      ignore (Model_cache.circuit_of_spec c "dlx-control");
+      ignore (Model_cache.circuit_of_spec c "dlx-control");
+      let snap = Json.to_string (Obs.snapshot ()) in
+      check bool "hit counter exported" true (contains snap "service.cache.hits");
+      check bool "entries gauge exported" true
+        (contains snap "service.cache.entries"));
+  Obs.release reg
+
+(* ---- Service.run ---- *)
+
+let run_report job =
+  let o = Service.run ~cache:(Model_cache.create ()) job in
+  check int "exit 0" 0 o.Service.exit_code;
+  match o.Service.report with
+  | Some r -> Json.to_string r
+  | None -> fail "no report"
+
+let test_warm_cache_identical_report () =
+  let cache = Model_cache.create () in
+  let run () =
+    let o = Service.run ~cache (coverage_job ()) in
+    check int "exit 0" 0 o.Service.exit_code;
+    match o.Service.report with
+    | Some r -> Json.to_string r
+    | None -> fail "no report"
+  in
+  let cold = run () in
+  let warm = run () in
+  check string "warm report is byte-identical" cold warm;
+  let hits, _, _ = Model_cache.counts cache in
+  check bool "second run hit the cache" true (hits > 0)
+
+let test_cancellation_leaves_loadable_checkpoint () =
+  let dir = Filename.temp_file "simcov-svc" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let cp = Filename.concat dir "cancel.covdb" in
+  (* flip should_stop after the first batch reports: a deterministic
+     mid-campaign cancellation (count 40 -> 80 faults -> 2 batches) *)
+  let stopped = ref false in
+  let o =
+    Service.run
+      ~cache:(Model_cache.create ())
+      ~should_stop:(fun () -> !stopped)
+      ~on_progress:(fun _ -> stopped := true)
+      (coverage_job ~checkpoint:cp ())
+  in
+  check int "interrupted exit" 130 o.Service.exit_code;
+  check bool "flagged interrupted" true o.Service.interrupted;
+  (match Covdb.load cp with
+  | Error e -> failf "checkpoint unreadable: %s" e
+  | Ok { Covdb.db; salvaged } ->
+      check bool "not salvaged" false salvaged;
+      check bool "partial progress persisted" true (Covdb.n_records db > 0);
+      check bool "marked incomplete" false (Covdb.complete db));
+  (* the resumed run finishes the campaign and matches the
+     uninterrupted report exactly *)
+  let resumed =
+    Service.run
+      ~cache:(Model_cache.create ())
+      (Job.make
+         (Job.Coverage
+            {
+              (Job.default_coverage ~model:"dlx") with
+              Job.cov_seed = 7;
+              cov_count = 40;
+              cov_resume = Some cp;
+            }))
+  in
+  check int "resumed run completes" 0 resumed.Service.exit_code;
+  let baseline = run_report (coverage_job ()) in
+  (match resumed.Service.report with
+  | Some r -> check string "resume equals uninterrupted" baseline (Json.to_string r)
+  | None -> fail "resumed run produced no report");
+  Sys.remove cp;
+  Unix.rmdir dir
+
+(* ---- pool ---- *)
+
+let test_pool_concurrent_same_job () =
+  (* one worker serializes the two submissions, so the second must
+     resolve its model from the cache; cov_jobs = 2 exercises the
+     domain-token path *)
+  let cache = Model_cache.create () in
+  let pool = Pool.create ~cache ~workers:1 () in
+  let lock = Mutex.create () in
+  let results = Hashtbl.create 4 in
+  let lines = Hashtbl.create 4 in
+  let submit n =
+    let tag = Printf.sprintf "same-%d" n in
+    let on_line l =
+      Mutex.protect lock (fun () ->
+          Hashtbl.replace lines tag (l :: (Option.value ~default:[] (Hashtbl.find_opt lines tag))))
+    in
+    let on_done env = Mutex.protect lock (fun () -> Hashtbl.replace results tag env) in
+    match Pool.submit pool ~on_line ~on_done (coverage_job ~jobs:2 ()) with
+    | Ok id -> id
+    | Error e -> failf "submit rejected: %s" e
+  in
+  let _ = submit 1 and _ = submit 2 in
+  Pool.wait pool;
+  let report tag =
+    match Json.member "report" (Hashtbl.find results tag) with
+    | Some r -> Json.to_string r
+    | None -> failf "%s resolved without a report" tag
+  in
+  check string "identical jobs, identical reports" (report "same-1") (report "same-2");
+  let hits, _, _ = Model_cache.counts cache in
+  check bool "second job hit the model cache" true (hits > 0);
+  (* per-job registries: each stream carries exactly its own lifecycle *)
+  Hashtbl.iter
+    (fun tag ls ->
+      let count needle = List.length (List.filter (fun l -> contains l needle) ls) in
+      check int (tag ^ " has one job.start") 1 (count "\"ev\":\"job.start\"");
+      check int (tag ^ " has one job.done") 1 (count "\"ev\":\"job.done\""))
+    lines;
+  Pool.drain pool
+
+let test_pool_cancel_and_drain () =
+  let pool = Pool.create ~workers:1 ~queue_limit:2 () in
+  let lock = Mutex.create () in
+  let envs = ref [] in
+  let on_done env = Mutex.protect lock (fun () -> envs := env :: !envs) in
+  (* a long job occupies the worker; the queued one is cancelled *)
+  let id1 =
+    match Pool.submit pool ~on_done (coverage_job ~count:2000 ()) with
+    | Ok id -> id
+    | Error e -> failf "submit 1: %s" e
+  in
+  let id2 =
+    match Pool.submit pool ~on_done (coverage_job ()) with
+    | Ok id -> id
+    | Error e -> failf "submit 2: %s" e
+  in
+  check bool "distinct ids" true (id1 <> id2);
+  (* wait until the worker has actually picked job 1 up, so the two
+     cancels deterministically hit one running and one queued job *)
+  let state_of id =
+    match Json.member "jobs" (Pool.list pool) with
+    | Some (Json.List jobs) ->
+        List.find_map
+          (fun j ->
+            match (Json.member "id" j, Json.member "state" j) with
+            | Some (Json.String i), Some (Json.String s) when i = id -> Some s
+            | _ -> None)
+          jobs
+    | _ -> None
+  in
+  let rec await_running n =
+    if state_of id1 <> Some "running" then
+      if n = 0 then fail "job 1 never started running"
+      else begin
+        Unix.sleepf 0.01;
+        await_running (n - 1)
+      end
+  in
+  await_running 1000;
+  check bool "cancel queued job" true (Pool.cancel pool id2);
+  check bool "cancel running job" true (Pool.cancel pool id1);
+  Pool.wait pool;
+  check bool "unknown id not cancellable" false (Pool.cancel pool "no-such");
+  let statuses =
+    List.filter_map
+      (fun e -> Option.bind (Json.member "status" e) Json.to_string_opt)
+      !envs
+  in
+  check int "both resolved" 2 (List.length statuses);
+  check bool "queued one cancelled" true (List.mem "cancelled" statuses);
+  check bool "running one stopped" true
+    (List.exists (fun s -> s = "interrupted" || s = "done") statuses);
+  Pool.drain pool;
+  match Pool.submit pool (coverage_job ()) with
+  | Ok _ -> fail "drained pool accepted a job"
+  | Error _ -> ()
+
+(* ---- daemon ---- *)
+
+let test_daemon_roundtrip () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "simcov-test-%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Domain.spawn (fun () -> Daemon.serve ~socket ~workers:1 ())
+  in
+  let rec await_socket n =
+    if Sys.file_exists socket then ()
+    else if n = 0 then fail "daemon socket never appeared"
+    else begin
+      Unix.sleepf 0.05;
+      await_socket (n - 1)
+    end
+  in
+  await_socket 100;
+  Fun.protect
+    ~finally:(fun () ->
+      (* SIGTERM drains the daemon; serve must come back Ok *)
+      Unix.kill (Unix.getpid ()) Sys.sigterm;
+      match Domain.join server with
+      | Ok () -> ()
+      | Error e -> failf "serve failed: %s" e)
+    (fun () ->
+      (match Daemon.ping ~socket with
+      | Ok j -> check bool "ping ok" true (Json.member "ok" j = Some (Json.Bool true))
+      | Error e -> failf "ping: %s" e);
+      let events = ref 0 in
+      let env =
+        match
+          Daemon.submit ~socket ~on_event:(fun _ -> incr events) (coverage_job ())
+        with
+        | Ok env -> env
+        | Error e -> failf "submit: %s" e
+      in
+      check (option string) "job done" (Some "done")
+        (Option.bind (Json.member "status" env) Json.to_string_opt);
+      check bool "progress was streamed" true (!events > 0);
+      (* the wire report re-renders to the one-shot engine's bytes *)
+      let direct = run_report (coverage_job ()) in
+      (match Json.member "report" env with
+      | Some r -> check string "wire report byte-identical" direct (Json.to_string r)
+      | None -> fail "envelope has no report");
+      (match Daemon.list_jobs ~socket with
+      | Ok j -> (
+          check (option string) "jobs schema" (Some "simcov-jobs/1")
+            (Option.bind (Json.member "schema" j) Json.to_string_opt);
+          match Json.member "jobs" j with
+          | Some (Json.List [ _ ]) -> ()
+          | _ -> fail "expected exactly one listed job")
+      | Error e -> failf "jobs: %s" e);
+      (* malformed job: a rejected envelope with exit code 6, not a
+         dropped connection *)
+      match
+        Daemon.submit ~socket
+          (match
+             Job.of_json (Json.Obj [ ("kind", Json.String "stats") ])
+           with
+          | Ok j -> j
+          | Error e -> failf "stats job: %s" e)
+      with
+      | Ok env ->
+          check (option string) "stats over the wire" (Some "done")
+            (Option.bind (Json.member "status" env) Json.to_string_opt)
+      | Error e -> failf "stats submit: %s" e)
+
+let suite =
+  [
+    test_case "job JSON round-trips exactly" `Quick test_job_roundtrip;
+    test_case "job defaults and rejections" `Quick test_job_defaults_and_errors;
+    test_case "result envelope shape" `Quick test_envelope_shape;
+    test_case "cache counts hits, misses, evictions" `Quick test_cache_hits_and_eviction;
+    test_case "cache metrics exported via obs" `Quick test_cache_observable_in_metrics;
+    test_case "warm cache: identical report, hit counted" `Quick
+      test_warm_cache_identical_report;
+    test_case "cancellation leaves loadable checkpoint" `Quick
+      test_cancellation_leaves_loadable_checkpoint;
+    test_case "pool: concurrent identical jobs" `Quick test_pool_concurrent_same_job;
+    test_case "pool: cancel and drain" `Quick test_pool_cancel_and_drain;
+    test_case "daemon: socket round-trip and drain" `Quick test_daemon_roundtrip;
+  ]
