@@ -282,9 +282,32 @@ let parallel_term =
   in
   Term.(const (fun jobs lanes -> (jobs, lanes)) $ jobs $ lanes)
 
+(* ---- BDD variable reordering (--reorder) ---- *)
+
+let reorder_term =
+  let mode =
+    Arg.enum
+      [
+        ("off", Job.Reorder_off);
+        ("on", Job.Reorder_on);
+        ("auto", Job.Reorder_auto);
+      ]
+  in
+  Arg.(
+    value
+    & opt mode Job.Reorder_off
+    & info [ "reorder" ] ~docv:"MODE"
+        ~doc:
+          "BDD dynamic variable reordering (Rudell sifting) for the symbolic \
+           phase. $(b,off) (default) keeps the build-time interleaved order — \
+           byte-identical reports to previous releases. $(b,auto) sifts \
+           whenever the unique table has grown past a ratio since the last \
+           pass. $(b,on) additionally sifts once right after the model is \
+           compiled.")
+
 (* ---- validate-dlx ---- *)
 
-let validate_dlx config seed (jobs, lanes) common =
+let validate_dlx config seed (jobs, lanes) reorder common =
   let p =
     {
       Job.va_regs = config.Simcov_dlx.Testmodel.n_regs;
@@ -293,6 +316,7 @@ let validate_dlx config seed (jobs, lanes) common =
       va_seed = seed;
       va_lanes = lanes;
       va_jobs = jobs;
+      va_reorder = reorder;
     }
   in
   run_job common
@@ -303,7 +327,9 @@ let validate_cmd =
   let doc = "Run the full validation methodology on the pipelined DLX." in
   Cmd.v
     (cmd_info "validate-dlx" ~doc)
-    Term.(const validate_dlx $ config_term $ seed_term $ parallel_term $ common_term)
+    Term.(
+      const validate_dlx $ config_term $ seed_term $ parallel_term
+      $ reorder_term $ common_term)
 
 (* ---- tour ---- *)
 
@@ -378,13 +404,14 @@ let abstract_cmd =
 
 (* ---- stats ---- *)
 
-let stats common =
+let stats reorder common =
   run_job common
-    (Job.make ?timeout_s:common.timeout_s ?max_nodes:common.max_nodes Job.Stats)
+    (Job.make ?timeout_s:common.timeout_s ?max_nodes:common.max_nodes
+       (Job.Stats { Job.st_reorder = reorder }))
 
 let stats_cmd =
   let doc = "Symbolic (BDD) statistics of the derived control test model." in
-  Cmd.v (cmd_info "stats" ~doc) Term.(const stats $ common_term)
+  Cmd.v (cmd_info "stats" ~doc) Term.(const stats $ reorder_term $ common_term)
 
 (* ---- fig2 ---- *)
 
@@ -732,7 +759,7 @@ let persist_term =
     $ checkpoint $ every $ resume $ chaos)
 
 let coverage_run model kind seed count steps fail_under progress (jobs, lanes)
-    (checkpoint, checkpoint_every, resume, chaos_kill_after) common =
+    reorder (checkpoint, checkpoint_every, resume, chaos_kill_after) common =
   warn_inert_max_nodes common;
   let p =
     {
@@ -747,6 +774,7 @@ let coverage_run model kind seed count steps fail_under progress (jobs, lanes)
       cov_checkpoint = checkpoint;
       cov_checkpoint_every = checkpoint_every;
       cov_resume = resume;
+      cov_reorder = reorder;
     }
   in
   let on_progress =
@@ -815,7 +843,7 @@ let coverage_cmd =
     (cmd_info "coverage" ~doc)
     Term.(
       const coverage_run $ model $ kind $ seed_term $ count $ steps $ fail_under
-      $ progress $ parallel_term $ persist_term $ common_term)
+      $ progress $ parallel_term $ reorder_term $ persist_term $ common_term)
 
 (* ---- merge / minimize: offline aggregation of coverage snapshots ---- *)
 

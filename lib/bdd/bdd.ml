@@ -1,17 +1,21 @@
-type t = False | True | Node of { v : int; lo : t; hi : t; uid : int }
+type t = False | True | Node of { mutable v : int; mutable lo : t; mutable hi : t; uid : int }
+(* Node fields are mutable for exactly one reason: an adjacent-level
+   swap during dynamic reordering rewrites a node in place, so every
+   OCaml value holding it (roots, pinned arguments, cached literals)
+   keeps seeing the same boolean function through the same physical
+   node. Outside [swap_adjacent] the fields are never written. *)
 
 (* ------------------------------------------------------------------ *)
 (* Packed int keys                                                     *)
 (*                                                                     *)
-(* Every table in the manager is keyed by a single native int: a node  *)
-(* is identified by (var, lo_uid, hi_uid) packed as                    *)
-(*   var:10 | lo:26 | hi:26                                            *)
-(* (62 bits, always non-negative), and a binary-operation cache entry  *)
-(* by (uid_a, uid_b) packed as a:26 | b:26. The limits — 1024          *)
-(* variables, 2^26 (~67M) live nodes — are far beyond what fits in     *)
-(* memory here and are enforced explicitly. Uids of garbage-collected  *)
-(* nodes are recycled, so the 2^26 ceiling applies to peak live nodes, *)
-(* not to the total ever allocated.                                    *)
+(* Every table in the manager is keyed by a single native int. The     *)
+(* unique table is split per variable, so its key is just the child    *)
+(* pair (lo_uid, hi_uid) packed as lo:26 | hi:26; a binary-operation   *)
+(* cache entry is (uid_a, uid_b) packed the same way. The limits —     *)
+(* 1024 variables, 2^26 (~67M) live nodes — are far beyond what fits   *)
+(* in memory here and are enforced explicitly. Uids of garbage-        *)
+(* collected nodes are recycled, so the 2^26 ceiling applies to peak   *)
+(* live nodes, not to the total ever allocated.                        *)
 (* ------------------------------------------------------------------ *)
 
 (* ------------------------------------------------------------------ *)
@@ -41,22 +45,29 @@ let c_gc_runs = Obs.counter "bdd.gc.runs"
 let c_gc_reclaimed = Obs.counter "bdd.gc.reclaimed"
 let g_nodes_live = Obs.gauge "bdd.nodes.live"
 let g_nodes_peak = Obs.gauge "bdd.nodes.peak"
+let c_reorder_runs = Obs.counter "bdd.reorder.runs"
+let c_reorder_swaps = Obs.counter "bdd.reorder.swaps"
+let g_reorder_before = Obs.gauge "bdd.reorder.nodes_before"
+let g_reorder_after = Obs.gauge "bdd.reorder.nodes_after"
 
 let uid_bits = 26
 let uid_limit = 1 lsl uid_bits
-let var_limit = 1 lsl (62 - (2 * uid_bits))
+let var_limit = 1 lsl 10
 
-let pack3 v lo hi = (v lsl (2 * uid_bits)) lor (lo lsl uid_bits) lor hi
 let pack2 a b = (a lsl uid_bits) lor b
 
 (* ------------------------------------------------------------------ *)
 (* Open-addressed int-keyed hash tables                                *)
 (*                                                                     *)
-(* Linear probing over power-of-two arrays, no deletion (the unique    *)
-(* table is compacted wholesale by the garbage collector instead).     *)
+(* Linear probing over power-of-two arrays. Deletion uses tombstones   *)
+(* (needed by the reordering swap, which unlinks individual nodes);    *)
+(* the garbage collector still compacts wholesale. Real keys are       *)
+(* always non-negative, so the two sentinels live in the negative      *)
+(* range.                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let empty_key = min_int
+let tomb_key = min_int + 1
 
 let mix k =
   let h = k * 0x2545F4914F6CDD1D in
@@ -66,7 +77,8 @@ module Itab = struct
   type 'a tab = {
     mutable keys : int array;
     mutable data : 'a array;
-    mutable used : int;
+    mutable used : int;  (* live entries *)
+    mutable filled : int;  (* live entries + tombstones *)
     dummy : 'a;
   }
 
@@ -76,9 +88,15 @@ module Itab = struct
 
   let create size dummy =
     let n = round_pow2 size in
-    { keys = Array.make n empty_key; data = Array.make n dummy; used = 0; dummy }
+    {
+      keys = Array.make n empty_key;
+      data = Array.make n dummy;
+      used = 0;
+      filled = 0;
+      dummy;
+    }
 
-  (* index of [k], or -1 when absent *)
+  (* index of [k], or -1 when absent; tombstones are skipped *)
   let find_idx t k =
     let m = Array.length t.keys - 1 in
     let keys = t.keys in
@@ -90,14 +108,18 @@ module Itab = struct
 
   let value t i = Array.unsafe_get t.data i
 
+  (* rehash, dropping tombstones; grows only when the live load asks
+     for it (a rehash at the same size is how a tombstone-heavy table
+     recovers) *)
   let resize t =
     let old_keys = t.keys and old_data = t.data in
-    let n = 2 * Array.length old_keys in
+    let len = Array.length old_keys in
+    let n = if 2 * (t.used + 1) > len then 2 * len else len in
     let keys = Array.make n empty_key and data = Array.make n t.dummy in
     let m = n - 1 in
     Array.iteri
       (fun i k ->
-        if k <> empty_key then begin
+        if k <> empty_key && k <> tomb_key then begin
           let rec go j =
             if Array.unsafe_get keys j = empty_key then j else go ((j + 1) land m)
           in
@@ -107,28 +129,47 @@ module Itab = struct
         end)
       old_keys;
     t.keys <- keys;
-    t.data <- data
+    t.data <- data;
+    t.filled <- t.used
 
   let add t k v =
-    if 4 * (t.used + 1) > 3 * Array.length t.keys then resize t;
+    if 4 * (t.filled + 1) > 3 * Array.length t.keys then resize t;
     let m = Array.length t.keys - 1 in
-    let rec go i =
+    (* remember the first tombstone on the probe path: if the key is
+       absent it is the insertion slot *)
+    let rec go i tomb =
       let key = Array.unsafe_get t.keys i in
       if key = empty_key then begin
-        t.keys.(i) <- k;
-        t.data.(i) <- v;
+        if tomb >= 0 then begin
+          t.keys.(tomb) <- k;
+          t.data.(tomb) <- v
+        end
+        else begin
+          t.keys.(i) <- k;
+          t.data.(i) <- v;
+          t.filled <- t.filled + 1
+        end;
         t.used <- t.used + 1
       end
       else if key = k then t.data.(i) <- v
-      else go ((i + 1) land m)
+      else if key = tomb_key && tomb < 0 then go ((i + 1) land m) i
+      else go ((i + 1) land m) tomb
     in
-    go (mix k land m)
+    go (mix k land m) (-1)
+
+  let remove t k =
+    let i = find_idx t k in
+    if i >= 0 then begin
+      t.keys.(i) <- tomb_key;
+      t.data.(i) <- t.dummy;
+      t.used <- t.used - 1
+    end
 
   let iter f t =
     let keys = t.keys and data = t.data in
     for i = 0 to Array.length keys - 1 do
       let k = Array.unsafe_get keys i in
-      if k <> empty_key then f k (Array.unsafe_get data i)
+      if k <> empty_key && k <> tomb_key then f k (Array.unsafe_get data i)
     done
 
   let length t = t.used
@@ -221,12 +262,28 @@ type gc_stats = {
   peak_live : int;
 }
 
+type reorder_stats = {
+  reorder_runs : int;
+  reorder_swaps : int;
+  last_nodes_before : int;
+  last_nodes_after : int;
+}
+
 type man = {
   nvars : int;
   cache_size0 : int;
-  mutable unique : t Itab.tab;
+  (* unique table, split per VARIABLE (not per level): a node whose
+     variable merely changes level during a swap never moves tables *)
+  subtables : t Itab.tab array;
+  (* the var <-> level indirection: [var_of_level.(l)] is the variable
+     sitting at position [l] of the order, [level_of_var] its inverse.
+     Both start as the identity and change only under reordering. *)
+  level_of_var : int array;
+  var_of_level : int array;
+  mutable live : int;  (* total nodes across all subtables *)
   mutable next_uid : int;
   mutable free_uids : int list;  (* uids of swept nodes, ready for reuse *)
+  mutable n_free : int;  (* List.length free_uids, maintained *)
   mutable and_cache : t Itab.tab;
   mutable or_cache : t Itab.tab;
   mutable xor_cache : t Itab.tab;
@@ -242,6 +299,18 @@ type man = {
   mutable gc_runs : int;
   mutable gc_reclaimed : int;
   mutable peak_live : int;
+  (* dynamic reordering *)
+  mutable auto_reorder : bool;
+  mutable reorder_ratio : float;  (* growth ratio that triggers a sift *)
+  mutable reorder_min : int;  (* no auto sift below this live count *)
+  mutable last_reorder_live : int;  (* live count at the last sift *)
+  mutable in_reorder : bool;
+  mutable groups : int array array;  (* level-glued variable groups *)
+  mutable reorder_runs : int;
+  mutable reorder_swapped : int;
+  mutable last_before : int;
+  mutable last_after : int;
+  mutable refs : int array;  (* uid -> refcount; non-empty during a sift only *)
 }
 
 exception Node_limit of int
@@ -254,7 +323,7 @@ let man ?(cache_size = 1 lsl 14) ?max_nodes nvars =
   if nvars < 0 then invalid_arg "Bdd.man: negative variable count";
   if nvars > var_limit then
     invalid_arg
-      (Printf.sprintf "Bdd.man: %d variables exceeds the packing limit of %d" nvars
+      (Printf.sprintf "Bdd.man: %d variables exceeds the limit of %d" nvars
          var_limit);
   let max_nodes =
     match max_nodes with
@@ -266,9 +335,13 @@ let man ?(cache_size = 1 lsl 14) ?max_nodes nvars =
   {
     nvars;
     cache_size0 = cache_size;
-    unique = Itab.create cache_size False;
+    subtables = Array.init nvars (fun _ -> Itab.create 16 False);
+    level_of_var = Array.init nvars Fun.id;
+    var_of_level = Array.init nvars Fun.id;
+    live = 0;
     next_uid = 2;
     free_uids = [];
+    n_free = 0;
     and_cache = Itab.create cache_size False;
     or_cache = Itab.create cache_size False;
     xor_cache = Itab.create cache_size False;
@@ -284,10 +357,21 @@ let man ?(cache_size = 1 lsl 14) ?max_nodes nvars =
     gc_runs = 0;
     gc_reclaimed = 0;
     peak_live = 0;
+    auto_reorder = false;
+    reorder_ratio = 2.0;
+    reorder_min = 4096;
+    last_reorder_live = 4096;
+    in_reorder = false;
+    groups = [||];
+    reorder_runs = 0;
+    reorder_swapped = 0;
+    last_before = 0;
+    last_after = 0;
+    refs = [||];
   }
 
 let num_vars m = m.nvars
-let live_nodes m = Itab.length m.unique
+let live_nodes m = m.live
 let node_count m = live_nodes m + 2
 let peak_node_count m = m.peak_live + 2
 let max_nodes m = if m.max_nodes >= uid_limit then None else Some m.max_nodes
@@ -299,13 +383,26 @@ let set_max_nodes m limit =
       if n <= 0 then invalid_arg "Bdd.set_max_nodes: non-positive limit";
       m.max_nodes <- min n uid_limit
 
-let gc_stats m =
+let gc_stats (m : man) : gc_stats =
   {
     runs = m.gc_runs;
     reclaimed = m.gc_reclaimed;
     live = live_nodes m;
     peak_live = m.peak_live;
   }
+
+let reorder_stats (m : man) : reorder_stats =
+  {
+    reorder_runs = m.reorder_runs;
+    reorder_swaps = m.reorder_swapped;
+    last_nodes_before = m.last_before;
+    last_nodes_after = m.last_after;
+  }
+
+let order m = Array.copy m.var_of_level
+let level_of_var m v =
+  if v < 0 || v >= m.nvars then invalid_arg "Bdd.level_of_var: variable out of range";
+  m.level_of_var.(v)
 
 let bfalse _ = False
 let btrue _ = True
@@ -316,18 +413,18 @@ let id = function False -> 0 | True -> 1 | Node n -> n.uid
 (* ------------------------------------------------------------------ *)
 (* Roots and garbage collection                                        *)
 (*                                                                     *)
-(* Nodes themselves are immutable OCaml values; collecting means       *)
-(* compacting the unique table down to the nodes reachable from the    *)
-(* registered roots (plus the arguments of the operation in flight)    *)
-(* and recycling the uids of everything else. Op caches may reference  *)
-(* swept nodes, so every sweep invalidates them wholesale.             *)
+(* Collecting means compacting the unique table down to the nodes      *)
+(* reachable from the registered roots (plus the arguments of the      *)
+(* operation in flight) and recycling the uids of everything else. Op  *)
+(* caches may reference swept nodes, so every sweep invalidates them   *)
+(* wholesale.                                                          *)
 (*                                                                     *)
 (* Contract: on a manager with a node limit (or under explicit [gc]    *)
-(* calls), any BDD held across public operations must be reachable     *)
-(* from a registered root — otherwise its nodes are swept and later    *)
-(* re-creation breaks hash-consing (physical [equal] on semantically   *)
-(* equal functions). The symbolic layer registers its relation         *)
-(* conjuncts, reached sets and frontiers accordingly.                  *)
+(* or [reorder] calls), any BDD held across public operations must be  *)
+(* reachable from a registered root — otherwise its nodes are swept    *)
+(* and later re-creation breaks hash-consing (physical [equal] on      *)
+(* semantically equal functions). The symbolic layer registers its     *)
+(* relation conjuncts, reached sets and frontiers accordingly.         *)
 (* ------------------------------------------------------------------ *)
 
 type root = int
@@ -352,8 +449,15 @@ let pinned m t f =
   let r = add_root m t in
   Fun.protect ~finally:(fun () -> remove_root m r) f
 
+let clear_caches m =
+  m.and_cache <- Itab.create m.cache_size0 False;
+  m.or_cache <- Itab.create m.cache_size0 False;
+  m.xor_cache <- Itab.create m.cache_size0 False;
+  m.not_cache <- Itab.create (m.cache_size0 / 4) False;
+  m.ite_cache <- Itab2.create (m.cache_size0 / 4) False
+
 let gc m =
-  (* mark: recursion depth is bounded by the variable count (variables
+  (* mark: recursion depth is bounded by the variable count (levels
      strictly increase along lo/hi edges) *)
   let marked = Bytes.make (max 2 m.next_uid) '\000' in
   let rec mark t =
@@ -372,32 +476,37 @@ let gc m =
      literal held by a caller across operations must never be swept *)
   Array.iter mark m.pos_lits;
   Array.iter mark m.neg_lits;
-  (* sweep: rebuild the unique table with only marked nodes (children
-     of a marked node are marked, so every rebuilt key is unchanged)
-     and recycle the uids of the rest *)
-  let before = Itab.length m.unique in
-  let survivors = ref [] in
+  (* sweep: rebuild each subtable with only marked nodes (children of a
+     marked node are marked, so every rebuilt key is unchanged) and
+     recycle the uids of the rest *)
+  let before = m.live in
   let n_live = ref 0 in
-  Itab.iter
-    (fun key node ->
-      match node with
-      | Node n ->
-          if Bytes.unsafe_get marked n.uid = '\001' then begin
-            survivors := (key, node) :: !survivors;
-            incr n_live
-          end
-          else m.free_uids <- n.uid :: m.free_uids
-      | False | True -> ())
-    m.unique;
-  let fresh = Itab.create (max m.cache_size0 ((!n_live * 4 / 3) + 16)) False in
-  List.iter (fun (key, node) -> Itab.add fresh key node) !survivors;
-  m.unique <- fresh;
+  Array.iteri
+    (fun v tab ->
+      let survivors = ref [] in
+      let n_here = ref 0 in
+      Itab.iter
+        (fun key node ->
+          match node with
+          | Node n ->
+              if Bytes.unsafe_get marked n.uid = '\001' then begin
+                survivors := (key, node) :: !survivors;
+                incr n_here
+              end
+              else begin
+                m.free_uids <- n.uid :: m.free_uids;
+                m.n_free <- m.n_free + 1
+              end
+          | False | True -> ())
+        tab;
+      let fresh = Itab.create ((!n_here * 4 / 3) + 16) False in
+      List.iter (fun (key, node) -> Itab.add fresh key node) !survivors;
+      m.subtables.(v) <- fresh;
+      n_live := !n_live + !n_here)
+    m.subtables;
+  m.live <- !n_live;
   (* every op cache may point at swept nodes: invalidate them all *)
-  m.and_cache <- Itab.create m.cache_size0 False;
-  m.or_cache <- Itab.create m.cache_size0 False;
-  m.xor_cache <- Itab.create m.cache_size0 False;
-  m.not_cache <- Itab.create (m.cache_size0 / 4) False;
-  m.ite_cache <- Itab2.create (m.cache_size0 / 4) False;
+  clear_caches m;
   let freed = before - !n_live in
   m.gc_runs <- m.gc_runs + 1;
   m.gc_reclaimed <- m.gc_reclaimed + freed;
@@ -408,6 +517,10 @@ let gc m =
       [ ("freed", Simcov_util.Json.Int freed);
         ("live", Simcov_util.Json.Int !n_live) ]);
   freed
+
+(* forward reference: the sifting pass, defined after the node
+   constructors it needs *)
+let reorder_pass = ref (fun (_ : man) -> false)
 
 (* Run a public operation: pin its BDD arguments, and at the outermost
    nesting level turn [Gc_needed] into collect-and-retry (the retry
@@ -431,6 +544,16 @@ let run_op m args f =
       f
   end
   else begin
+    (* auto-reorder fires between public operations, never inside one;
+       the arguments just pinned are part of the sift's sweep set.
+       Enabling it is an opt-in to the rooting contract above (a sift
+       garbage-collects first). *)
+    if
+      m.auto_reorder && not m.in_reorder
+      && m.live >= m.reorder_min
+      && float_of_int m.live
+         > m.reorder_ratio *. float_of_int m.last_reorder_live
+    then ignore (!reorder_pass m);
     m.op_depth <- 1;
     Fun.protect
       ~finally:(fun () ->
@@ -453,6 +576,7 @@ let alloc_uid m =
   match m.free_uids with
   | u :: rest ->
       m.free_uids <- rest;
+      m.n_free <- m.n_free - 1;
       u
   | [] ->
       if m.next_uid >= uid_limit then raise Gc_needed;
@@ -463,21 +587,22 @@ let alloc_uid m =
 let mk m v lo hi =
   if lo == hi then lo
   else begin
-    let key = pack3 v (id lo) (id hi) in
-    let i = Itab.find_idx m.unique key in
+    let tab = m.subtables.(v) in
+    let key = pack2 (id lo) (id hi) in
+    let i = Itab.find_idx tab key in
     if i >= 0 then begin
       Obs.incr c_unique_hit;
-      Itab.value m.unique i
+      Itab.value tab i
     end
     else begin
-      if Itab.length m.unique >= m.max_nodes then raise Gc_needed;
+      if m.live >= m.max_nodes then raise Gc_needed;
       Obs.incr c_unique_miss;
       let n = Node { v; lo; hi; uid = alloc_uid m } in
-      Itab.add m.unique key n;
-      let live = Itab.length m.unique in
-      if live > m.peak_live then m.peak_live <- live;
-      Obs.set g_nodes_live live;
-      Obs.set_max g_nodes_peak live;
+      Itab.add tab key n;
+      m.live <- m.live + 1;
+      if m.live > m.peak_live then m.peak_live <- m.live;
+      Obs.set g_nodes_live m.live;
+      Obs.set_max g_nodes_peak m.live;
       n
     end
   end
@@ -534,14 +659,23 @@ let size t =
   go t;
   Hashtbl.length seen + 2
 
-(* The variable of a node for cofactoring purposes: constants sort
-   below every real variable. *)
-let level = function False | True -> max_int | Node n -> n.v
+(* The order position of a node for cofactoring purposes: constants
+   sort below every real level. *)
+let lvl m = function
+  | False | True -> max_int
+  | Node n -> Array.unsafe_get m.level_of_var n.v
 
 let cof t v =
   match t with
   | Node n when n.v = v -> (n.lo, n.hi)
   | _ -> (t, t)
+
+(* The split variable of a binary operation: whichever operand's top
+   variable sits higher in the order. *)
+let top2 m na_v nb_v =
+  if Array.unsafe_get m.level_of_var na_v <= Array.unsafe_get m.level_of_var nb_v
+  then na_v
+  else nb_v
 
 let rec bnot_rec m t =
   match t with
@@ -579,7 +713,7 @@ let rec band_rec m a b =
         end
         else begin
           Obs.incr c_and_miss;
-          let v = min na.v nb.v in
+          let v = top2 m na.v nb.v in
           let alo, ahi = cof a v and blo, bhi = cof b v in
           let r = mk m v (band_rec m alo blo) (band_rec m ahi bhi) in
           Itab.add m.and_cache key r;
@@ -609,7 +743,7 @@ let rec bor_rec m a b =
         end
         else begin
           Obs.incr c_or_miss;
-          let v = min na.v nb.v in
+          let v = top2 m na.v nb.v in
           let alo, ahi = cof a v and blo, bhi = cof b v in
           let r = mk m v (bor_rec m alo blo) (bor_rec m ahi bhi) in
           Itab.add m.or_cache key r;
@@ -636,7 +770,7 @@ let rec bxor_rec m a b =
         end
         else begin
           Obs.incr c_xor_miss;
-          let v = min na.v nb.v in
+          let v = top2 m na.v nb.v in
           let alo, ahi = cof a v and blo, bhi = cof b v in
           let r = mk m v (bxor_rec m alo blo) (bxor_rec m ahi bhi) in
           Itab.add m.xor_cache key r;
@@ -668,7 +802,8 @@ let rec ite_rec m c t e =
         end
         else begin
           Obs.incr c_ite_miss;
-          let v = min (level c) (min (level t) (level e)) in
+          let l = min (lvl m c) (min (lvl m t) (lvl m e)) in
+          let v = m.var_of_level.(l) in
           let clo, chi = cof c v
           and tlo, thi = cof t v
           and elo, ehi = cof e v in
@@ -685,13 +820,17 @@ let ite m c t e = run_op m [ c; t; e ] (fun () -> ite_rec m c t e)
 let conj m ts = run_op m ts (fun () -> List.fold_left (band_rec m) True ts)
 let disj m ts = run_op m ts (fun () -> List.fold_left (bor_rec m) False ts)
 
-let rec cofactor_rec m t v b =
-  match t with
-  | False | True -> t
-  | Node n ->
-      if n.v > v then t
-      else if n.v = v then if b then n.hi else n.lo
-      else mk m n.v (cofactor_rec m n.lo v b) (cofactor_rec m n.hi v b)
+let cofactor_rec m t v b =
+  let lv = m.level_of_var.(v) in
+  let rec go t =
+    match t with
+    | False | True -> t
+    | Node n ->
+        if Array.unsafe_get m.level_of_var n.v > lv then t
+        else if n.v = v then if b then n.hi else n.lo
+        else mk m n.v (go n.lo) (go n.hi)
+  in
+  go t
 
 let cofactor m t v b = run_op m [ t ] (fun () -> cofactor_rec m t v b)
 
@@ -750,7 +889,8 @@ let and_exists_impl m vset f g =
         let i = Itab.find_idx cache key in
         if i >= 0 then Itab.value cache i
         else begin
-          let v = min (level f) (level g) in
+          let l = min (lvl m f) (lvl m g) in
+          let v = m.var_of_level.(l) in
           let flo, fhi = cof f v and glo, ghi = cof g v in
           let r =
             if vset.(v) then begin
@@ -824,24 +964,89 @@ let and_exists_list m vars conjuncts =
           done;
           !acc)
 
+(* Variable renaming. The precondition is stated against the ORDER, not
+   the variable indices: a substitution that is monotone on indices can
+   be non-monotone on levels once the manager has been reordered, and
+   the structural rewrite below would then silently build an unreduced
+   (wrong) diagram. The dispatcher checks the substitution on the
+   support — injectivity is required; level-monotonicity selects the
+   fast structural path, anything else falls back to a bottom-up ITE
+   composition that is correct for every injective substitution. *)
 let rename m subst t =
-  run_op m [ t ] (fun () ->
-      let cache = Itab.create 256 False in
-      let rec go t =
-        match t with
-        | False | True -> t
-        | Node n -> (
-            let i = Itab.find_idx cache n.uid in
-            if i >= 0 then Itab.value cache i
-            else begin
-              let v' = subst n.v in
-              assert (v' >= 0 && v' < m.nvars);
-              let r = mk m v' (go n.lo) (go n.hi) in
-              Itab.add cache n.uid r;
-              r
-            end)
+  match t with
+  | False | True -> t
+  | Node _ ->
+      let sup = support m t in
+      let targets =
+        List.map
+          (fun v ->
+            let v' = subst v in
+            if v' < 0 || v' >= m.nvars then
+              invalid_arg "Bdd.rename: target variable out of range";
+            v')
+          sup
       in
-      go t)
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun v' ->
+          if Hashtbl.mem seen v' then
+            invalid_arg "Bdd.rename: substitution not injective on support";
+          Hashtbl.add seen v' ())
+        targets;
+      let by_level =
+        List.sort
+          (fun a b -> compare m.level_of_var.(a) m.level_of_var.(b))
+          sup
+      in
+      let monotone =
+        let rec chk prev = function
+          | [] -> true
+          | v :: rest ->
+              let l' = m.level_of_var.(subst v) in
+              l' > prev && chk l' rest
+        in
+        chk (-1) by_level
+      in
+      if monotone then
+        run_op m [ t ] (fun () ->
+            let cache = Itab.create 256 False in
+            let rec go t =
+              match t with
+              | False | True -> t
+              | Node n -> (
+                  let i = Itab.find_idx cache n.uid in
+                  if i >= 0 then Itab.value cache i
+                  else begin
+                    (* level-monotone on the support: children map to
+                       strictly deeper levels, so the structural rewrite
+                       preserves reducedness *)
+                    let r = mk m (subst n.v) (go n.lo) (go n.hi) in
+                    Itab.add cache n.uid r;
+                    r
+                  end)
+            in
+            go t)
+      else
+        run_op m [ t ] (fun () ->
+            let cache = Itab.create 256 False in
+            let rec go t =
+              match t with
+              | False | True -> t
+              | Node n -> (
+                  let i = Itab.find_idx cache n.uid in
+                  if i >= 0 then Itab.value cache i
+                  else begin
+                    let lo = go n.lo in
+                    let hi = go n.hi in
+                    (* injectivity on the support guarantees no capture:
+                       the renamed subtrees cannot mention the fresh
+                       literal *)
+                    let r = ite_rec m (var m (subst n.v)) hi lo in
+                    Itab.add cache n.uid r;
+                    r
+                  end)
+            in
+            go t)
 
 let restrict_cube m assigns t =
   List.fold_left (fun acc (v, b) -> cofactor m acc v b) t assigns
@@ -855,31 +1060,49 @@ let any_sat _m t =
   in
   go t []
 
-let sat_count _m ~nvars t =
+(* Model counting against the LEVEL structure: the counted space is the
+   variables with index < nvars, but the DAG descends in level order,
+   so the "free variables skipped between a parent and a child" are
+   counted through a per-level prefix sum. Under the identity order
+   this reduces to exactly the index arithmetic the kernel always used
+   (bit-identical floats). *)
+let sat_count m ~nvars t =
   if nvars < 0 then invalid_arg "Bdd.sat_count: negative nvars";
+  let nlev = m.nvars in
+  (* cnt_upto.(l) = counted variables sitting at levels < l *)
+  let cnt_upto = Array.make (nlev + 1) 0 in
+  for l = 0 to nlev - 1 do
+    cnt_upto.(l + 1) <-
+      cnt_upto.(l) + (if m.var_of_level.(l) < nvars then 1 else 0)
+  done;
+  let in_levels = cnt_upto.(nlev) in
+  (* counted indices beyond the manager's variables (callers may count
+     over a space wider than the manager) are free everywhere *)
+  let extra = nvars - in_levels in
   (* precomputed powers of two replace the Float.pow call that used to
      run on every node and every leaf *)
   let pow2 = Array.init (nvars + 1) (fun i -> Float.ldexp 1.0 i) in
   let cache = Hashtbl.create 256 in
-  (* count over the subspace of variables >= from *)
-  let rec go t from =
+  (* count over the subspace of levels >= froml *)
+  let rec go t froml =
     match t with
     | False -> 0.0
-    | True -> pow2.(nvars - from)
+    | True -> pow2.(in_levels - cnt_upto.(froml) + extra)
     | Node n ->
         if n.v >= nvars then
           invalid_arg
             (Printf.sprintf "Bdd.sat_count: nvars = %d but support contains variable %d"
                nvars n.v);
+        let l = m.level_of_var.(n.v) in
         let below =
           match Hashtbl.find_opt cache n.uid with
           | Some c -> c
           | None ->
-              let c = go n.lo (n.v + 1) +. go n.hi (n.v + 1) in
+              let c = go n.lo (l + 1) +. go n.hi (l + 1) in
               Hashtbl.add cache n.uid c;
               c
         in
-        below *. pow2.(n.v - from)
+        below *. pow2.(cnt_upto.(l) - cnt_upto.(froml))
   in
   go t 0
 
@@ -917,13 +1140,451 @@ let iter_sat m ~vars f t =
 
 let pp ppf t = Format.fprintf ppf "<bdd #%d, %d nodes>" (id t) (size t)
 
-let to_dot ?(var_name = fun v -> "x" ^ string_of_int v) t =
+(* ------------------------------------------------------------------ *)
+(* Dynamic variable reordering (Rudell sifting)                        *)
+(*                                                                     *)
+(* The primitive is the adjacent-level swap: exchange the variables at *)
+(* levels l and l+1 by rewriting, in place, exactly the level-l nodes  *)
+(* that depend on both. Everything else keeps its physical identity,   *)
+(* which is what lets every held OCaml value (roots, pinned arguments, *)
+(* literals) survive a reorder untouched. A sift garbage-collects      *)
+(* first — the same sweep-set contract as [gc] — then maintains exact  *)
+(* reference counts so dead nodes are unlinked eagerly during swaps.   *)
+(* ------------------------------------------------------------------ *)
+
+let grow_refs m uid =
+  let len = Array.length m.refs in
+  if uid >= len then begin
+    let fresh = Array.make (max (uid + 1) (2 * len)) 0 in
+    Array.blit m.refs 0 fresh 0 len;
+    m.refs <- fresh
+  end
+
+let ref_incr m t =
+  match t with
+  | False | True -> ()
+  | Node n ->
+      grow_refs m n.uid;
+      m.refs.(n.uid) <- m.refs.(n.uid) + 1
+
+(* Decrement with eager cascade: a node whose count reaches zero is
+   unlinked from its subtable, its uid recycled, and its children
+   released in turn. Only ever called during a sift. *)
+let rec ref_decr m t =
+  match t with
+  | False | True -> ()
+  | Node n ->
+      let r = m.refs.(n.uid) - 1 in
+      m.refs.(n.uid) <- r;
+      if r = 0 then begin
+        Itab.remove m.subtables.(n.v) (pack2 (id n.lo) (id n.hi));
+        m.free_uids <- n.uid :: m.free_uids;
+        m.n_free <- m.n_free + 1;
+        m.live <- m.live - 1;
+        ref_decr m n.lo;
+        ref_decr m n.hi
+      end
+
+(* Exact counts from parent edges plus every element of the sweep set
+   (roots, in-flight pinned arguments, the literal caches). After the
+   preceding gc each live node is reachable, hence counted >= 1. *)
+let build_refs m =
+  m.refs <- Array.make (max 2 m.next_uid) 0;
+  Array.iter
+    (fun tab ->
+      Itab.iter
+        (fun _ node ->
+          match node with
+          | Node n ->
+              ref_incr m n.lo;
+              ref_incr m n.hi
+          | False | True -> ())
+        tab)
+    m.subtables;
+  Hashtbl.iter (fun _ t -> ref_incr m t) m.roots;
+  List.iter (ref_incr m) m.temp_roots;
+  Array.iter (ref_incr m) m.pos_lits;
+  Array.iter (ref_incr m) m.neg_lits
+
+(* Node lookup/creation inside a swap: the caller's capacity pre-check
+   has guaranteed both uid and ceiling headroom, so this never raises.
+   A fresh node starts at refcount 0 (the caller takes its reference);
+   its children gain one reference each. *)
+let mk_swap m v lo hi =
+  if lo == hi then lo
+  else begin
+    let tab = m.subtables.(v) in
+    let key = pack2 (id lo) (id hi) in
+    let i = Itab.find_idx tab key in
+    if i >= 0 then Itab.value tab i
+    else begin
+      let uid =
+        match m.free_uids with
+        | u :: rest ->
+            m.free_uids <- rest;
+            m.n_free <- m.n_free - 1;
+            u
+        | [] ->
+            let u = m.next_uid in
+            m.next_uid <- u + 1;
+            u
+      in
+      grow_refs m uid;
+      m.refs.(uid) <- 0;
+      let n = Node { v; lo; hi; uid } in
+      Itab.add tab key n;
+      m.live <- m.live + 1;
+      if m.live > m.peak_live then m.peak_live <- m.live;
+      ref_incr m lo;
+      ref_incr m hi;
+      n
+    end
+  end
+
+(* Worst case an adjacent swap allocates two fresh nodes per rewritten
+   one; [checked] refuses the swap when that could overrun the node
+   ceiling or the uid space (rollbacks run unchecked: they only
+   recreate nodes the forward swap just freed). *)
+let swap_capacity m k =
+  m.live + (2 * k) <= m.max_nodes
+  && m.n_free + (uid_limit - m.next_uid) >= 2 * k
+
+(* Swap the variables at levels [l] and [l+1]. Returns false (leaving
+   the manager untouched) when [checked] and the capacity test fails. *)
+let swap_adjacent m ~checked l =
+  let x = m.var_of_level.(l) and y = m.var_of_level.(l + 1) in
+  let xtab = m.subtables.(x) in
+  (* the nodes to rewrite: level-l nodes with a level-(l+1) child. All
+     other x-nodes keep their keys (the subtable is per variable, not
+     per level) and simply sink one level with x itself. *)
+  let interesting = ref [] in
+  let k = ref 0 in
+  Itab.iter
+    (fun key node ->
+      match node with
+      | Node n ->
+          let dep c = match c with Node c -> c.v = y | False | True -> false in
+          if dep n.lo || dep n.hi then begin
+            interesting := (key, node) :: !interesting;
+            incr k
+          end
+      | False | True -> ())
+    xtab;
+  if checked && not (swap_capacity m !k) then false
+  else begin
+    (* unlink up front: the keys change, and lookups for the rewritten
+       children must never hit a stale entry *)
+    List.iter (fun (key, _) -> Itab.remove xtab key) !interesting;
+    List.iter
+      (fun (_, node) ->
+        match node with
+        | Node n ->
+            let f0 = n.lo and f1 = n.hi in
+            let f00, f01 =
+              match f0 with
+              | Node c when c.v = y -> (c.lo, c.hi)
+              | _ -> (f0, f0)
+            and f10, f11 =
+              match f1 with
+              | Node c when c.v = y -> (c.lo, c.hi)
+              | _ -> (f1, f1)
+            in
+            (* the rewritten node keeps its uid and physical identity:
+               it becomes the level-l y-node over two level-(l+1)
+               x-cofactors. It cannot reduce away ([f00] != [f01] or
+               [f10] != [f11] since some child really tests y). *)
+            let nlo = mk_swap m x f00 f10 in
+            let nhi = mk_swap m x f01 f11 in
+            (* take the new references before dropping the old ones, so
+               a shared cofactor can never be cascade-freed in between *)
+            ref_incr m nlo;
+            ref_incr m nhi;
+            ref_decr m f0;
+            ref_decr m f1;
+            n.v <- y;
+            n.lo <- nlo;
+            n.hi <- nhi;
+            Itab.add m.subtables.(y) (pack2 (id nlo) (id nhi)) node
+        | False | True -> ())
+      !interesting;
+    m.var_of_level.(l) <- y;
+    m.var_of_level.(l + 1) <- x;
+    m.level_of_var.(x) <- l + 1;
+    m.level_of_var.(y) <- l;
+    m.reorder_swapped <- m.reorder_swapped + 1;
+    Obs.incr c_reorder_swaps;
+    true
+  end
+
+(* ---- grouped (block) sifting ---- *)
+
+let set_groups m groups =
+  let gid = Array.make m.nvars (-1) in
+  let arr =
+    List.map
+      (fun g ->
+        if g = [] then invalid_arg "Bdd.set_groups: empty group";
+        List.iter
+          (fun v ->
+            if v < 0 || v >= m.nvars then
+              invalid_arg "Bdd.set_groups: variable out of range";
+            if gid.(v) >= 0 then
+              invalid_arg "Bdd.set_groups: variable in two groups";
+            gid.(v) <- 0)
+          g;
+        let a = Array.of_list g in
+        Array.sort
+          (fun a b -> compare m.level_of_var.(a) m.level_of_var.(b))
+          a;
+        let l0 = m.level_of_var.(a.(0)) in
+        Array.iteri
+          (fun i v ->
+            if m.level_of_var.(v) <> l0 + i then
+              invalid_arg "Bdd.set_groups: group not level-contiguous")
+          a;
+        a)
+      groups
+  in
+  m.groups <- Array.of_list arr
+
+(* The sequence of blocks in level order. Groups that are still
+   level-contiguous move as one block; a group broken apart (e.g. by an
+   explicit [set_order]) degrades to singletons. *)
+let block_sequence m =
+  let n = m.nvars in
+  let gid = Array.make n (-1) in
+  Array.iteri (fun g vars -> Array.iter (fun v -> gid.(v) <- g) vars) m.groups;
+  let seq = ref [] in
+  let l = ref 0 in
+  while !l < n do
+    let v = m.var_of_level.(!l) in
+    let g = gid.(v) in
+    let sz = if g >= 0 then Array.length m.groups.(g) else 1 in
+    let contiguous =
+      g >= 0
+      && sz <= n - !l
+      && Array.for_all
+           (fun v' ->
+             let lv = m.level_of_var.(v') in
+             lv >= !l && lv < !l + sz)
+           m.groups.(g)
+    in
+    if contiguous then begin
+      seq := Array.init sz (fun i -> m.var_of_level.(!l + i)) :: !seq;
+      l := !l + sz
+    end
+    else begin
+      seq := [| v |] :: !seq;
+      incr l
+    end
+  done;
+  Array.of_list (List.rev !seq)
+
+(* Exchange the adjacent blocks at positions [i] and [i+1] of [seq]: a
+   p-block passes a q-block through p*q adjacent swaps (each level of
+   the upper block sinks past the lower block, bottom level first). On
+   a capacity abort the completed swaps are rolled back — unchecked,
+   they only recreate nodes the forward swaps just freed — so group
+   contiguity survives the abort. *)
+let swap_blocks m seq i =
+  let bp = seq.(i) and bq = seq.(i + 1) in
+  let p = Array.length bp and q = Array.length bq in
+  let l0 = m.level_of_var.(bp.(0)) in
+  let done_swaps = ref [] in
+  let ok = ref true in
+  (try
+     for b = p - 1 downto 0 do
+       for s = 0 to q - 1 do
+         let l = l0 + b + s in
+         if swap_adjacent m ~checked:true l then done_swaps := l :: !done_swaps
+         else begin
+           ok := false;
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  if !ok then begin
+    seq.(i) <- bq;
+    seq.(i + 1) <- bp;
+    true
+  end
+  else begin
+    (* newest first: the consed list is already in reverse order *)
+    List.iter (fun l -> ignore (swap_adjacent m ~checked:false l)) !done_swaps;
+    false
+  end
+
+let block_node_count m blk =
+  Array.fold_left (fun acc v -> acc + Itab.length m.subtables.(v)) 0 blk
+
+(* Sift one block: walk it to the nearer end, then all the way to the
+   other end, tracking the total live count at every position; finish
+   at the best position seen. Movement in one direction stops early
+   once the table grows past [max_growth] times the best — the
+   standard Rudell truncation. *)
+let sift_block m seq blk aborted =
+  let nb = Array.length seq in
+  let idx = ref (-1) in
+  Array.iteri (fun i b -> if b == blk then idx := i) seq;
+  if !idx >= 0 then begin
+    let start = !idx in
+    let best_live = ref m.live and best_pos = ref start in
+    let cur = ref start in
+    let max_growth = 1.2 in
+    let move dir =
+      let keep_going = ref true in
+      while !keep_going do
+        if (dir > 0 && !cur >= nb - 1) || (dir < 0 && !cur <= 0) then
+          keep_going := false
+        else begin
+          let i = if dir > 0 then !cur else !cur - 1 in
+          if not (swap_blocks m seq i) then begin
+            aborted := true;
+            keep_going := false
+          end
+          else begin
+            cur := !cur + dir;
+            if m.live < !best_live then begin
+              best_live := m.live;
+              best_pos := !cur
+            end;
+            if float_of_int m.live > max_growth *. float_of_int !best_live
+            then keep_going := false
+          end
+        end
+      done
+    in
+    if start >= nb / 2 then begin
+      move 1;
+      if not !aborted then move (-1)
+    end
+    else begin
+      move (-1);
+      if not !aborted then move 1
+    end;
+    (* settle at the best position seen *)
+    while (not !aborted) && !cur <> !best_pos do
+      let down = !best_pos > !cur in
+      let i = if down then !cur else !cur - 1 in
+      if swap_blocks m seq i then cur := !cur + (if down then 1 else -1)
+      else aborted := true
+    done
+  end
+
+(* One full sifting pass over all blocks, largest first. Returns true
+   when a capacity abort cut the pass short (the manager is left at a
+   consistent inter-swap point either way). *)
+let sift_all m =
+  let seq = block_sequence m in
+  if Array.length seq <= 1 then false
+  else begin
+    let order = Array.copy seq in
+    Array.sort
+      (fun a b -> compare (block_node_count m b) (block_node_count m a))
+      order;
+    let aborted = ref false in
+    Array.iter (fun blk -> if not !aborted then sift_block m seq blk aborted) order;
+    !aborted
+  end
+
+(* The full reorder: gc to the minimal live set, build exact refcounts,
+   sift, then drop the refs and every op cache (cache entries name
+   uids that may have been freed and recycled during the pass). *)
+let reorder_internal m =
+  m.in_reorder <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      m.in_reorder <- false;
+      m.refs <- [||];
+      clear_caches m)
+    (fun () ->
+      ignore (gc m);
+      let before = m.live in
+      build_refs m;
+      let swaps0 = m.reorder_swapped in
+      let aborted = sift_all m in
+      m.reorder_runs <- m.reorder_runs + 1;
+      m.last_reorder_live <- max m.live m.reorder_min;
+      m.last_before <- before;
+      m.last_after <- m.live;
+      Obs.incr c_reorder_runs;
+      Obs.set g_reorder_before before;
+      Obs.set g_reorder_after m.live;
+      Obs.set g_nodes_live m.live;
+      Obs.event "bdd.reorder" ~fields:(fun () ->
+          [ ("nodes_before", Simcov_util.Json.Int before);
+            ("nodes_after", Simcov_util.Json.Int m.live);
+            ("swaps", Simcov_util.Json.Int (m.reorder_swapped - swaps0));
+            ("aborted", Simcov_util.Json.Bool aborted) ]);
+      aborted)
+
+let () = reorder_pass := fun m -> reorder_internal m
+
+let reorder m =
+  if m.op_depth > 0 then invalid_arg "Bdd.reorder: operation in flight";
+  if m.nvars > 1 then begin
+    let aborted = reorder_internal m in
+    if aborted then raise (Node_limit m.live)
+  end
+
+let set_auto_reorder m ?(ratio = 2.0) ?(min_nodes = 4096) on =
+  if ratio <= 1.0 then invalid_arg "Bdd.set_auto_reorder: ratio must exceed 1.0";
+  if min_nodes < 1 then invalid_arg "Bdd.set_auto_reorder: non-positive min_nodes";
+  m.auto_reorder <- on;
+  m.reorder_ratio <- ratio;
+  m.reorder_min <- min_nodes;
+  if on then m.last_reorder_live <- max m.live min_nodes
+
+let set_order m perm =
+  if m.op_depth > 0 then invalid_arg "Bdd.set_order: operation in flight";
+  if Array.length perm <> m.nvars then
+    invalid_arg "Bdd.set_order: not a permutation of the variables";
+  let seen = Array.make (max 1 m.nvars) false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= m.nvars || seen.(v) then
+        invalid_arg "Bdd.set_order: not a permutation of the variables";
+      seen.(v) <- true)
+    perm;
+  if m.nvars > 1 then begin
+    m.in_reorder <- true;
+    Fun.protect
+      ~finally:(fun () ->
+        m.in_reorder <- false;
+        m.refs <- [||];
+        clear_caches m)
+      (fun () ->
+        ignore (gc m);
+        build_refs m;
+        (* selection in place: bubble the variable destined for level l
+           up from wherever it currently sits *)
+        let aborted = ref false in
+        for l = 0 to m.nvars - 1 do
+          if not !aborted then begin
+            let j = m.level_of_var.(perm.(l)) in
+            let k = ref (j - 1) in
+            while (not !aborted) && !k >= l do
+              if swap_adjacent m ~checked:true !k then decr k
+              else aborted := true
+            done
+          end
+        done;
+        if !aborted then raise (Node_limit m.live))
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let to_dot ?(var_name = fun v -> "x" ^ string_of_int v) m t =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "digraph bdd {\n";
   Buffer.add_string buf "  node [shape=circle];\n";
   Buffer.add_string buf "  F [shape=box, label=\"0\"];\n";
   Buffer.add_string buf "  T [shape=box, label=\"1\"];\n";
   let seen = Hashtbl.create 64 in
+  (* uids per level, in discovery order — the rank groups that keep a
+     reordered diagram drawn in order *)
+  let per_level = Array.make (max 1 m.nvars) [] in
   let node_ref = function False -> "F" | True -> "T" | Node n -> "n" ^ string_of_int n.uid in
   let rec go t =
     match t with
@@ -931,8 +1592,10 @@ let to_dot ?(var_name = fun v -> "x" ^ string_of_int v) t =
     | Node n ->
         if not (Hashtbl.mem seen n.uid) then begin
           Hashtbl.add seen n.uid ();
+          let l = m.level_of_var.(n.v) in
+          per_level.(l) <- n.uid :: per_level.(l);
           Buffer.add_string buf
-            (Printf.sprintf "  n%d [label=\"%s\"];\n" n.uid (var_name n.v));
+            (Printf.sprintf "  n%d [label=\"%s L%d\"];\n" n.uid (var_name n.v) l);
           Buffer.add_string buf
             (Printf.sprintf "  n%d -> %s [style=dashed];\n" n.uid (node_ref n.lo));
           Buffer.add_string buf (Printf.sprintf "  n%d -> %s;\n" n.uid (node_ref n.hi));
@@ -941,6 +1604,18 @@ let to_dot ?(var_name = fun v -> "x" ^ string_of_int v) t =
         end
   in
   go t;
+  (* one rank per populated level, top of the order first *)
+  Array.iter
+    (fun uids ->
+      match uids with
+      | [] -> ()
+      | _ ->
+          Buffer.add_string buf "  { rank=same;";
+          List.iter
+            (fun uid -> Buffer.add_string buf (Printf.sprintf " n%d;" uid))
+            (List.rev uids);
+          Buffer.add_string buf " }\n")
+    per_level;
   Buffer.add_string buf (Printf.sprintf "  root [shape=none, label=\"\"];\n  root -> %s;\n" (node_ref t));
   Buffer.add_string buf "}\n";
   Buffer.contents buf

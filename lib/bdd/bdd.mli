@@ -8,28 +8,37 @@
 
     All nodes live inside a manager; mixing nodes from two managers is
     a programming error (detected by assertions in debug builds).
-    Variables are integers [0 .. num_vars - 1]; variable order is the
-    integer order. *)
+    Variables are integers [0 .. num_vars - 1]. The {e order} the
+    diagram descends in is a separate notion, the {e level}: a manager
+    starts with level = variable index, and dynamic reordering
+    ({!reorder}, {!set_auto_reorder}, {!set_order}) permutes the
+    var↔level map while preserving every held node's identity and
+    boolean function. Functions documented "by index" ({!topvar},
+    {!support}, {!sat_count}, {!eval}, {!iter_sat}, {!any_sat}) are
+    insensitive to the order; only {!rename}'s fast path and the DOT
+    layout depend on levels. *)
 
 type man
-(** A BDD manager: unique table, caches, variable count. *)
+(** A BDD manager: unique table, caches, variable count, and the
+    var↔level order map. *)
 
 type t
 (** A BDD node (hash-consed; structural equality is physical
-    equality). *)
+    equality). The physical node is stable across reordering. *)
 
 exception Node_limit of int
 (** Raised (with the current live-node count) when an operation needs
     a new node, the manager's node ceiling is reached, and garbage
-    collection cannot reclaim enough space. The operation's partial
-    work is discarded; the manager remains usable. *)
+    collection cannot reclaim enough space — or when a reordering pass
+    had to abort for the same reason. The operation's partial work is
+    discarded; the manager remains usable. *)
 
 val man : ?cache_size:int -> ?max_nodes:int -> int -> man
-(** [man nvars] creates a manager for variables [0 .. nvars - 1].
-    [max_nodes] bounds the number of {e live} nodes (default: the
-    2^26 packing limit); when the bound is hit the manager
-    garbage-collects from the registered roots and retries before
-    raising {!Node_limit}. *)
+(** [man nvars] creates a manager for variables [0 .. nvars - 1] with
+    the identity order. [max_nodes] bounds the number of {e live}
+    nodes (default: the 2^26 packing limit); when the bound is hit the
+    manager garbage-collects from the registered roots and retries
+    before raising {!Node_limit}. *)
 
 val num_vars : man -> int
 val node_count : man -> int
@@ -62,7 +71,13 @@ val set_max_nodes : man -> int option -> unit
     automatically: the arguments of every operation in flight (at any
     nesting depth), and literal nodes ({!var} / {!nvar}), which live
     for the manager's lifetime. Everything else held across an
-    operation needs {!add_root} / {!protect} / {!pinned}. *)
+    operation needs {!add_root} / {!protect} / {!pinned}.
+
+    Reordering operates under the same contract: a sifting pass first
+    garbage-collects (the sweep set above), then rewrites the
+    surviving table. Enabling {!set_auto_reorder} therefore opts the
+    manager into the contract exactly as setting a node ceiling
+    does. *)
 
 type root
 (** A registration handle; updatable, so a traversal can keep exactly
@@ -95,6 +110,61 @@ type gc_stats = {
 
 val gc_stats : man -> gc_stats
 
+(** {1 Dynamic variable reordering}
+
+    Rudell-style sifting: each variable (or glued group) is moved
+    through every level by adjacent-level swaps and left at the
+    position minimising the total live-node count. Nodes are rewritten
+    in place, so every held [t] value keeps denoting the same boolean
+    function through the same physical node; all operation caches are
+    invalidated. *)
+
+val reorder : man -> unit
+(** Run one sifting pass now, under the GC rooting contract (a
+    collection happens first — unrooted nodes are swept).
+    @raise Invalid_argument if called from inside an operation
+    callback (e.g. {!iter_sat}).
+    @raise Node_limit if the node ceiling forced the pass to abort;
+    the manager is left consistent and usable, at whatever order the
+    completed swaps produced. *)
+
+val set_auto_reorder : man -> ?ratio:float -> ?min_nodes:int -> bool -> unit
+(** [set_auto_reorder m true] arms automatic sifting: a pass runs
+    before a public operation whenever the live count exceeds [ratio]
+    (default 2.0, must be > 1.0) times the live count after the
+    previous pass, and at least [min_nodes] (default 4096) nodes are
+    live. Auto passes never raise: an abort simply leaves the manager
+    at the order reached. Enabling this opts into the GC rooting
+    contract (see above). *)
+
+val set_groups : man -> int list list -> unit
+(** Declare glued variable groups (e.g. current/next-state pairs):
+    each group moves as one block during sifting, preserving the
+    relative order inside it. Groups must be disjoint, non-empty, and
+    occupy contiguous levels at declaration time.
+    @raise Invalid_argument otherwise. *)
+
+val set_order : man -> int array -> unit
+(** [set_order m perm] forces the order to [perm] (a permutation of
+    [0 .. num_vars - 1]; [perm.(l)] becomes the variable at level
+    [l]), by adjacent swaps under the rooting contract.
+    @raise Node_limit as for {!reorder}. *)
+
+val order : man -> int array
+(** The current order: element [l] is the variable at level [l]. *)
+
+val level_of_var : man -> int -> int
+(** The level a variable currently sits at. *)
+
+type reorder_stats = {
+  reorder_runs : int;  (** sifting passes completed *)
+  reorder_swaps : int;  (** total adjacent-level swaps *)
+  last_nodes_before : int;  (** live nodes entering the last pass *)
+  last_nodes_after : int;  (** live nodes leaving the last pass *)
+}
+
+val reorder_stats : man -> reorder_stats
+
 (** {1 Constants and literals} *)
 
 val bfalse : man -> t
@@ -116,8 +186,10 @@ val is_false : t -> bool
 val equal : t -> t -> bool
 val id : t -> int
 val topvar : t -> int
-(** Top variable of a non-constant node. @raise Invalid_argument on
-    constants. *)
+(** The {e variable index} tested at this node — under a non-identity
+    order this need not be the minimum of {!support}; the node merely
+    sits at the outermost {e level} of the diagram.
+    @raise Invalid_argument on constants. *)
 
 val low : t -> t
 val high : t -> t
@@ -163,9 +235,16 @@ val and_exists_list : man -> int list -> t list -> t
     [and_exists_list m vars []] is [btrue m]. *)
 
 val rename : man -> (int -> int) -> t -> t
-(** Variable renaming. The mapping must be injective on the support and
-    must preserve the variable order on it (monotone), which holds for
-    the interleaved current/next-state encodings used here. *)
+(** Variable renaming: the function mapping assignment [a] to
+    [f (a ∘ subst)]. The mapping must be injective on the support
+    ({!Invalid_argument} otherwise — a non-injective substitution has
+    no well-defined renamed function). When the substitution is
+    monotone {e in the current level order} on the support, the
+    renaming is a fast structural rewrite; otherwise it falls back to
+    a (correct, slower) ITE composition. Note the precondition for the
+    fast path is about {e levels}, not indices: after reordering, an
+    index-monotone map may be level-non-monotone — the dispatcher
+    checks and picks the right path, callers need not care. *)
 
 val restrict_cube : man -> (int * bool) list -> t -> t
 (** Fix several variables at once. *)
@@ -173,24 +252,30 @@ val restrict_cube : man -> (int * bool) list -> t -> t
 (** {1 Satisfiability} *)
 
 val any_sat : man -> t -> (int * bool) list
-(** One satisfying partial assignment (don't-care variables omitted).
+(** One satisfying partial assignment (don't-care variables omitted),
+    in descent order — i.e. sorted by current level, not necessarily
+    by variable index.
     @raise Not_found on the false BDD. *)
 
 val sat_count : man -> nvars:int -> t -> float
 (** Number of satisfying assignments over a space of [nvars] variables
-    (as a float: the paper's models have up to 2^25 assignments).
+    (as a float: the paper's models have up to 2^25 assignments). The
+    counted space is variable {e indices} [0 .. nvars - 1]; the result
+    is independent of the current order.
     @raise Invalid_argument if [nvars] is negative or smaller than some
     variable in the BDD's support (the count would silently be wrong
     otherwise). *)
 
 val iter_sat : man -> vars:int array -> (bool array -> unit) -> t -> unit
 (** Enumerate all satisfying total assignments over exactly the
-    variables [vars] (in the given order); the callback receives a
-    reused buffer — copy it if you keep it. Variables outside [vars]
-    must not occur in the BDD's support. *)
+    variables [vars] (in the given order, which need not relate to the
+    manager's level order); the callback receives a reused buffer —
+    copy it if you keep it. Variables outside [vars] must not occur in
+    the BDD's support. *)
 
 val support : man -> t -> int list
-(** Variables the function depends on, ascending. *)
+(** Variable indices the function depends on, ascending by index
+    (independent of the current order). *)
 
 val eval : man -> t -> (int -> bool) -> bool
 (** Evaluate under a total assignment. *)
@@ -198,7 +283,9 @@ val eval : man -> t -> (int -> bool) -> bool
 val pp : Format.formatter -> t -> unit
 (** Small diagnostic printer (node id and size). *)
 
-val to_dot : ?var_name:(int -> string) -> t -> string
+val to_dot : ?var_name:(int -> string) -> man -> t -> string
 (** Graphviz rendering of the diagram: one node per BDD node labeled
-    with its variable, dashed edges for the low (0) branch, solid for
-    the high (1) branch. *)
+    with its variable name and current level ("xN Lk"), dashed edges
+    for the low (0) branch, solid for the high (1) branch, and one
+    [rank=same] group per populated level so the drawing stacks in
+    order even after reordering. *)

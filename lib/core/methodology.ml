@@ -22,13 +22,13 @@ type symbolic_figures = {
    symbolic reachability, then the monolithic relation, then plain
    enumeration of the already-tabulated machine (which needs no BDDs
    at all and cannot fail). Each abandoned tier leaves a note. *)
-let symbolic_figures ~budget model =
+let symbolic_figures ~budget ~reorder model =
   let module Symfsm = Simcov_symbolic.Symfsm in
   let module Bdd = Simcov_bdd.Bdd in
   let attempt tier =
     let partitioned = tier = Partitioned_symbolic in
     try
-      let sf = Symfsm.of_fsm ~budget model in
+      let sf = Symfsm.of_fsm ~budget ~reorder model in
       let tr = Symfsm.traverse ~partitioned ~budget sf in
       match tr.Symfsm.truncated with
       | Some r ->
@@ -115,7 +115,7 @@ let lint_gate ~budget =
   @ errors (Lint.run ~budget ~name:"dlx-test" ~against:impl test)
 
 let validate_dlx ?(config = Testmodel.default) ?(seed = 2026)
-    ?(budget = Budget.unlimited) ?lanes ?jobs () =
+    ?(budget = Budget.unlimited) ?(reorder = `Off) ?lanes ?jobs () =
   let open Simcov_fsm in
   let rng = Simcov_util.Rng.create seed in
   (* per-figure wall clock: each phase is both recorded in the report
@@ -141,7 +141,9 @@ let validate_dlx ?(config = Testmodel.default) ?(seed = 2026)
         Simcov_analysis.Fsm_lint.run ~budget ~name:"dlx-test" ~seed model)
   in
   Budget.check budget;
-  let symbolic = timed "symbolic" (fun () -> symbolic_figures ~budget model) in
+  let symbolic =
+    timed "symbolic" (fun () -> symbolic_figures ~budget ~reorder model)
+  in
   Budget.check budget;
   let requirements =
     timed "requirements" (fun () ->

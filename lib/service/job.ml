@@ -1,6 +1,19 @@
 module Json = Simcov_util.Json
 module Diag = Simcov_analysis.Diag
 
+type reorder_mode = Reorder_off | Reorder_on | Reorder_auto
+
+let reorder_name = function
+  | Reorder_off -> "off"
+  | Reorder_on -> "on"
+  | Reorder_auto -> "auto"
+
+let reorder_of_name = function
+  | "off" -> Some Reorder_off
+  | "on" -> Some Reorder_on
+  | "auto" -> Some Reorder_auto
+  | _ -> None
+
 type validate_params = {
   va_regs : int;
   va_track_dest : bool;
@@ -8,6 +21,7 @@ type validate_params = {
   va_seed : int;
   va_lanes : int;
   va_jobs : int;
+  va_reorder : reorder_mode;
 }
 
 type lint_params = {
@@ -33,7 +47,10 @@ type coverage_params = {
   cov_checkpoint : string option;
   cov_checkpoint_every : int;
   cov_resume : string option;
+  cov_reorder : reorder_mode;
 }
+
+type stats_params = { st_reorder : reorder_mode }
 
 type spec =
   | Validate_dlx of validate_params
@@ -41,7 +58,7 @@ type spec =
   | Coverage of coverage_params
   | Merge of { inputs : string list; output : string }
   | Minimize of { inputs : string list }
-  | Stats
+  | Stats of stats_params
 
 type t = {
   id : string option;
@@ -59,7 +76,7 @@ let kind t =
   | Coverage _ -> "coverage"
   | Merge _ -> "merge"
   | Minimize _ -> "minimize"
-  | Stats -> "stats"
+  | Stats _ -> "stats"
 
 (* defaults mirror the CLI flag defaults exactly: a job built from an
    empty params object runs the same experiment the bare subcommand
@@ -72,6 +89,7 @@ let default_validate =
     va_seed = 2026;
     va_lanes = Sys.int_size;
     va_jobs = 1;
+    va_reorder = Reorder_off;
   }
 
 let default_lint ~model =
@@ -97,7 +115,10 @@ let default_coverage ~model =
     cov_checkpoint = None;
     cov_checkpoint_every = 1;
     cov_resume = None;
+    cov_reorder = Reorder_off;
   }
+
+let default_stats = { st_reorder = Reorder_off }
 
 let make ?id ?timeout_s ?max_nodes spec = { id; spec; timeout_s; max_nodes }
 
@@ -113,17 +134,24 @@ let opt_float name = function
 
 let opt_int name = function None -> [] | Some i -> [ (name, Json.Int i) ]
 
+(* [Reorder_off] is the wire default and is omitted when rendering, so
+   every pre-reorder request and its echo stay byte-identical *)
+let opt_reorder = function
+  | Reorder_off -> []
+  | m -> [ ("reorder", Json.String (reorder_name m)) ]
+
 let params_json = function
   | Validate_dlx p ->
       Json.Obj
-        [
-          ("regs", Json.Int p.va_regs);
-          ("track_dest", Json.Bool p.va_track_dest);
-          ("observable_dest", Json.Bool p.va_observable_dest);
-          ("seed", Json.Int p.va_seed);
-          ("lanes", Json.Int p.va_lanes);
-          ("jobs", Json.Int p.va_jobs);
-        ]
+        ([
+           ("regs", Json.Int p.va_regs);
+           ("track_dest", Json.Bool p.va_track_dest);
+           ("observable_dest", Json.Bool p.va_observable_dest);
+           ("seed", Json.Int p.va_seed);
+           ("lanes", Json.Int p.va_lanes);
+           ("jobs", Json.Int p.va_jobs);
+         ]
+        @ opt_reorder p.va_reorder)
   | Lint p ->
       Json.Obj
         ([ ("model", Json.String p.li_model) ]
@@ -151,7 +179,8 @@ let params_json = function
         @ [ ("lanes", Json.Int p.cov_lanes); ("jobs", Json.Int p.cov_jobs) ]
         @ opt_str "checkpoint" p.cov_checkpoint
         @ [ ("checkpoint_every", Json.Int p.cov_checkpoint_every) ]
-        @ opt_str "resume" p.cov_resume)
+        @ opt_str "resume" p.cov_resume
+        @ opt_reorder p.cov_reorder)
   | Merge { inputs; output } ->
       Json.Obj
         [
@@ -161,7 +190,7 @@ let params_json = function
   | Minimize { inputs } ->
       Json.Obj
         [ ("inputs", Json.List (List.map (fun s -> Json.String s) inputs)) ]
-  | Stats -> Json.Obj []
+  | Stats p -> Json.Obj (opt_reorder p.st_reorder)
 
 let to_json t =
   Json.Obj
@@ -234,6 +263,12 @@ let require_str obj name =
   | Some s -> s
   | None -> raise (Bad (Printf.sprintf "field '%s' is required" name))
 
+let get_reorder params =
+  let s = get_str params "reorder" ~default:"off" in
+  match reorder_of_name s with
+  | Some m -> m
+  | None -> raise (Bad (Printf.sprintf "unknown reorder mode '%s'" s))
+
 let spec_of ~kind params =
   match kind with
   | "validate-dlx" ->
@@ -247,6 +282,7 @@ let spec_of ~kind params =
           va_seed = get_int params "seed" ~default:d.va_seed;
           va_lanes = get_int params "lanes" ~default:d.va_lanes;
           va_jobs = get_int params "jobs" ~default:d.va_jobs;
+          va_reorder = get_reorder params;
         }
   | "lint" ->
       let model = require_str params "model" in
@@ -289,6 +325,7 @@ let spec_of ~kind params =
           cov_checkpoint_every =
             get_int params "checkpoint_every" ~default:d.cov_checkpoint_every;
           cov_resume = get_str_opt params "resume";
+          cov_reorder = get_reorder params;
         }
   | "merge" ->
       Merge
@@ -297,7 +334,7 @@ let spec_of ~kind params =
           output = require_str params "output";
         }
   | "minimize" -> Minimize { inputs = get_str_list params "inputs" }
-  | "stats" -> Stats
+  | "stats" -> Stats { st_reorder = get_reorder params }
   | k -> raise (Bad (Printf.sprintf "unknown job kind '%s'" k))
 
 let of_json j =

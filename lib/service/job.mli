@@ -37,6 +37,14 @@
 
 module Json = Simcov_util.Json
 
+type reorder_mode = Reorder_off | Reorder_on | Reorder_auto
+(** BDD dynamic-variable-reordering policy for the job's symbolic
+    phase; wire values ["off"] (the default — omitted when rendering,
+    so pre-reorder requests round-trip unchanged), ["on"], ["auto"]. *)
+
+val reorder_name : reorder_mode -> string
+val reorder_of_name : string -> reorder_mode option
+
 type validate_params = {
   va_regs : int;  (** registers in the reduced file (default 4) *)
   va_track_dest : bool;
@@ -44,6 +52,7 @@ type validate_params = {
   va_seed : int;
   va_lanes : int;
   va_jobs : int;
+  va_reorder : reorder_mode;
 }
 
 type lint_params = {
@@ -69,7 +78,13 @@ type coverage_params = {
   cov_checkpoint : string option;
   cov_checkpoint_every : int;
   cov_resume : string option;
+  cov_reorder : reorder_mode;
+      (** accepted and round-tripped for schema uniformity; the
+          campaign engines are simulation-only today, so it only
+          matters to jobs with a symbolic leg *)
 }
+
+type stats_params = { st_reorder : reorder_mode }
 
 type spec =
   | Validate_dlx of validate_params
@@ -77,7 +92,7 @@ type spec =
   | Coverage of coverage_params
   | Merge of { inputs : string list; output : string }
   | Minimize of { inputs : string list }
-  | Stats
+  | Stats of stats_params
 
 type t = {
   id : string option;  (** caller-chosen id echoed in the envelope *)
@@ -96,6 +111,7 @@ val kind : t -> string
 val default_validate : validate_params
 val default_lint : model:string -> lint_params
 val default_coverage : model:string -> coverage_params
+val default_stats : stats_params
 
 val make : ?id:string -> ?timeout_s:float -> ?max_nodes:int -> spec -> t
 

@@ -14,11 +14,18 @@ let c_evictions = Obs.counter "service.cache.evictions"
 let g_entries = Obs.gauge "service.cache.entries"
 let g_bytes = Obs.gauge "service.cache.bytes"
 
+type sym_entry = {
+  sym : Simcov_symbolic.Symfsm.t;
+  s_reorder : bool;  (** job asked for reordering: daemon may sift it *)
+  s_lock : Mutex.t;  (** serializes jobs sharing this manager *)
+}
+
 type payload =
   | P_circuit of Circuit.t * string  (** circuit, canonical key *)
   | P_fsm of Fsm.t
   | P_lint of Lint.report
   | P_fsm_lint of Fsm_lint.report
+  | P_sym of sym_entry  (** compiled symbolic machine (live BDD manager) *)
 
 type entry = { payload : payload; bytes : int; mutable tick : int }
 
@@ -31,6 +38,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable eviction_hook : (unit -> unit) option;
   lock : Mutex.t;
 }
 
@@ -44,6 +52,7 @@ let create ?(max_bytes = 64 * 1024 * 1024) ?(max_entries = 256) () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    eviction_hook = None;
     lock = Mutex.create ();
   }
 
@@ -89,26 +98,46 @@ let find t key =
           Obs.incr c_misses;
           None)
 
+let set_eviction_hook t hook =
+  locked t (fun () -> t.eviction_hook <- Some hook)
+
 let store t key payload ~bytes =
-  locked t (fun () ->
-      (match Hashtbl.find_opt t.table key with
-      | Some old -> t.total_bytes <- t.total_bytes - old.bytes
-      | None -> ());
-      t.clock <- t.clock + 1;
-      Hashtbl.replace t.table key { payload; bytes; tick = t.clock };
-      t.total_bytes <- t.total_bytes + bytes;
-      enforce_bounds t;
-      Obs.set g_entries (Hashtbl.length t.table);
-      Obs.set g_bytes t.total_bytes)
+  let fire =
+    locked t (fun () ->
+        (match Hashtbl.find_opt t.table key with
+        | Some old -> t.total_bytes <- t.total_bytes - old.bytes
+        | None -> ());
+        t.clock <- t.clock + 1;
+        let evictions0 = t.evictions in
+        Hashtbl.replace t.table key { payload; bytes; tick = t.clock };
+        t.total_bytes <- t.total_bytes + bytes;
+        enforce_bounds t;
+        Obs.set g_entries (Hashtbl.length t.table);
+        Obs.set g_bytes t.total_bytes;
+        if t.evictions > evictions0 then t.eviction_hook else None)
+  in
+  (* fired OUTSIDE the lock: the hook may take arbitrary time (it
+     typically schedules a between-jobs BDD reorder) and must not
+     serialize cache traffic behind it *)
+  match fire with Some hook -> hook () | None -> ()
 
 let counts t = locked t (fun () -> (t.hits, t.misses, t.evictions))
 let stats t = locked t (fun () -> (Hashtbl.length t.table, t.total_bytes))
 
 (* ---- circuits ---- *)
 
+(* Content fingerprint: (byte length, CRC-32), not CRC-32 alone. A
+   32-bit checksum WILL collide across the lifetime of a long-lived
+   daemon (and is trivial to collide deliberately); the length makes
+   any same-length forgery still a 1-in-2^32 accident instead of a
+   silently served wrong model, and same-prefix truncations (the
+   common corruption) always differ in length. *)
+let fingerprint s =
+  Printf.sprintf "%d:%s" (String.length s) (Crc32.to_hex (Crc32.string s))
+
 let canonical_of c =
   let s = Serialize.to_string c in
-  ("circ:" ^ Crc32.to_hex (Crc32.string s), String.length s)
+  ("circ:" ^ fingerprint s, String.length s)
 
 let read_file path =
   try Ok (In_channel.with_open_bin path In_channel.input_all)
@@ -138,7 +167,7 @@ let circuit_of_spec t spec =
       match read_file spec with
       | Error e -> Error e
       | Ok text ->
-          let raw_key = "file:" ^ Crc32.to_hex (Crc32.string text) in
+          let raw_key = "file:" ^ fingerprint text in
           cached raw_key (Filename.basename spec) (fun () ->
               Serialize.of_string text
               |> Result.map_error Serialize.error_to_string))
@@ -177,6 +206,61 @@ let fsm_of_spec t spec =
               | exception Invalid_argument msg ->
                   Error (Printf.sprintf "cannot enumerate as an FSM (%s)" msg)
               | m -> Ok (Fsm.tabulate m)))
+
+(* ---- compiled symbolic machines ---- *)
+
+module Symfsm = Simcov_symbolic.Symfsm
+
+(* a manager's footprint is dominated by its unique table and caches *)
+let sym_bytes (sf : Symfsm.t) =
+  (48 * Simcov_bdd.Bdd.node_count sf.Symfsm.man) + 4096
+
+(* Cache a compiled symbolic machine — the expensive part of a [stats]
+   job — keyed by the circuit's canonical key AND the reorder mode, so
+   an [off] job can never observe an order mutated by an [on]/[auto]
+   job (byte-identical reports stay byte-identical). The per-entry
+   mutex serializes jobs that share the live manager; the daemon's
+   between-jobs sifting takes the same mutex ({!reorder_cached}). *)
+let sym_of_circuit t ~reorder ~canonical build =
+  let mode = Job.reorder_name reorder in
+  let key = Printf.sprintf "sym:%s:%s" canonical mode in
+  let fresh () =
+    let sf = build () in
+    let se =
+      {
+        sym = sf;
+        s_reorder = reorder <> Job.Reorder_off;
+        s_lock = Mutex.create ();
+      }
+    in
+    store t key (P_sym se) ~bytes:(sym_bytes sf);
+    se
+  in
+  match find t key with
+  | Some (P_sym se) -> se
+  | Some _ | None -> fresh ()
+
+(* Between-jobs reordering of every cached reorder-enabled manager.
+   [try_lock]: a manager busy under a running job is simply skipped —
+   it will be sifted after a later job instead; never block the worker
+   on another job's traversal. *)
+let reorder_cached t =
+  let syms =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun _ e acc ->
+            match e.payload with
+            | P_sym se when se.s_reorder -> se :: acc
+            | _ -> acc)
+          t.table [])
+  in
+  List.iter
+    (fun se ->
+      if Mutex.try_lock se.s_lock then
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock se.s_lock)
+          (fun () -> Symfsm.reorder_now se.sym))
+    syms
 
 (* ---- lint verdicts ---- *)
 

@@ -7,12 +7,16 @@
     latency. This cache memoizes the three expensive resolution steps
     behind content fingerprints:
 
-    - {e circuits}: a file is keyed by the CRC-32 of its raw bytes
-      ([file:<crc>]), a builtin by its name ([builtin:<name>]), so an
-      edited file misses while an unchanged one skips the parse. Each
-      cached circuit also carries its {e canonical key} — the CRC-32 of
-      its canonical serialization — which identifies the circuit by
-      content regardless of how it was named or formatted.
+    - {e circuits}: a file is keyed by the (byte length, CRC-32) pair
+      of its raw bytes ([file:<len>:<crc>]), a builtin by its name
+      ([builtin:<name>]), so an edited file misses while an unchanged
+      one skips the parse. The length matters: CRC-32 alone is 32 bits
+      — casually collidable, and a long-lived daemon serving each
+      other's cached verdicts across a collision would be silent data
+      corruption. Each cached circuit also carries its {e canonical
+      key} — the same fingerprint of its canonical serialization
+      ([circ:<len>:<crc>]) — which identifies the circuit by content
+      regardless of how it was named or formatted.
     - {e tabulated FSMs}: keyed by the canonical key of the circuit
       they were enumerated from ([fsm:<canonical>]), or by builtin name
       for the explicit test models.
@@ -79,6 +83,39 @@ val fsm_lint :
   Simcov_analysis.Fsm_lint.report
 (** Cached [Fsm_lint.run]. [key] is the machine's cache key (from
     {!fsm_of_spec}). Runs with [?suite] bypass the cache. *)
+
+type sym_entry = {
+  sym : Simcov_symbolic.Symfsm.t;
+  s_reorder : bool;
+      (** built under a reorder-enabled job: {!reorder_cached} may
+          sift it between jobs *)
+  s_lock : Mutex.t;
+      (** hold while using [sym] — jobs share the live BDD manager *)
+}
+
+val sym_of_circuit :
+  t ->
+  reorder:Job.reorder_mode ->
+  canonical:string ->
+  (unit -> Simcov_symbolic.Symfsm.t) ->
+  sym_entry
+(** Cached compiled symbolic machine, keyed
+    [sym:<canonical>:<reorder-mode>] — the mode is part of the key so
+    a [Reorder_off] job can never observe a variable order mutated by
+    an [on]/[auto] job. The caller must lock [s_lock] while operating
+    on the machine (and re-attach its budget first:
+    {!Simcov_symbolic.Symfsm.attach_budget}). *)
+
+val reorder_cached : t -> unit
+(** One best-effort sifting pass over every cached reorder-enabled
+    manager, skipping (not waiting for) any whose [s_lock] is held by
+    a running job. The daemon's worker loop calls this between jobs
+    when the eviction hook has signalled cache pressure. *)
+
+val set_eviction_hook : t -> (unit -> unit) -> unit
+(** Install a callback fired (outside the cache lock) after any store
+    that evicted at least one entry — the daemon uses it to schedule a
+    between-jobs {!reorder_cached}. Last hook wins. *)
 
 val counts : t -> int * int * int
 (** [(hits, misses, evictions)] since creation — the same totals the

@@ -31,6 +31,8 @@ type t = {
   mutable draining : bool;
   stop_all : bool Atomic.t;
   tokens : int Atomic.t;
+  reorder_pending : bool Atomic.t;
+      (** cache pressure seen — sift cached managers between jobs *)
   mutable domains : unit Domain.t list;
 }
 
@@ -153,6 +155,12 @@ let worker_loop t =
         (if Atomic.get rj.rj_cancel then
            resolve t rj Job.Cancelled (cancelled_envelope rj)
          else execute t rj);
+        (* between jobs, never during one: sift the cached symbolic
+           managers if the cache signalled pressure while we ran.
+           [exchange] makes one worker claim the pass; managers busy
+           under another worker's job are skipped inside. *)
+        if Atomic.exchange t.reorder_pending false && not (Atomic.get t.stop_all)
+        then Model_cache.reorder_cached t.cache;
         next ()
   in
   next ()
@@ -181,9 +189,12 @@ let create ?(cache = Model_cache.shared) ?(queue_limit = 64) ?(workers = 2)
       draining = false;
       stop_all = Atomic.make false;
       tokens = Atomic.make (max 1 (domain_tokens - workers));
+      reorder_pending = Atomic.make false;
       domains = [];
     }
   in
+  Model_cache.set_eviction_hook cache (fun () ->
+      Atomic.set t.reorder_pending true);
   t.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 

@@ -299,6 +299,12 @@ let validate_json (r : Methodology.run_report) =
         Obj (List.map (fun (n, s) -> (n, Float s)) r.Methodology.timings) );
     ]
 
+(* job-schema reorder enum -> the symbolic layer's policy variant *)
+let reorder_variant = function
+  | Job.Reorder_off -> `Off
+  | Job.Reorder_on -> `On
+  | Job.Reorder_auto -> `Auto
+
 let run_validate ~budget (p : Job.validate_params) =
   let config =
     {
@@ -309,7 +315,8 @@ let run_validate ~budget (p : Job.validate_params) =
   in
   let report =
     Methodology.validate_dlx ~config ~seed:p.Job.va_seed ~budget
-      ~lanes:p.Job.va_lanes ~jobs:p.Job.va_jobs ()
+      ~reorder:(reorder_variant p.Job.va_reorder) ~lanes:p.Job.va_lanes
+      ~jobs:p.Job.va_jobs ()
   in
   let human = Format.asprintf "%a@." Methodology.pp_run_report report in
   let exit_code =
@@ -330,11 +337,26 @@ let run_validate ~budget (p : Job.validate_params) =
 
 (* ---- stats ---- *)
 
-let run_stats ~budget () =
+let run_stats ~cache ~budget (p : Job.stats_params) =
   let buf = Buffer.create 512 in
-  let final, _ = Simcov_dlx.Control.derive_test_model () in
+  match Model_cache.circuit_of_spec cache "dlx-test" with
+  | Error e -> fail 2 e
+  | Ok (final, _, canonical) ->
   Buffer.add_string buf (Format.asprintf "%a@." Circuit.pp_stats final);
-  let sym = Simcov_symbolic.Symfsm.of_circuit ~budget final in
+  (* the compiled machine is cached per (circuit, reorder mode): a
+     daemon serving repeated stats jobs reuses the live manager, and
+     the between-jobs sifting pass can then actually shrink it *)
+  let se =
+    Model_cache.sym_of_circuit cache ~reorder:p.Job.st_reorder ~canonical
+      (fun () ->
+        Simcov_symbolic.Symfsm.of_circuit ~budget
+          ~reorder:(reorder_variant p.Job.st_reorder) final)
+  in
+  Mutex.lock se.Model_cache.s_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock se.Model_cache.s_lock)
+  @@ fun () ->
+  let sym = se.Model_cache.sym in
+  Simcov_symbolic.Symfsm.attach_budget sym budget;
   let open Simcov_symbolic.Symfsm in
   let tr = reachable_stats ~budget sym in
   Buffer.add_string buf
@@ -801,7 +823,7 @@ let run ?(cache = Model_cache.shared) ?max_workers
     try
       match job.Job.spec with
       | Job.Validate_dlx p -> run_validate ~budget p
-      | Job.Stats -> run_stats ~budget ()
+      | Job.Stats p -> run_stats ~cache ~budget p
       | Job.Lint p -> run_lint ~cache ~budget p
       | Job.Coverage p ->
           run_coverage ~cache ~budget ~max_workers ~should_stop ~on_progress

@@ -127,6 +127,35 @@ let register_roots t =
   Array.iter (fun o -> ignore (p o)) t.outputs;
   t
 
+type reorder_mode = [ `Off | `On | `Auto ]
+
+(* Arm dynamic variable reordering on a freshly built machine. Pairs
+   (cur_i, nxt_i) are glued into sifting groups — the interleaving is
+   the one structural invariant worth preserving (and it keeps the
+   image's shift-down rename on the fast structural path: glued pairs
+   make the substitution level-monotone under any block order).
+   [`On] additionally sifts once right away; a Node_limit abort just
+   keeps the order reached, the traversal still runs. *)
+let setup_reorder t (mode : reorder_mode) =
+  (match mode with
+  | `Off -> ()
+  | (`On | `Auto) as mode ->
+      Bdd.set_groups t.man
+        (List.init t.n_state_vars (fun i -> [ 2 * i; (2 * i) + 1 ]));
+      Bdd.set_auto_reorder t.man true;
+      if mode = `On then ( try Bdd.reorder t.man with Bdd.Node_limit _ -> ()));
+  t
+
+(* Re-point an existing (cached) machine at a fresh budget: the
+   manager's node ceiling and the budget's node probe both follow. *)
+let attach_budget t budget =
+  Bdd.set_max_nodes t.man (Budget.max_nodes budget);
+  Budget.set_node_probe budget (Some (fun () -> (Bdd.gc_stats t.man).Bdd.live))
+
+(* One explicit sifting pass, best effort: an abort under the node
+   ceiling leaves the manager usable at the order reached. *)
+let reorder_now t = try Bdd.reorder t.man with Bdd.Node_limit _ -> ()
+
 let man_for ~budget n =
   let man = Bdd.man ?max_nodes:(Budget.max_nodes budget) n in
   (* secondary node-budget enforcement (see budget.mli): the budget can
@@ -137,7 +166,8 @@ let man_for ~budget n =
   Budget.set_node_probe budget (Some (fun () -> (Bdd.gc_stats man).Bdd.live));
   man
 
-let of_circuit ?(budget = Budget.unlimited) (c : Simcov_netlist.Circuit.t) =
+let of_circuit ?(budget = Budget.unlimited) ?(reorder = `Off)
+    (c : Simcov_netlist.Circuit.t) =
   let open Simcov_netlist in
   let n_state = Circuit.n_regs c and n_input = Circuit.n_inputs c in
   let cur, nxt, inp = layout ~n_state ~n_input in
@@ -186,23 +216,25 @@ let of_circuit ?(budget = Budget.unlimited) (c : Simcov_netlist.Circuit.t) =
       (fun (o : Circuit.port) -> Bdd.protect man (expr_bdd o.Circuit.expr))
       c.Circuit.outputs
   in
-  register_roots
-    {
-      man;
-      n_state_vars = n_state;
-      n_input_vars = n_input;
-      cur;
-      nxt;
-      inp;
-      parts;
-      valid;
-      init;
-      outputs;
-      mono = None;
-      reach = None;
-    }
+  setup_reorder
+    (register_roots
+       {
+         man;
+         n_state_vars = n_state;
+         n_input_vars = n_input;
+         cur;
+         nxt;
+         inp;
+         parts;
+         valid;
+         init;
+         outputs;
+         mono = None;
+         reach = None;
+       })
+    reorder
 
-let of_fsm ?(budget = Budget.unlimited) (m : Simcov_fsm.Fsm.t) =
+let of_fsm ?(budget = Budget.unlimited) ?(reorder = `Off) (m : Simcov_fsm.Fsm.t) =
   let open Simcov_fsm in
   let n_state = bits_needed m.Fsm.n_states and n_input = bits_needed m.Fsm.n_inputs in
   let cur, nxt, inp = layout ~n_state ~n_input in
@@ -262,21 +294,23 @@ let of_fsm ?(budget = Budget.unlimited) (m : Simcov_fsm.Fsm.t) =
   Array.iter (Bdd.remove_root man) r_delta;
   Array.iter (Bdd.remove_root man) r_out;
   Bdd.remove_root man r_valid;
-  register_roots
-    {
-      man;
-      n_state_vars = n_state;
-      n_input_vars = n_input;
-      cur;
-      nxt;
-      inp;
-      parts;
-      valid = !valid;
-      init;
-      outputs;
-      mono = None;
-      reach = None;
-    }
+  setup_reorder
+    (register_roots
+       {
+         man;
+         n_state_vars = n_state;
+         n_input_vars = n_input;
+         cur;
+         nxt;
+         inp;
+         parts;
+         valid = !valid;
+         init;
+         outputs;
+         mono = None;
+         reach = None;
+       })
+    reorder
 
 let cur_and_inp t = Array.to_list t.cur @ Array.to_list t.inp
 let part_rels t = List.map (fun p -> p.rel) t.parts

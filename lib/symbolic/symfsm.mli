@@ -68,20 +68,42 @@ type t = {
   mutable reach : traversal option;  (** cached default traversal *)
 }
 
-val of_circuit : ?budget:Budget.t -> Simcov_netlist.Circuit.t -> t
+type reorder_mode = [ `Off | `On | `Auto ]
+(** Dynamic-variable-reordering policy for a machine's BDD manager.
+    [`Off] (the default) keeps the build-time interleaved order —
+    bit-for-bit the historical behavior. [`Auto] arms growth-ratio
+    triggered sifting with (cur, nxt) pairs glued as groups. [`On]
+    additionally runs one sifting pass as soon as the machine is
+    built. *)
+
+val of_circuit :
+  ?budget:Budget.t -> ?reorder:reorder_mode -> Simcov_netlist.Circuit.t -> t
 (** Compile a netlist: one state variable per register, one input
     variable per primary input; one relation conjunct per register.
     [budget] caps the build: its node allowance becomes the manager's
     live-node ceiling and its deadline is checked between conjuncts
     (@raise Budget.Budget_exceeded / @raise Bdd.Node_limit when the
     relation itself does not fit). The long-lived structure (relation
-    conjuncts, validity, init, outputs) is registered as GC roots. *)
+    conjuncts, validity, init, outputs) is registered as GC roots —
+    which is also what makes [reorder] (default [`Off]) safe: a
+    sifting pass sweeps from exactly those roots. *)
 
-val of_fsm : ?budget:Budget.t -> Simcov_fsm.Fsm.t -> t
+val of_fsm : ?budget:Budget.t -> ?reorder:reorder_mode -> Simcov_fsm.Fsm.t -> t
 (** Encode an explicit machine in binary (states and inputs packed
     little-endian; unreachable encodings excluded by validity); one
-    relation conjunct per state bit. Budget semantics as in
-    {!of_circuit}, checked per transition. *)
+    relation conjunct per state bit. Budget and reorder semantics as
+    in {!of_circuit}, budget checked per transition. *)
+
+val attach_budget : t -> Budget.t -> unit
+(** Re-point a (possibly cached) machine at a fresh budget: the
+    budget's node allowance becomes the manager's ceiling and the
+    budget's node probe reads this manager — what a daemon does when
+    it serves a cache-hit model under a new job's budget. *)
+
+val reorder_now : t -> unit
+(** One explicit sifting pass on the machine's manager, best effort:
+    a {!Bdd.Node_limit} abort is swallowed and the order reached is
+    kept. The daemon calls this between jobs. *)
 
 (** {1 The transition relation} *)
 

@@ -13,6 +13,7 @@ let () =
       ("obs", Test_obs.suite);
       ("graph", Test_graph.suite);
       ("bdd", Test_bdd.suite);
+      ("reorder", Test_reorder.suite);
       ("fsm", Test_fsm.suite);
       ("netlist", Test_netlist.suite);
       ("symbolic", Test_symbolic.suite);

@@ -56,7 +56,7 @@ let test_job_roundtrip () =
         };
       Job.Merge { inputs = [ "a.covdb"; "b.covdb" ]; output = "out.covdb" };
       Job.Minimize { inputs = [ "a.covdb" ] };
-      Job.Stats;
+      Job.Stats Job.default_stats;
     ]
   in
   List.iter
@@ -142,6 +142,76 @@ let test_cache_hits_and_eviction () =
   check bool "evictions counted" true (evictions >= 2);
   let entries, _ = Model_cache.stats tiny in
   check int "bounded to one entry" 1 entries
+
+(* ---- the CRC-32-only file keys were forgeable ---- *)
+
+(* reflected CRC-32 table (poly 0xEDB88320), reimplemented here so the
+   test can FORGE a collision instead of hoping for one: every table
+   entry has a distinct top byte, so walking the register backwards
+   forces the 4 table indices, and 4 appended bytes then drive the
+   register to any chosen value *)
+let crc_table =
+  Array.init 256 (fun n ->
+      let r = ref n in
+      for _ = 0 to 7 do
+        r := if !r land 1 = 1 then (!r lsr 1) lxor 0xEDB88320 else !r lsr 1
+      done;
+      !r)
+
+(* 4 bytes whose appension leaves the CRC-32 of a string with checksum
+   [crc_a] unchanged *)
+let forge_suffix crc_a =
+  let reg = Int32.to_int (Int32.logxor crc_a 0xFFFFFFFFl) land 0xFFFFFFFF in
+  let idx = Array.make 4 0 in
+  let w = ref reg in
+  for i = 3 downto 0 do
+    let top = !w lsr 24 in
+    let j = ref 0 in
+    while crc_table.(!j) lsr 24 <> top do incr j done;
+    idx.(i) <- !j;
+    w := ((!w lxor crc_table.(!j)) lsl 8) land 0xFFFFFFFF
+  done;
+  let bytes = Bytes.create 4 in
+  let r = ref reg in
+  for i = 0 to 3 do
+    let b = (!r land 0xff) lxor idx.(i) in
+    Bytes.set bytes i (Char.chr b);
+    r := (!r lsr 8) lxor crc_table.((!r lxor b) land 0xff)
+  done;
+  Bytes.to_string bytes
+
+let test_cache_crc_collision () =
+  let module Crc32 = Simcov_util.Crc32 in
+  let a =
+    Simcov_netlist.Serialize.to_string
+      (fst (Simcov_dlx.Control.derive_test_model ()))
+  in
+  let b = a ^ forge_suffix (Crc32.string a) in
+  check bool "contents differ" true (a <> b);
+  check bool "checksums collide" true (Crc32.string a = Crc32.string b);
+  let write s =
+    let path = Filename.temp_file "simcov_crc" ".circ" in
+    Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s);
+    path
+  in
+  let pa = write a and pb = write b in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove pa;
+      Sys.remove pb)
+    (fun () ->
+      let c = Model_cache.create () in
+      (match Model_cache.circuit_of_spec c pa with
+      | Ok _ -> ()
+      | Error e -> failf "serialized model failed to parse: %s" e);
+      (* under the old [file:<crc>] keys the forged file shared A's
+         slot and was silently served A's parsed circuit; the
+         (length, crc) key must treat it as a distinct resolution *)
+      let hits0, _, _ = Model_cache.counts c in
+      ignore (Model_cache.circuit_of_spec c pb);
+      let hits1, misses, _ = Model_cache.counts c in
+      check int "forged file does not hit the cache" hits0 hits1;
+      check int "two distinct resolutions" 2 misses)
 
 let test_cache_observable_in_metrics () =
   let reg = Obs.registry ~label:"cache-metrics" in
@@ -398,6 +468,8 @@ let suite =
     test_case "result envelope shape" `Quick test_envelope_shape;
     test_case "cache counts hits, misses, evictions" `Quick test_cache_hits_and_eviction;
     test_case "cache metrics exported via obs" `Quick test_cache_observable_in_metrics;
+    test_case "forged CRC-32 collision cannot alias a cached file" `Quick
+      test_cache_crc_collision;
     test_case "warm cache: identical report, hit counted" `Quick
       test_warm_cache_identical_report;
     test_case "cancellation leaves loadable checkpoint" `Quick

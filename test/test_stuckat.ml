@@ -72,7 +72,7 @@ let test_bdd_to_dot () =
   let f =
     Simcov_bdd.Bdd.band man (Simcov_bdd.Bdd.var man 0) (Simcov_bdd.Bdd.var man 2)
   in
-  let dot = Simcov_bdd.Bdd.to_dot f in
+  let dot = Simcov_bdd.Bdd.to_dot man f in
   Alcotest.(check bool) "digraph present" true
     (String.length dot > 20 && String.sub dot 0 11 = "digraph bdd");
   Alcotest.(check bool) "mentions x0" true
